@@ -1,0 +1,71 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints the same rows/series the paper reports.  Reports
+are also appended to ``benchmarks/out/`` so EXPERIMENTS.md can cite them.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.degradation import (
+    DegradationSummary,
+    summarize_post_scaling,
+)
+from repro.sim.experiment import ExperimentResult
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+# Scaled-down benchmark duration; scenario action fractions stretch to it.
+BENCH_DURATION_S = 1500
+BENCH_SEED = 3
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Print a benchmark report and persist it under benchmarks/out/."""
+    body = "\n".join(lines)
+    print(f"\n===== {name} =====\n{body}\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(body + "\n")
+
+
+def finite_mean(series: np.ndarray, lo: int, hi: int) -> float:
+    """Mean of the finite entries of ``series[lo:hi]``."""
+    window = series[lo:hi]
+    window = window[np.isfinite(window)]
+    return float(window.mean()) if len(window) else float("nan")
+
+
+def post_scaling_summary(
+    result: ExperimentResult,
+    scale_time: float,
+    horizon_s: float = 700.0,
+) -> DegradationSummary:
+    """Degradation summary around one scaling action of a run."""
+    return summarize_post_scaling(
+        result.metrics,
+        scale_time,
+        horizon_s=horizon_s,
+        stable_window_s=120.0,
+        restoration_factor=2.0,
+    )
+
+
+def average_post_rt(result: ExperimentResult, start: float, end: float) -> float:
+    """Paper-style 'average of the per-second 95%ile RTs' after scaling."""
+    metrics = result.metrics.between(start, end)
+    series = metrics.p95_series_ms()
+    series = series[np.isfinite(series)]
+    return float(series.mean()) if len(series) else float("nan")
+
+
+def reduction(baseline_value: float, improved_value: float) -> float:
+    """Relative reduction ``1 - improved/baseline`` (paper's headline %)."""
+    if baseline_value <= 0:
+        return 0.0
+    return 1.0 - improved_value / baseline_value

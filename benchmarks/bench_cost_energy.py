@@ -1,0 +1,74 @@
+"""Section II-B: cost/energy analysis of Memcached nodes.
+
+Paper: a Memcached node (1 socket, 72 GB) draws ~299 W versus ~204 W for
+a web node (2 sockets, 12 GB) -- 47 % more power -- and memory-optimised
+EC2 instances cost $0.166/hr versus $0.10/hr -- 66 % more.  An elastic
+tier that follows demand therefore saves real money and energy; this
+benchmark prints the model's numbers and the savings on the SYS trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import (
+    MEMCACHED_NODE,
+    WEB_NODE,
+    EC2_COMPUTE_HOURLY,
+    EC2_MEMORY_HOURLY,
+    cost_premium,
+    energy_kwh,
+    power_premium,
+    power_watts,
+    rental_cost_usd,
+    savings_vs_static,
+)
+from repro.workloads.traces import make_trace
+
+from benchmarks._harness import write_report
+
+
+def compute_table():
+    web_power = power_watts(WEB_NODE)
+    cache_power = power_watts(MEMCACHED_NODE)
+    # A diurnal tier: 10 nodes at peak, tracking the SYS trace shape
+    # (perfect elasticity, 10 nodes max, at least 3).
+    trace = make_trace("sys", duration_s=3600).normalised()
+    elastic_nodes = np.clip(np.round(trace.values * 10), 3, 10)
+    static_nodes = np.full_like(elastic_nodes, 10)
+    return {
+        "web_power": web_power,
+        "cache_power": cache_power,
+        "power_premium": power_premium(),
+        "cost_premium": cost_premium(),
+        "elastic_kwh": energy_kwh(elastic_nodes),
+        "static_kwh": energy_kwh(static_nodes),
+        "elastic_usd": rental_cost_usd(elastic_nodes),
+        "static_usd": rental_cost_usd(static_nodes),
+        "savings": savings_vs_static(elastic_nodes, static_nodes=10),
+    }
+
+
+@pytest.mark.benchmark(group="cost")
+def bench_cost_energy(benchmark):
+    table = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    rows = [
+        f"web node power       {table['web_power']:8.1f} W   (paper: ~204 W)",
+        f"memcached node power {table['cache_power']:8.1f} W   (paper: ~299 W)",
+        f"power premium        {table['power_premium']:8.1%}   (paper: 47%)",
+        f"EC2 rates            ${EC2_COMPUTE_HOURLY:.3f}/hr vs "
+        f"${EC2_MEMORY_HOURLY:.3f}/hr",
+        f"cost premium         {table['cost_premium']:8.1%}   (paper: 66%)",
+        "--- one hour on the SYS trace, 10-node tier ---",
+        f"static energy        {table['static_kwh']:8.2f} kWh; "
+        f"elastic {table['elastic_kwh']:.2f} kWh",
+        f"static rental        ${table['static_usd']:7.2f}; "
+        f"elastic ${table['elastic_usd']:.2f}",
+        f"elastic savings      {table['savings']:8.1%}",
+    ]
+    write_report("cost_energy", rows)
+
+    assert table["web_power"] == pytest.approx(204.0, abs=1.0)
+    assert table["cache_power"] == pytest.approx(299.0, abs=1.0)
+    assert table["power_premium"] == pytest.approx(0.47, abs=0.01)
+    assert table["cost_premium"] == pytest.approx(0.66, abs=0.01)
+    assert table["savings"] > 0.2

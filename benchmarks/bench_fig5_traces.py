@@ -1,0 +1,53 @@
+"""Fig. 5: the five (normalised) demand traces.
+
+The paper shows normalised request-rate series for Facebook SYS/ETC, SAP,
+NLANR, and Microsoft.  This benchmark regenerates the synthetic
+equivalents and prints the series statistics that define their shapes
+(peak position, depth of drops, recovery), asserting the qualitative
+features the evaluation relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import TRACE_FACTORIES, make_trace
+
+from benchmarks._harness import BENCH_DURATION_S, write_report
+
+
+def generate_all():
+    return {
+        name: make_trace(name, duration_s=BENCH_DURATION_S)
+        for name in sorted(TRACE_FACTORIES)
+    }
+
+
+@pytest.mark.benchmark(group="fig5")
+def bench_fig5_traces(benchmark):
+    traces = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    rows = ["trace      min    mean   final  argmax(frac)  drop(early->late)"]
+    for name, trace in traces.items():
+        values = trace.normalised().values
+        early = values[: len(values) // 3].mean()
+        late = values[-len(values) // 3 :].mean()
+        rows.append(
+            f"{name:10s} {values.min():.2f}   {values.mean():.2f}   "
+            f"{values[-1]:.2f}   {np.argmax(values)/len(values):#.2f}"
+            f"          {1 - late/early:+.1%}"
+        )
+    write_report("fig5_traces", rows)
+
+    values = {name: t.normalised().values for name, t in traces.items()}
+    # SYS: sharp sustained drop.
+    assert values["sys"][-300:].mean() < 0.5 * values["sys"][:300].mean()
+    # ETC: dips then recovers near peak.
+    assert values["etc"][-150:].mean() > 0.85
+    # NLANR: mid-trace peak.
+    mid = values["nlanr"][
+        int(0.45 * len(values["nlanr"])) : int(0.55 * len(values["nlanr"]))
+    ].mean()
+    assert mid > values["nlanr"][:150].mean()
+    assert mid > values["nlanr"][-150:].mean()
+    # SAP and Microsoft: declining staircases.
+    for name in ("sap", "microsoft"):
+        assert values[name][-300:].mean() < values[name][:300].mean()

@@ -1,0 +1,107 @@
+"""Fig. 6(a-e): hit rate and 95%ile RT, baseline vs ElMem, on all traces.
+
+Paper results: across SYS/ETC/SAP/NLANR/Microsoft, ElMem reduces the
+average post-scaling degradation by 88-97 % for scale-in actions and
+~81 % for scale-out actions, with the baseline's hit rate visibly
+dropping after every action while ElMem's barely moves.  This benchmark
+replays every scenario under both policies and prints, per scaling
+action, the paper's quantities: average post-scaling p95 RT, its
+reduction, and the post-scaling hit rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import run_experiment
+from repro.sim.scenarios import PAPER_SCENARIOS, paper_config
+
+from benchmarks._harness import (
+    BENCH_DURATION_S,
+    BENCH_SEED,
+    average_post_rt,
+    reduction,
+    write_report,
+)
+
+
+def run_all():
+    results = {}
+    for name in sorted(PAPER_SCENARIOS):
+        for policy in ("baseline", "elmem"):
+            config = paper_config(
+                name, policy, duration_s=BENCH_DURATION_S, seed=BENCH_SEED
+            )
+            results[(name, policy)] = run_experiment(config)
+    return results
+
+
+def post_hit_rate(result, start, end):
+    metrics = result.metrics.between(start, end)
+    rates = metrics.hit_rates()
+    return float(rates.mean()) if len(rates) else float("nan")
+
+
+@pytest.mark.benchmark(group="fig6")
+def bench_fig6_all_traces(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    paper_reductions = {
+        "sys": "88%",
+        "etc": "96%",
+        "sap": "90%",
+        "nlanr": "92%",
+        "microsoft": "97%",
+    }
+    rows = [
+        "scenario            action    window   base-p95   elmem-p95 "
+        " reduction  hr(base->elmem)   paper"
+    ]
+    scale_in_reductions = []
+    scale_out_reductions = []
+    for name, scenario in sorted(PAPER_SCENARIOS.items()):
+        base = results[(name, "baseline")]
+        elmem = results[(name, "elmem")]
+        times = [t for t, _ in base.config.schedule]
+        targets = [n for _, n in base.config.schedule]
+        boundaries = times[1:] + [BENCH_DURATION_S * 0.95]
+        previous_nodes = scenario.initial_nodes
+        for action_time, target, boundary in zip(
+            times, targets, boundaries
+        ):
+            window_end = min(action_time + 450.0, boundary)
+            base_rt = average_post_rt(base, action_time, window_end)
+            elmem_rt = average_post_rt(elmem, action_time, window_end)
+            cut = reduction(base_rt, elmem_rt)
+            kind = "out" if target > previous_nodes else "in"
+            hr_pair = (
+                post_hit_rate(base, action_time, window_end),
+                post_hit_rate(elmem, action_time, window_end),
+            )
+            rows.append(
+                f"{scenario.label:20s}{previous_nodes}->{target} ({kind}) "
+                f"{window_end - action_time:5.0f}s "
+                f"{base_rt:9.1f}ms {elmem_rt:9.1f}ms "
+                f"{cut:9.1%}  {hr_pair[0]:.3f} -> {hr_pair[1]:.3f}   "
+                f"{paper_reductions[name]}"
+            )
+            (
+                scale_in_reductions
+                if kind == "in"
+                else scale_out_reductions
+            ).append(cut)
+            previous_nodes = target
+    rows.append(
+        f"mean scale-in reduction:  "
+        f"{np.mean(scale_in_reductions):.1%} (paper: 88-97%)"
+    )
+    if scale_out_reductions:
+        rows.append(
+            f"mean scale-out reduction: "
+            f"{np.mean(scale_out_reductions):.1%} (paper: ~81%)"
+        )
+    write_report("fig6_all_traces", rows)
+
+    # Shape assertions: ElMem strictly improves every scale-in action and
+    # does not lose on average.
+    assert all(cut > 0.0 for cut in scale_in_reductions)
+    assert np.mean(scale_in_reductions) > 0.25

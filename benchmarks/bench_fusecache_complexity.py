@@ -1,0 +1,88 @@
+"""Section IV-B: FuseCache's complexity versus the merge baselines.
+
+FuseCache runs in O(k (log n)^2); the heap k-way merge is O(n log k) and
+the full sort O(N log N).  Since realistic deployments have n >> k, Fuse
+Cache should win by orders of magnitude as n grows.  This benchmark
+times all three on the same inputs (wall clock via pytest-benchmark) and
+prints the comparison-count scaling against the theoretical lower bound
+O(k log n).
+"""
+
+import math
+
+import pytest
+
+from repro.core.fusecache import (
+    fuse_cache,
+    fuse_cache_detailed,
+    kway_merge_top_n,
+    lower_bound_comparisons,
+    sort_merge_top_n,
+)
+
+K = 8
+
+
+def make_lists(n: int, k: int = K) -> list[list[float]]:
+    # Interleaved distinct timestamps, each list sorted hottest-first.
+    return [
+        [float(n * k - (j * k + i)) for j in range(n)] for i in range(k)
+    ]
+
+
+@pytest.fixture(scope="module")
+def big_lists():
+    return make_lists(100_000)
+
+
+@pytest.mark.benchmark(group="fusecache-time")
+def bench_fusecache_time(benchmark, big_lists):
+    picks = benchmark(fuse_cache, big_lists, 100_000 // 2)
+    assert sum(picks) == 100_000 // 2
+
+
+@pytest.mark.benchmark(group="fusecache-time")
+def bench_kway_merge_time(benchmark, big_lists):
+    picks = benchmark(kway_merge_top_n, big_lists, 100_000 // 2)
+    assert sum(picks) == 100_000 // 2
+
+
+@pytest.mark.benchmark(group="fusecache-time")
+def bench_sort_merge_time(benchmark, big_lists):
+    picks = benchmark(sort_merge_top_n, big_lists, 100_000 // 2)
+    assert sum(picks) == 100_000 // 2
+
+
+@pytest.mark.benchmark(group="fusecache-scaling")
+def bench_fusecache_comparison_scaling(benchmark):
+    from benchmarks._harness import write_report
+
+    def sweep():
+        rows = [
+            "        n   FuseCache-cmp   k-way-pops   lower-bound "
+            "k*log2(n)   ratio-to-bound"
+        ]
+        data = []
+        for exponent in range(10, 18, 2):
+            n = 2**exponent
+            lists = make_lists(n)
+            result = fuse_cache_detailed(lists, n // 2)
+            bound = lower_bound_comparisons(n // 2, K)
+            rows.append(
+                f"{n:9d}   {result.comparisons:13d}   {n * K // 2:10d}   "
+                f"{bound:21.0f}   {result.comparisons / bound:14.1f}"
+            )
+            data.append((n, result.comparisons))
+        return rows, data
+
+    rows, data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report("fusecache_complexity", rows)
+
+    # Polylog growth: quadrupling n should grow comparisons far slower
+    # than linearly (a factor-4 growth per step would be linear).
+    for (n1, c1), (n2, c2) in zip(data, data[1:]):
+        assert c2 < 3.0 * c1, f"superpolylog growth at n={n2}"
+    # And FuseCache must beat the k-way merge's n*k/2 pop count by a wide
+    # margin at the largest size.
+    n_last, c_last = data[-1]
+    assert c_last * 50 < n_last * K // 2

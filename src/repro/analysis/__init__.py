@@ -1,0 +1,35 @@
+"""Analysis utilities for the paper's evaluation.
+
+- :mod:`repro.analysis.degradation` -- peak RT, restoration time, and the
+  post-scaling degradation reduction that is the paper's headline number.
+- :mod:`repro.analysis.cost` -- the Section II-B cost/energy model
+  (Memcached nodes are ~66 % costlier and ~47 % more power-hungry than
+  web-tier nodes).
+- :mod:`repro.analysis.elasticity` -- the Section II-C estimate that a
+  perfectly elastic tier saves 30-70 % of cache nodes.
+"""
+
+from repro.analysis.cost import (
+    EC2_COMPUTE_HOURLY,
+    EC2_MEMORY_HOURLY,
+    ServerSpec,
+    power_watts,
+)
+from repro.analysis.degradation import (
+    DegradationSummary,
+    degradation_reduction,
+    summarize_post_scaling,
+)
+from repro.analysis.elasticity import elastic_node_series, node_savings
+
+__all__ = [
+    "DegradationSummary",
+    "EC2_COMPUTE_HOURLY",
+    "EC2_MEMORY_HOURLY",
+    "ServerSpec",
+    "degradation_reduction",
+    "elastic_node_series",
+    "node_savings",
+    "power_watts",
+    "summarize_post_scaling",
+]

@@ -1,0 +1,131 @@
+"""Terminal plots of per-second metric series.
+
+The paper's figures are time series (hit rate and p95 RT around scaling
+events).  For environments without a plotting stack, this module renders
+them as Unicode block charts -- enough to *see* the baseline's spike and
+ElMem's blip straight from ``python -m repro run --plot``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """One-line block chart of ``values`` downsampled to ``width``."""
+    finite = [v for v in values if v is not None and not math.isnan(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo or 1.0
+    buckets = _downsample(values, width)
+    chars = []
+    for bucket in buckets:
+        if bucket is None:
+            chars.append(" ")
+            continue
+        level = int((bucket - lo) / span * (len(BLOCKS) - 1))
+        chars.append(BLOCKS[max(0, min(level, len(BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def _downsample(
+    values: Sequence[float], width: int
+) -> list[float | None]:
+    """Max-pool ``values`` into ``width`` buckets (max preserves spikes)."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    count = len(values)
+    if count == 0:
+        return []
+    buckets: list[float | None] = []
+    per_bucket = max(1, count // width)
+    for start in range(0, count, per_bucket):
+        window = [
+            v
+            for v in values[start : start + per_bucket]
+            if v is not None and not math.isnan(v)
+        ]
+        buckets.append(max(window) if window else None)
+        if len(buckets) == width:
+            break
+    return buckets
+
+
+def chart(
+    values: Sequence[float],
+    title: str,
+    width: int = 80,
+    height: int = 8,
+    markers: Sequence[float] | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Multi-line block chart with axis labels.
+
+    ``markers`` are x-positions (as fractions of the series length, or
+    absolute indices when > 1) rendered as a ``^`` row -- used for
+    scaling-action times.  ``log_scale`` plots log10 of the values,
+    which is how a 100x RT spike stays readable next to a 1 ms baseline.
+    """
+    finite = [
+        v for v in values if v is not None and not math.isnan(v)
+    ]
+    if not finite:
+        return f"{title}\n(no data)"
+    transform = (lambda v: math.log10(max(v, 1e-9))) if log_scale else (
+        lambda v: v
+    )
+    transformed = [
+        transform(v) if v is not None and not math.isnan(v) else None
+        for v in values
+    ]
+    t_finite = [v for v in transformed if v is not None]
+    lo, hi = min(t_finite), max(t_finite)
+    span = hi - lo or 1.0
+    buckets = _downsample(transformed, width)
+
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = lo + span * (row - 1) / height
+        line = []
+        for bucket in buckets:
+            if bucket is None:
+                line.append(" ")
+            elif bucket >= threshold + span / height:
+                line.append("█")
+            elif bucket >= threshold:
+                fraction = (bucket - threshold) / (span / height)
+                line.append(
+                    BLOCKS[
+                        max(
+                            1,
+                            min(
+                                int(fraction * (len(BLOCKS) - 1)),
+                                len(BLOCKS) - 1,
+                            ),
+                        )
+                    ]
+                )
+            else:
+                line.append(" ")
+        rows.append("".join(line))
+
+    label_hi = f"{10**hi:.3g}" if log_scale else f"{hi:.3g}"
+    label_lo = f"{10**lo:.3g}" if log_scale else f"{lo:.3g}"
+    out = [f"{title}  [max {label_hi}, min {label_lo}]"]
+    out.extend(rows)
+    if markers:
+        marker_row = [" "] * len(buckets)
+        for mark in markers:
+            index = (
+                int(mark / len(values) * len(buckets))
+                if mark > 1
+                else int(mark * len(buckets))
+            )
+            if 0 <= index < len(marker_row):
+                marker_row[index] = "^"
+        out.append("".join(marker_row))
+    return "\n".join(out)

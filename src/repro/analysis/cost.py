@@ -1,0 +1,103 @@
+"""Cost/energy analysis of Memcached (Section II-B of the paper).
+
+Facebook-style cache nodes carry 72 GB of DRAM on one Xeon socket, while
+web/application nodes carry 12 GB on two sockets.  Normalising the power
+numbers of Fan et al. to per-GB and per-socket components, the paper
+estimates ~204 W (peak) for a web node versus ~299 W for a cache node
+(+47 %); on EC2, memory-optimised instances cost $0.166/hr versus
+$0.10/hr for compute-optimised (+66 %).  This module encodes that model
+and the resulting savings of an elastic tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# Power components solved from the paper's two data points:
+#   web node:   2 sockets + 12 GB = 204 W
+#   cache node: 1 socket + 72 GB = 299 W
+POWER_PER_GB_W = 197.0 / 66.0
+POWER_PER_SOCKET_W = (204.0 - 12.0 * POWER_PER_GB_W) / 2.0
+
+EC2_COMPUTE_HOURLY = 0.10
+"""$/hr of a compute-optimised (web tier) instance, large size."""
+
+EC2_MEMORY_HOURLY = 0.166
+"""$/hr of a memory-optimised (Memcached) instance, large size."""
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Hardware shape of one node."""
+
+    cpu_sockets: int
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_sockets < 1 or self.memory_gb <= 0:
+            raise ConfigurationError("invalid server spec")
+
+
+WEB_NODE = ServerSpec(cpu_sockets=2, memory_gb=12)
+MEMCACHED_NODE = ServerSpec(cpu_sockets=1, memory_gb=72)
+
+
+def power_watts(spec: ServerSpec) -> float:
+    """Peak power draw of ``spec`` under the normalised Fan et al. model."""
+    return (
+        spec.cpu_sockets * POWER_PER_SOCKET_W
+        + spec.memory_gb * POWER_PER_GB_W
+    )
+
+
+def power_premium() -> float:
+    """Cache node power relative to a web node minus one (paper: ~47 %)."""
+    return power_watts(MEMCACHED_NODE) / power_watts(WEB_NODE) - 1.0
+
+
+def cost_premium() -> float:
+    """Cache node rental relative to a web node minus one (paper: ~66 %)."""
+    return EC2_MEMORY_HOURLY / EC2_COMPUTE_HOURLY - 1.0
+
+
+def energy_kwh(node_series: np.ndarray, interval_s: float = 1.0) -> float:
+    """Energy of a cache tier whose size over time is ``node_series``.
+
+    ``node_series[i]`` is the active node count during interval ``i``.
+    """
+    node_series = np.asarray(node_series, dtype=np.float64)
+    if (node_series < 0).any():
+        raise ConfigurationError("node counts must be non-negative")
+    node_seconds = float(node_series.sum()) * interval_s
+    return node_seconds * power_watts(MEMCACHED_NODE) / 3.6e6
+
+
+def rental_cost_usd(
+    node_series: np.ndarray, interval_s: float = 1.0
+) -> float:
+    """Cloud rental cost of the tier over the series."""
+    node_series = np.asarray(node_series, dtype=np.float64)
+    node_hours = float(node_series.sum()) * interval_s / 3600.0
+    return node_hours * EC2_MEMORY_HOURLY
+
+
+def savings_vs_static(
+    node_series: np.ndarray, static_nodes: int | None = None
+) -> float:
+    """Fractional cost/energy savings of elastic vs static provisioning.
+
+    Static provisioning holds ``static_nodes`` (default: the series peak)
+    for the whole window; both cost and energy scale with node-seconds,
+    so one ratio covers both.
+    """
+    node_series = np.asarray(node_series, dtype=np.float64)
+    if len(node_series) == 0:
+        raise ConfigurationError("empty node series")
+    peak = float(node_series.max()) if static_nodes is None else static_nodes
+    if peak <= 0:
+        return 0.0
+    return 1.0 - float(node_series.mean()) / peak

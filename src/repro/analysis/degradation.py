@@ -1,0 +1,127 @@
+"""Post-scaling performance degradation metrics (Sections II-D, V-B1).
+
+The paper quantifies the damage of a scaling action with three measures,
+all computed on the per-second 95th-percentile RT series:
+
+- **peak RT**: the highest tail RT after the scaling decision;
+- **restoration time**: how long until tail RT returns to (a small
+  multiple of) its pre-scaling stable level and stays there;
+- **average post-scaling degradation**: the mean *excess* tail RT over
+  the stable level across the post-scaling window.  The headline result
+  -- "ElMem reduces post-scaling degradation by ~90 %" -- is the relative
+  reduction of this quantity versus the no-migration baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import MetricsCollector
+
+
+@dataclass
+class DegradationSummary:
+    """Post-scaling damage of one experiment run."""
+
+    stable_rt_ms: float
+    peak_rt_ms: float
+    restoration_time_s: float | None
+    average_post_rt_ms: float
+    average_excess_rt_ms: float
+    window_s: float
+
+    def as_row(self) -> dict[str, float | None]:
+        """Flat dict for report tables."""
+        return {
+            "stable_rt_ms": self.stable_rt_ms,
+            "peak_rt_ms": self.peak_rt_ms,
+            "restoration_time_s": self.restoration_time_s,
+            "average_post_rt_ms": self.average_post_rt_ms,
+            "average_excess_rt_ms": self.average_excess_rt_ms,
+        }
+
+
+def _finite(series: np.ndarray) -> np.ndarray:
+    return series[np.isfinite(series)]
+
+
+def stable_rt_ms(
+    metrics: MetricsCollector, before: float, window_s: float = 120.0
+) -> float:
+    """Median p95 RT over the window ending at the scaling decision."""
+    window = metrics.between(before - window_s, before)
+    series = _finite(window.p95_series_ms())
+    if len(series) == 0:
+        raise ConfigurationError("no finite RT samples before scaling")
+    return float(np.median(series))
+
+
+def summarize_post_scaling(
+    metrics: MetricsCollector,
+    scale_time: float,
+    horizon_s: float = 600.0,
+    stable_window_s: float = 120.0,
+    restoration_factor: float = 1.5,
+    restoration_hold_s: int = 30,
+) -> DegradationSummary:
+    """Compute all degradation metrics around one scaling action.
+
+    ``restoration`` is the first instant after which p95 RT stays below
+    ``restoration_factor * stable`` for ``restoration_hold_s`` consecutive
+    seconds; ``None`` when the series never settles within the horizon.
+    """
+    stable = stable_rt_ms(metrics, scale_time, stable_window_s)
+    window = metrics.between(scale_time, scale_time + horizon_s)
+    times = window.times()
+    series = window.p95_series_ms()
+    mask = np.isfinite(series)
+    if not mask.any():
+        raise ConfigurationError("no finite RT samples after scaling")
+    times, series = times[mask], series[mask]
+
+    threshold = restoration_factor * stable
+    restoration: float | None = None
+    below = series <= threshold
+    run = 0
+    for index in range(len(series)):
+        run = run + 1 if below[index] else 0
+        if run >= restoration_hold_s:
+            restoration = float(
+                times[index - restoration_hold_s + 1] - scale_time
+            )
+            break
+
+    excess = np.clip(series - stable, 0.0, None)
+    return DegradationSummary(
+        stable_rt_ms=stable,
+        peak_rt_ms=float(series.max()),
+        restoration_time_s=restoration,
+        average_post_rt_ms=float(series.mean()),
+        average_excess_rt_ms=float(excess.mean()),
+        window_s=horizon_s,
+    )
+
+
+def degradation_reduction(
+    baseline: DegradationSummary, improved: DegradationSummary
+) -> float:
+    """Relative reduction in average excess tail RT (the paper's ~90 %).
+
+    1.0 means the improved policy removed all post-scaling degradation;
+    0.0 means no improvement; negative means it made things worse.
+    """
+    if baseline.average_excess_rt_ms <= 0:
+        return 0.0
+    return 1.0 - improved.average_excess_rt_ms / baseline.average_excess_rt_ms
+
+
+def peak_reduction(
+    baseline: DegradationSummary, improved: DegradationSummary
+) -> float:
+    """Relative reduction of the post-scaling RT peak."""
+    if baseline.peak_rt_ms <= 0:
+        return 0.0
+    return 1.0 - improved.peak_rt_ms / baseline.peak_rt_ms

@@ -1,0 +1,132 @@
+"""Assembling the reproduction report.
+
+Every benchmark under ``benchmarks/`` writes its table to
+``benchmarks/out/<name>.txt``.  This module gathers those artifacts,
+pairs them with the paper's reported numbers, and renders a single
+digest -- the data behind EXPERIMENTS.md -- so the paper-vs-measured
+comparison can be regenerated from a fresh benchmark run with
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Paper artifact -> (report file, the paper's headline claim).
+ARTIFACTS: dict[str, tuple[str, str]] = {
+    "Fig. 2 (post-scaling degradation)": (
+        "fig2_postscaling",
+        "baseline peak ~1000ms vs ElMem ~130ms; restoration >30min vs ~2min",
+    ),
+    "Fig. 5 (demand traces)": (
+        "fig5_traces",
+        "five normalised traces: SYS, ETC, SAP, NLANR, Microsoft",
+    ),
+    "Fig. 6 (all traces, baseline vs ElMem)": (
+        "fig6_all_traces",
+        "degradation reduction 88-97% scale-in, ~81% scale-out",
+    ),
+    "Fig. 7 (node choice)": (
+        "fig7_node_choice",
+        "random choice +57% items migrated, worst +86%",
+    ),
+    "Fig. 8 (migration approaches)": (
+        "fig8_migration_approaches",
+        "ElMem ~70% better than Naive, ~64% better than CacheScale",
+    ),
+    "Sec. IV-B (FuseCache complexity)": (
+        "fusecache_complexity",
+        "O(k (log n)^2) vs O(n log k); wins when n >> k",
+    ),
+    "Sec. V-B2 (overhead breakdown)": (
+        "overhead_breakdown",
+        "~2 minutes: 2s score, 50s dump, 7s metadata, <2s FuseCache, "
+        "45s migrate, 8s import",
+    ),
+    "Sec. II-B (cost/energy)": (
+        "cost_energy",
+        "cache node +47% power, +66% rental cost vs web node",
+    ),
+    "Sec. II-C (elasticity potential)": (
+        "elasticity_potential",
+        "perfect elasticity saves 30-70% of cache nodes",
+    ),
+    "Sec. III-B (AutoScaler cost)": (
+        "autoscaler_mimir",
+        "re-profiling + sizing takes under a second",
+    ),
+    "Sec. V-B2 (scalability in k)": (
+        "scalability_scoring",
+        "scoring O(s*k); FuseCache linear in k",
+    ),
+}
+
+ABLATIONS: dict[str, str] = {
+    "ablation_import_mode": "batch-import semantics (merge/prepend/fresh)",
+    "ablation_hashing": "ketama vs rendezvous placement",
+    "ablation_profilers": "exact vs MIMIR vs SHARDS curves",
+    "ablation_node_bias": "hot-spot spread vs node-choice value",
+}
+
+
+@dataclass
+class ArtifactReport:
+    """One paper artifact with its measured report (if available)."""
+
+    title: str
+    paper_claim: str
+    measured: str | None
+
+    @property
+    def available(self) -> bool:
+        """Whether the benchmark has been run."""
+        return self.measured is not None
+
+
+def load_reports(out_dir: str | Path) -> list[ArtifactReport]:
+    """Read all artifact reports from a benchmark output directory."""
+    out_dir = Path(out_dir)
+    reports = []
+    for title, (stem, claim) in ARTIFACTS.items():
+        path = out_dir / f"{stem}.txt"
+        measured = path.read_text().rstrip() if path.exists() else None
+        reports.append(ArtifactReport(title, claim, measured))
+    return reports
+
+
+def render_digest(out_dir: str | Path) -> str:
+    """Render the full paper-vs-measured digest as text."""
+    lines: list[str] = ["ElMem reproduction: paper vs measured", "=" * 60]
+    for report in load_reports(out_dir):
+        lines.append("")
+        lines.append(f"## {report.title}")
+        lines.append(f"paper: {report.paper_claim}")
+        if report.available:
+            lines.append("measured:")
+            lines.extend(
+                "  " + line for line in report.measured.splitlines()
+            )
+        else:
+            lines.append(
+                "measured: (not yet run -- "
+                "`pytest benchmarks/ --benchmark-only`)"
+            )
+    out_dir = Path(out_dir)
+    extras = [
+        stem for stem in ABLATIONS if (out_dir / f"{stem}.txt").exists()
+    ]
+    if extras:
+        lines.append("")
+        lines.append("## Ablations")
+        for stem in extras:
+            lines.append("")
+            lines.append(f"### {ABLATIONS[stem]}")
+            lines.extend(
+                "  " + line
+                for line in (out_dir / f"{stem}.txt")
+                .read_text()
+                .rstrip()
+                .splitlines()
+            )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Hit-rate (miss-ratio) curves and memory sizing.
+
+Turns a stack-distance histogram into the hit rate an LRU cache of any
+capacity would have achieved on the profiled trace, then inverts it: the
+smallest capacity reaching a target hit rate ``p_min``.  The AutoScaler
+normalises that capacity by per-node memory to get a node count
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class HitRateCurve:
+    """Hit rate as a function of cache capacity in *items*.
+
+    Parameters
+    ----------
+    histogram:
+        ``histogram[d]`` = number of requests with stack distance ``d``.
+    cold_misses:
+        Requests with infinite distance (first accesses); these miss at
+        every capacity.
+    """
+
+    def __init__(self, histogram: Sequence[int], cold_misses: int) -> None:
+        self._histogram = np.asarray(histogram, dtype=np.int64)
+        if (self._histogram < 0).any():
+            raise ConfigurationError("histogram counts must be non-negative")
+        if cold_misses < 0:
+            raise ConfigurationError("cold_misses must be non-negative")
+        self.cold_misses = int(cold_misses)
+        self._cumulative = np.concatenate(
+            ([0], np.cumsum(self._histogram))
+        )
+        self.total_requests = int(self._cumulative[-1]) + self.cold_misses
+
+    @classmethod
+    def from_distances(cls, distances: Iterable[float]) -> "HitRateCurve":
+        """Build a curve from raw (possibly infinite/negative) distances."""
+        histogram: list[int] = []
+        cold = 0
+        for distance in distances:
+            if distance == float("inf") or distance < 0:
+                cold += 1
+                continue
+            bin_index = int(distance)
+            if bin_index >= len(histogram):
+                histogram.extend([0] * (bin_index - len(histogram) + 1))
+            histogram[bin_index] += 1
+        return cls(histogram, cold)
+
+    @property
+    def max_capacity(self) -> int:
+        """Capacity beyond which the hit rate no longer improves."""
+        return len(self._histogram)
+
+    def hits_at(self, capacity_items: int) -> int:
+        """Requests that hit in an LRU cache of ``capacity_items``."""
+        if capacity_items <= 0:
+            return 0
+        capacity_items = min(capacity_items, self.max_capacity)
+        return int(self._cumulative[capacity_items])
+
+    def hit_rate(self, capacity_items: int) -> float:
+        """Hit rate at ``capacity_items``; 0.0 for an empty trace."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.hits_at(capacity_items) / self.total_requests
+
+    @property
+    def max_hit_rate(self) -> float:
+        """Hit rate with unbounded capacity (only cold misses remain)."""
+        return self.hit_rate(self.max_capacity)
+
+    def required_items(self, target_hit_rate: float) -> int | None:
+        """Smallest capacity (items) whose hit rate >= ``target_hit_rate``.
+
+        Returns ``None`` when the target exceeds :attr:`max_hit_rate` --
+        i.e. no cache size can reach it because of cold misses.
+        """
+        if not 0.0 <= target_hit_rate <= 1.0:
+            raise ConfigurationError(
+                f"target hit rate must be in [0, 1], got {target_hit_rate}"
+            )
+        if target_hit_rate == 0.0:
+            return 0
+        if self.total_requests == 0 or target_hit_rate > self.max_hit_rate:
+            return None
+        needed_hits = target_hit_rate * self.total_requests
+        index = int(
+            np.searchsorted(self._cumulative, needed_hits, side="left")
+        )
+        return min(index, self.max_capacity)
+
+    def curve(self, max_items: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """``(capacities, hit_rates)`` arrays for plotting/reporting."""
+        limit = self.max_capacity if max_items is None else max_items
+        capacities = np.arange(limit + 1)
+        hits = np.array([self.hits_at(int(c)) for c in capacities])
+        denominator = max(1, self.total_requests)
+        return capacities, hits / denominator
+
+
+def memory_for_hit_rate(
+    curve: HitRateCurve,
+    target_hit_rate: float,
+    bytes_per_item: float,
+) -> int | None:
+    """Memory (bytes) needed to reach ``target_hit_rate``.
+
+    Converts the item-count capacity to bytes using the average per-item
+    footprint (key + value + item overhead, chunk-rounded).  ``None`` when
+    the target is unreachable.
+    """
+    if bytes_per_item <= 0:
+        raise ConfigurationError(
+            f"bytes_per_item must be positive, got {bytes_per_item}"
+        )
+    items = curve.required_items(target_hit_rate)
+    if items is None:
+        return None
+    return int(np.ceil(items * bytes_per_item))
+
+
+def hit_rate_table(
+    curve: HitRateCurve, bytes_per_item: float
+) -> list[tuple[int, int | None]]:
+    """Memory needed for every integer hit-rate percentage (paper III-B).
+
+    Returns ``[(percent, bytes or None), ...]`` for 1..99 -- the exact
+    artifact the paper's AutoScaler recomputes each minute with MIMIR.
+    """
+    table: list[tuple[int, int | None]] = []
+    for percent in range(1, 100):
+        table.append(
+            (percent, memory_for_hit_rate(curve, percent / 100.0, bytes_per_item))
+        )
+    return table

@@ -1,0 +1,103 @@
+"""SHARDS: spatially-sampled stack distances (Waldspurger et al., FAST'15).
+
+The paper lists SHARDS alongside MIMIR as practical miss-ratio-curve
+machinery (Section VI).  SHARDS profiles only the keys whose hash falls
+under a threshold -- a fixed spatial sample of rate ``R`` -- computes
+*exact* stack distances within the sample, and rescales: a sampled
+distance ``d`` estimates a full-trace distance ``d / R``, and each
+sampled reference stands for ``1 / R`` references.  Memory and time drop
+by ``R`` while the curve stays accurate, because spatial sampling
+preserves reuse structure.
+
+Used here as an ablation against the exact Fenwick profiler and MIMIR
+(see ``benchmarks/bench_ablation_profilers.py``).
+"""
+
+from __future__ import annotations
+
+from repro.cache_analysis.stack_distance import (
+    INFINITE,
+    StackDistanceProfiler,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.hashutil import hash64
+
+_MODULUS = 1 << 24
+
+
+class ShardsProfiler:
+    """Fixed-rate SHARDS profiler.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of the key space to profile (``R``), e.g. 0.01.
+    capacity:
+        Upper bound on *sampled* references (sizes the inner exact
+        profiler); roughly ``R x`` the trace length you plan to feed.
+    """
+
+    def __init__(self, sample_rate: float, capacity: int) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        self.sample_rate = sample_rate
+        self._threshold = int(sample_rate * _MODULUS)
+        self._inner = StackDistanceProfiler(capacity)
+        self.requests_seen = 0
+        self.sampled_requests = 0
+
+    def is_sampled(self, key: str) -> bool:
+        """Whether ``key`` belongs to the spatial sample."""
+        return hash64(key) % _MODULUS < self._threshold
+
+    @property
+    def effective_rate(self) -> float:
+        """Realised sampling rate over the fed trace."""
+        if self.requests_seen == 0:
+            return 0.0
+        return self.sampled_requests / self.requests_seen
+
+    def record(self, key: str) -> float | None:
+        """Ingest one request.
+
+        Returns the *rescaled* stack-distance estimate for sampled
+        reuses, ``float('inf')`` for sampled cold accesses, and ``None``
+        for keys outside the sample.
+        """
+        self.requests_seen += 1
+        if not self.is_sampled(key):
+            return None
+        self.sampled_requests += 1
+        distance = self._inner.record(key)
+        if distance == INFINITE:
+            return float("inf")
+        return distance / self.sample_rate
+
+    def histogram(self) -> tuple[list[int], int]:
+        """Rescaled distance histogram plus estimated cold misses.
+
+        Distances stretch by ``1/R`` -- the *key-space* sampling rate,
+        since a sampled distance counts sampled distinct keys.  Counts
+        are weighted by the realised *request* fraction instead: on
+        skewed workloads the sampled keys' share of requests deviates
+        wildly from ``R`` (one hot key in or out of the sample moves
+        percents of traffic), and normalising by the realised share is
+        the SHARDS-adj correction that keeps hit-rate totals unbiased.
+        """
+        sampled_histogram, sampled_cold = self._inner.histogram()
+        if self.sampled_requests > 0:
+            weight = self.requests_seen / self.sampled_requests
+        else:
+            weight = 1.0 / self.sample_rate
+        distance_scale = 1.0 / self.sample_rate
+        histogram: list[int] = []
+        for distance, count in enumerate(sampled_histogram):
+            if count == 0:
+                continue
+            scaled = int(distance * distance_scale)
+            if scaled >= len(histogram):
+                histogram.extend([0] * (scaled - len(histogram) + 1))
+            histogram[scaled] += round(count * weight)
+        return histogram, round(sampled_cold * weight)

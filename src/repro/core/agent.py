@@ -1,0 +1,125 @@
+"""The per-node Agent (Section III-A/III-D).
+
+One Agent runs on every Memcached node.  Agents do the actual work of
+migration: dumping MRU timestamps, hashing keys against the post-scaling
+membership, shipping metadata and KV data to peers, and importing
+migrated pairs into the local Memcached.  The Master only coordinates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.hashing.ketama import ConsistentHashRing
+from repro.memcached.node import MemcachedNode, MigratedItem
+
+TIMESTAMP_BYTES = 10
+"""Bytes per serialized MRU timestamp in a metadata dump (paper III-D1)."""
+
+
+class Agent:
+    """Migration agent co-located with one Memcached node."""
+
+    def __init__(self, node: MemcachedNode) -> None:
+        self.node = node
+
+    @property
+    def name(self) -> str:
+        """The node this agent manages."""
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # Phase 1: metadata dump, hashed against the post-scaling membership
+    # ------------------------------------------------------------------
+
+    def dump_and_hash(
+        self, target_ring: ConsistentHashRing
+    ) -> dict[str, dict[int, list[tuple[str, float]]]]:
+        """Group this node's items by (target node, slab class).
+
+        Iterates every slab class and hashes each key against
+        ``target_ring`` (the membership that will exist *after* scaling),
+        so each target receives per-class key/timestamp lists sorted
+        hottest-first -- the exact FuseCache input.
+
+        The lists are explicitly re-sorted by timestamp: MRU-list order
+        equals timestamp order on an untouched cache, but the paper's
+        head-prepending batch import (and any ``fresh``-mode migration)
+        perturbs it, and FuseCache's binary searches silently misbehave
+        on unsorted input.
+        """
+        grouped: dict[str, dict[int, list[tuple[str, float]]]] = {}
+        for class_id in self.node.active_class_ids():
+            for key, timestamp in self.node.dump_timestamps(class_id):
+                target = target_ring.node_for_key(key)
+                if target == self.name:
+                    continue
+                per_class = grouped.setdefault(target, {})
+                per_class.setdefault(class_id, []).append((key, timestamp))
+        for per_class in grouped.values():
+            for entries in per_class.values():
+                entries.sort(key=lambda pair: pair[1], reverse=True)
+        return grouped
+
+    def sorted_timestamps(self, class_id: int) -> list[float]:
+        """This node's own slab timestamps, hottest-first (FuseCache's
+        ``k``-th list), robust to prepend-mode order drift."""
+        timestamps = [
+            item.last_access
+            for item in self.node.items_in_mru_order(class_id)
+        ]
+        timestamps.sort(reverse=True)
+        return timestamps
+
+    @staticmethod
+    def metadata_bytes(
+        per_class: Mapping[int, list[tuple[str, float]]]
+    ) -> int:
+        """Wire size of one metadata dump: keys plus 10-byte timestamps."""
+        total = 0
+        for entries in per_class.values():
+            for key, _ in entries:
+                total += len(key) + TIMESTAMP_BYTES
+        return total
+
+    # ------------------------------------------------------------------
+    # Phase 3: data export / import
+    # ------------------------------------------------------------------
+
+    def export_items(self, keys: Iterable[str]) -> list[MigratedItem]:
+        """Read full KV pairs for ``keys``; silently skips evicted keys."""
+        return self.node.export_items(keys)
+
+    def import_items(
+        self,
+        migrated: Iterable[MigratedItem],
+        mode: str = "merge",
+        now: float = 0.0,
+    ) -> int:
+        """Install migrated pairs via the batch-import command."""
+        return self.node.batch_import(migrated, mode=mode, now=now)
+
+    # ------------------------------------------------------------------
+    # Scoring support (Section III-C)
+    # ------------------------------------------------------------------
+
+    def median_report(self) -> dict[int, float]:
+        """Median MRU timestamp per non-empty slab class."""
+        report: dict[int, float] = {}
+        for class_id in self.node.active_class_ids():
+            median = self.node.median_timestamp(class_id)
+            if median is not None:
+                report[class_id] = median
+        return report
+
+    def slab_capacity_items(self, class_id: int) -> int:
+        """Items the node could hold in ``class_id`` after the merge.
+
+        Counts chunks in pages already assigned to the class plus chunks
+        the class could carve from still-free pages -- the ``n`` that
+        FuseCache selects for (Section IV: "a retained node that has space
+        for n items in that slab").
+        """
+        slab_class = self.node.slabs.classes[class_id]
+        expandable = self.node.slabs.free_pages * slab_class.chunks_per_page
+        return slab_class.total_chunks + expandable

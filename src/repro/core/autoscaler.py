@@ -1,0 +1,253 @@
+"""When and how much to scale (Q1, Section III-B).
+
+The AutoScaler derives the minimum Memcached hit rate that keeps the
+database under its capacity ``r_DB`` for the incoming rate ``r``::
+
+    r * (1 - p_min) < r_DB   =>   p_min > 1 - r_DB / r        (Eq. 1)
+
+It then profiles the recent request trace with stack distances (MIMIR by
+default) to find the memory achieving ``p_min``, and normalises by
+per-node memory to obtain a node count.  The whole computation is
+re-runnable every minute in well under a second, as the paper reports.
+
+The autoscaling algorithm is a *pluggable module* in ElMem; this module
+also provides :class:`ScheduledScalingPolicy`, which replays the explicit
+scaling actions the paper's figures annotate (e.g. "10 -> 7 nodes at the
+30-minute mark").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cache_analysis.mimir import MimirProfiler
+from repro.cache_analysis.mrc import HitRateCurve, memory_for_hit_rate
+from repro.cache_analysis.stack_distance import StackDistanceProfiler
+from repro.errors import ConfigurationError
+
+
+def min_hit_rate(request_rate: float, db_capacity: float) -> float:
+    """Eq. (1): the smallest hit rate keeping DB load under ``r_DB``."""
+    if db_capacity <= 0:
+        raise ConfigurationError("db_capacity must be positive")
+    if request_rate < 0:
+        raise ConfigurationError("request_rate must be non-negative")
+    if request_rate <= db_capacity:
+        return 0.0
+    return 1.0 - db_capacity / request_rate
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Outcome of one AutoScaler evaluation."""
+
+    target_nodes: int
+    current_nodes: int
+    p_min: float
+    required_bytes: int | None
+    request_rate: float
+
+    @property
+    def delta(self) -> int:
+        """Nodes to add (positive) or retire (negative)."""
+        return self.target_nodes - self.current_nodes
+
+    @property
+    def is_scale_in(self) -> bool:
+        """True when the decision removes nodes."""
+        return self.delta < 0
+
+    @property
+    def is_scale_out(self) -> bool:
+        """True when the decision adds nodes."""
+        return self.delta > 0
+
+
+@dataclass
+class AutoScalerConfig:
+    """Tuning knobs for the stack-distance AutoScaler.
+
+    Attributes
+    ----------
+    db_capacity_rps:
+        ``r_DB``; obtained by profiling the database (Section III-B).
+    node_memory_bytes:
+        Memory of one Memcached node.
+    bytes_per_item:
+        Average cached-item footprint used to convert the item-count
+        hit-rate curve into bytes.
+    min_nodes, max_nodes:
+        Hard bounds on the tier size.
+    hit_rate_margin:
+        Safety margin added to ``p_min`` so the tier is not sized exactly
+        at the knee.
+    cold_misses:
+        ``"exclude"`` (default) drops first-ever accesses from the
+        window's hit-rate curve: the live cache is warm, so a finite
+        window's cold misses are a censoring artifact that would make
+        every target look unreachable.  ``"count"`` keeps them
+        (pessimistic).
+    window_requests:
+        Profiling window size (the "recent history" of key requests).
+    profiler:
+        ``"mimir"`` (paper default, O(1) per request) or ``"exact"``.
+    mimir_buckets:
+        Aging buckets for the MIMIR profiler.
+    """
+
+    db_capacity_rps: float
+    node_memory_bytes: int
+    bytes_per_item: float
+    min_nodes: int = 1
+    max_nodes: int = 64
+    hit_rate_margin: float = 0.01
+    window_requests: int = 200_000
+    profiler: str = "mimir"
+    mimir_buckets: int = 128
+    cold_misses: str = "exclude"
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ConfigurationError("need 1 <= min_nodes <= max_nodes")
+        if self.profiler not in ("mimir", "exact"):
+            raise ConfigurationError(f"unknown profiler {self.profiler!r}")
+        if self.cold_misses not in ("exclude", "count"):
+            raise ConfigurationError(
+                f"unknown cold_misses policy {self.cold_misses!r}"
+            )
+        if not 0.0 <= self.hit_rate_margin < 1.0:
+            raise ConfigurationError("hit_rate_margin must be in [0, 1)")
+
+
+class AutoScaler:
+    """Samples the key stream and produces :class:`ScalingDecision` s.
+
+    The AutoScaler sits on one web server (requests are load balanced, so
+    one server's sample reflects the popularity distribution) and relays
+    decisions to the Master as hints.
+    """
+
+    def __init__(self, config: AutoScalerConfig) -> None:
+        self.config = config
+        self._profiler = self._new_profiler()
+        self.decisions_made = 0
+
+    def _new_profiler(self):
+        if self.config.profiler == "exact":
+            return StackDistanceProfiler(self.config.window_requests)
+        return MimirProfiler(self.config.mimir_buckets)
+
+    @property
+    def window_fill(self) -> int:
+        """Requests accumulated in the current profiling window."""
+        return self._profiler.requests_seen
+
+    def observe(self, key: str) -> None:
+        """Feed one requested key into the profiling window."""
+        if (
+            self.config.profiler == "exact"
+            and self._profiler.requests_seen >= self.config.window_requests
+        ):
+            self.reset_window()
+        self._profiler.record(key)
+
+    def observe_many(self, keys) -> None:
+        """Feed a batch of requested keys."""
+        for key in keys:
+            self.observe(key)
+
+    def reset_window(self) -> None:
+        """Start a fresh profiling window (e.g. each monitoring period)."""
+        self._profiler = self._new_profiler()
+
+    def hit_rate_curve(self) -> HitRateCurve:
+        """The hit-rate curve of the current window.
+
+        Cold (first-ever) accesses are dropped or kept according to the
+        ``cold_misses`` config.
+        """
+        histogram, cold = self._profiler.histogram()
+        if self.config.cold_misses == "exclude":
+            cold = 0
+        return HitRateCurve(histogram, cold)
+
+    def decide(
+        self, request_rate: float, current_nodes: int
+    ) -> ScalingDecision:
+        """Evaluate Eq. (1) + the hit-rate curve into a target node count.
+
+        When the target hit rate is unreachable within ``max_nodes`` (too
+        many cold misses), the scaler provisions ``max_nodes`` -- more
+        cache cannot help beyond the trace's reuse.
+        """
+        config = self.config
+        p_min = min(
+            min_hit_rate(request_rate, config.db_capacity_rps)
+            + config.hit_rate_margin,
+            0.999,
+        )
+        curve = self.hit_rate_curve()
+        required = memory_for_hit_rate(curve, p_min, config.bytes_per_item)
+        reachable = required is not None
+        if required is None:
+            # Unreachable target (cold misses dominate the window): size
+            # for the full reusable working set -- memory beyond it
+            # cannot add a single hit.
+            required = int(curve.max_capacity * config.bytes_per_item)
+        target = math.ceil(required / config.node_memory_bytes)
+        if not reachable:
+            # The window carries too little reuse signal to prove a
+            # smaller tier suffices; never scale *in* on it.
+            target = max(target, current_nodes)
+        target = max(config.min_nodes, min(config.max_nodes, target))
+        self.decisions_made += 1
+        return ScalingDecision(
+            target_nodes=target,
+            current_nodes=current_nodes,
+            p_min=p_min,
+            required_bytes=required,
+            request_rate=request_rate,
+        )
+
+
+@dataclass
+class ScheduledAction:
+    """One pre-planned membership change at an absolute time."""
+
+    at_time: float
+    target_nodes: int
+    fired: bool = field(default=False, compare=False)
+
+
+class ScheduledScalingPolicy:
+    """Replays explicit scaling actions (the paper's figure annotations).
+
+    Example: ``ScheduledScalingPolicy([(1800, 7)])`` scales the tier to 7
+    nodes at the 30-minute mark, like Fig. 6(a).
+    """
+
+    def __init__(self, actions: list[tuple[float, int]]) -> None:
+        self.actions = [
+            ScheduledAction(at_time, target)
+            for at_time, target in sorted(actions)
+        ]
+
+    def pending_action(
+        self, now: float, current_nodes: int
+    ) -> ScalingDecision | None:
+        """The next unfired action due at ``now``, as a ScalingDecision."""
+        for action in self.actions:
+            if action.fired or action.at_time > now:
+                continue
+            action.fired = True
+            if action.target_nodes == current_nodes:
+                return None
+            return ScalingDecision(
+                target_nodes=action.target_nodes,
+                current_nodes=current_nodes,
+                p_min=0.0,
+                required_bytes=None,
+                request_rate=0.0,
+            )
+        return None

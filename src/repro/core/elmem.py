@@ -1,0 +1,109 @@
+"""The ElMem facade: AutoScaler + Master + migration policy in one object.
+
+:class:`ElMemController` is the public entry point a deployment would use:
+feed it the request stream (the AutoScaler's sample), call
+:meth:`ElMemController.evaluate` periodically (the paper does so every
+minute), and it plans and executes FuseCache migrations around every
+scaling action.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.autoscaler import AutoScaler, AutoScalerConfig, ScalingDecision
+from repro.core.master import Master
+from repro.core.policies import ElMemPolicy, MigrationPolicy, MultigetResult
+from repro.memcached.cluster import MemcachedCluster
+from repro.netsim.transfer import NetworkModel
+
+
+class ElMemController:
+    """Orchestrates an elastic Memcached tier.
+
+    Parameters
+    ----------
+    cluster:
+        The Memcached tier under management.
+    autoscaler_config:
+        Tuning for Q1 (when/how much to scale); see
+        :class:`~repro.core.autoscaler.AutoScalerConfig`.
+    network:
+        Transfer-time model for migration phases.
+    policy:
+        Migration policy; defaults to :class:`ElMemPolicy` (the paper's
+        system).  Swapping in another policy turns the controller into
+        one of the evaluation baselines.
+    evaluation_interval_s:
+        Minimum seconds between autoscaling evaluations (paper: 60 s).
+    """
+
+    def __init__(
+        self,
+        cluster: MemcachedCluster,
+        autoscaler_config: AutoScalerConfig,
+        network: NetworkModel | None = None,
+        policy: MigrationPolicy | None = None,
+        evaluation_interval_s: float = 60.0,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.autoscaler = AutoScaler(autoscaler_config)
+        self.master = Master(cluster, network=network)
+        self.policy = policy or ElMemPolicy()
+        self.policy.bind(cluster, self.master, random.Random(seed))
+        self.evaluation_interval_s = evaluation_interval_s
+        self._last_evaluation: float | None = None
+        self.decisions: list[ScalingDecision] = []
+        self._window_requests = 0
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def observe_keys(self, keys, now: float) -> None:
+        """Feed requested keys to the AutoScaler's profiling window."""
+        for key in keys:
+            self.autoscaler.observe(key)
+            self._window_requests += 1
+
+    def multiget(self, keys, now: float) -> MultigetResult:
+        """Cache-tier lookup through the active policy."""
+        return self.policy.multiget(keys, now)
+
+    def fill(self, key: str, value, value_size: int, now: float) -> None:
+        """Read-through fill after a database fetch."""
+        self.policy.fill(key, value, value_size, now)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Advance in-flight migrations; call once per simulated second."""
+        self.policy.tick(now)
+
+    def evaluate(self, request_rate: float, now: float) -> ScalingDecision | None:
+        """Run one autoscaling evaluation if the interval has elapsed.
+
+        Returns the decision when one was made (even if it required no
+        resize), or ``None`` when throttled by the evaluation interval or
+        an in-flight migration.
+        """
+        if (
+            self._last_evaluation is not None
+            and now - self._last_evaluation < self.evaluation_interval_s
+        ):
+            return None
+        if self.policy.pending:
+            return None
+        self._last_evaluation = now
+        decision = self.autoscaler.decide(
+            request_rate, len(self.cluster.active_members)
+        )
+        self.decisions.append(decision)
+        if decision.delta != 0:
+            self.policy.on_scale_decision(decision.target_nodes, now)
+        self.autoscaler.reset_window()
+        self._window_requests = 0
+        return decision

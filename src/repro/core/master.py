@@ -1,0 +1,492 @@
+"""The ElMem Master (Sections III-A, III-C, III-D).
+
+The Master is the lightweight central controller: it receives autoscaling
+hints, picks which node(s) to retire via median-hotness scoring, and
+orchestrates the three-phase migration:
+
+1. **Metadata transfer** -- retiring Agents hash their keys against the
+   *retained* membership and ship ``(key, timestamp)`` lists (not values)
+   to their targets.
+2. **Hotness comparison** -- each retained Agent runs FuseCache over the
+   incoming per-slab lists plus its own, yielding exactly how many items
+   to pull from each retiring node.
+3. **Data migration** -- retiring Agents pipe the chosen KV pairs to the
+   retained nodes, whose Agents batch-import them, evicting colder local
+   items.
+
+Planning (:meth:`Master.plan_scale_in` / :meth:`Master.plan_scale_out`)
+is separated from execution (:meth:`Master.execute`) so the simulator can
+compute the migration at decision time, let the cluster keep serving for
+the migration's duration, and only then apply the membership switch --
+matching the paper's timeline where ElMem scales ~2 minutes after the
+baseline would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agent import Agent
+from repro.core.fusecache import fuse_cache_detailed
+from repro.core.scoring import choose_nodes_to_retire
+from repro.errors import MigrationError
+from repro.memcached.cluster import MemcachedCluster
+from repro.netsim.transfer import Flow, NetworkModel
+
+
+@dataclass
+class PhaseTimings:
+    """Modeled wall-clock seconds per migration phase (paper V-B2)."""
+
+    scoring_s: float = 0.0
+    dump_s: float = 0.0
+    metadata_transfer_s: float = 0.0
+    fusecache_s: float = 0.0
+    data_transfer_s: float = 0.0
+    import_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end migration overhead."""
+        return (
+            self.scoring_s
+            + self.dump_s
+            + self.metadata_transfer_s
+            + self.fusecache_s
+            + self.data_transfer_s
+            + self.import_s
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Named phase durations, for the overhead-breakdown benchmark."""
+        return {
+            "scoring": self.scoring_s,
+            "hash_and_dump": self.dump_s,
+            "metadata_transfer": self.metadata_transfer_s,
+            "fusecache": self.fusecache_s,
+            "data_migration": self.data_transfer_s,
+            "import": self.import_s,
+            "total": self.total_s,
+        }
+
+
+@dataclass
+class MigrationPlan:
+    """A fully-computed migration, ready to execute.
+
+    ``transfers[(src, dst)]`` lists the keys to move, hottest first.
+    """
+
+    kind: str  # "scale_in" | "scale_out"
+    retiring: list[str]
+    retained: list[str]
+    new_nodes: list[str]
+    transfers: dict[tuple[str, str], list[str]]
+    timings: PhaseTimings
+    import_mode: str | None = None  # overrides the Master's default
+    # Keys each node deletes before imports arrive (Naive's room-making:
+    # "the coldest x/n fraction of items of all nodes can be discarded").
+    pre_deletes: dict[str, list[str]] = field(default_factory=dict)
+    items_to_migrate: int = 0
+    bytes_to_migrate: int = 0
+    metadata_bytes: int = 0
+    fusecache_rounds: int = 0
+    fusecache_comparisons: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds from the scaling decision until membership can switch."""
+        return self.timings.total_s
+
+
+@dataclass
+class MigrationReport:
+    """What actually happened when a plan was executed."""
+
+    plan: MigrationPlan
+    items_exported: int = 0
+    items_imported: int = 0
+    membership_after: list[str] = field(default_factory=list)
+    # (src, dst) pairs whose transfer was skipped because a node died
+    # between planning and execution.
+    skipped_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+
+class Master:
+    """Central migration coordinator for one Memcached cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The Memcached tier to manage.
+    network:
+        Transfer-time model; defaults to a 1 Gbit fabric.
+    import_mode:
+        ``"merge"`` keeps MRU lists timestamp-sorted (default);
+        ``"prepend"`` reproduces the paper's head insertion exactly.
+    dump_rate_items_s / import_rate_items_s:
+        Modeled throughput of the timestamp-dump+hash and batch-import
+        commands (local CPU/disk cost).
+    scoring_time_per_node_s:
+        Modeled cost of collecting median reports from one node.
+    comparison_time_s:
+        Modeled cost per FuseCache timestamp comparison.
+    """
+
+    def __init__(
+        self,
+        cluster: MemcachedCluster,
+        network: NetworkModel | None = None,
+        import_mode: str = "merge",
+        dump_rate_items_s: float = 100_000.0,
+        import_rate_items_s: float = 500_000.0,
+        scoring_time_per_node_s: float = 0.2,
+        comparison_time_s: float = 2e-6,
+    ) -> None:
+        self.cluster = cluster
+        self.network = network or NetworkModel()
+        self.import_mode = import_mode
+        self.dump_rate_items_s = dump_rate_items_s
+        self.import_rate_items_s = import_rate_items_s
+        self.scoring_time_per_node_s = scoring_time_per_node_s
+        self.comparison_time_s = comparison_time_s
+
+    def agent(self, name: str) -> Agent:
+        """The Agent on node ``name``."""
+        return Agent(self.cluster.nodes[name])
+
+    # ------------------------------------------------------------------
+    # Q2: which nodes to retire
+    # ------------------------------------------------------------------
+
+    def choose_retiring(self, count: int) -> list[str]:
+        """Pick ``count`` nodes with the coldest median-hotness scores."""
+        return choose_nodes_to_retire(self.cluster.active_nodes, count)
+
+    # ------------------------------------------------------------------
+    # Scale-in planning
+    # ------------------------------------------------------------------
+
+    def plan_scale_in(
+        self, retiring: list[str], include_scoring: bool = True
+    ) -> MigrationPlan:
+        """Compute the three-phase migration for retiring ``retiring``.
+
+        Runs phases 1 and 2 for real (metadata grouping + FuseCache) and
+        *models* their wall-clock cost; phase 3 (the bulk data move) is
+        deferred to :meth:`execute`.
+        """
+        active = set(self.cluster.active_members)
+        unknown = [name for name in retiring if name not in active]
+        if unknown:
+            raise MigrationError(f"cannot retire inactive nodes: {unknown}")
+        retained = sorted(active - set(retiring))
+        if not retained:
+            raise MigrationError("cannot retire every node")
+
+        timings = PhaseTimings()
+        if include_scoring:
+            timings.scoring_s = self.scoring_time_per_node_s * len(active)
+
+        target_ring = self.cluster.ring_for(retained)
+        plan = MigrationPlan(
+            kind="scale_in",
+            retiring=sorted(retiring),
+            retained=retained,
+            new_nodes=[],
+            transfers={},
+            timings=timings,
+        )
+
+        # Phase 1: retiring agents dump, hash, and ship metadata.
+        # incoming[dst][class_id] = [(src, [(key, ts), ...]), ...]
+        incoming: dict[str, dict[int, list[tuple[str, list[tuple[str, float]]]]]]
+        incoming = {name: {} for name in retained}
+        metadata_flows: list[Flow] = []
+        max_dump_s = 0.0
+        for src in plan.retiring:
+            agent = self.agent(src)
+            grouped = agent.dump_and_hash(target_ring)
+            max_dump_s = max(
+                max_dump_s, len(agent.node) / self.dump_rate_items_s
+            )
+            for dst, per_class in grouped.items():
+                size = Agent.metadata_bytes(per_class)
+                plan.metadata_bytes += size
+                if size > 0:
+                    metadata_flows.append(Flow(src, dst, size))
+                for class_id, entries in per_class.items():
+                    incoming[dst].setdefault(class_id, []).append(
+                        (src, entries)
+                    )
+        timings.dump_s = max_dump_s
+        timings.metadata_transfer_s = self.network.phase_time(metadata_flows)
+
+        # Phase 2: each retained agent runs FuseCache per slab class.
+        import_load: dict[str, int] = {name: 0 for name in retained}
+        for dst in retained:
+            dst_agent = self.agent(dst)
+            for class_id, sources in incoming[dst].items():
+                lists = [
+                    [ts for _, ts in entries] for _, entries in sources
+                ]
+                lists.append(dst_agent.sorted_timestamps(class_id))
+                capacity = dst_agent.slab_capacity_items(class_id)
+                if capacity == 0:
+                    capacity = sum(len(lst) for lst in lists)
+                result = fuse_cache_detailed(lists, capacity)
+                plan.fusecache_rounds += result.rounds
+                plan.fusecache_comparisons += result.comparisons
+                for index, (src, entries) in enumerate(sources):
+                    take = result.topick[index]
+                    if take == 0:
+                        continue
+                    keys = [key for key, _ in entries[:take]]
+                    plan.transfers.setdefault((src, dst), []).extend(keys)
+                    import_load[dst] += take
+        timings.fusecache_s = (
+            plan.fusecache_comparisons * self.comparison_time_s
+        )
+
+        self._price_data_phase(plan, import_load)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Scale-out planning
+    # ------------------------------------------------------------------
+
+    def plan_scale_out(self, new_names: list[str]) -> MigrationPlan:
+        """Compute the migration that warms ``new_names`` before activation.
+
+        New nodes are provisioned (cold, off-ring) here.  Existing nodes
+        hash their keys against the scaled-out membership; under
+        consistent hashing only ~1/(k+1) of keys move, so normally *all*
+        hashed pairs migrate (Section III-D4).  FuseCache trims the set
+        only in the rare case it exceeds the new node's capacity.
+        """
+        if not new_names:
+            raise MigrationError("no new nodes given")
+        existing = sorted(self.cluster.active_members)
+        for name in new_names:
+            if name in self.cluster.nodes:
+                raise MigrationError(f"node {name!r} already exists")
+        for name in new_names:
+            self.cluster.provision(name)
+
+        members_after = existing + sorted(new_names)
+        target_ring = self.cluster.ring_for(members_after)
+        plan = MigrationPlan(
+            kind="scale_out",
+            retiring=[],
+            retained=existing,
+            new_nodes=sorted(new_names),
+            transfers={},
+            timings=PhaseTimings(),
+        )
+
+        new_set = set(new_names)
+        incoming: dict[str, dict[int, list[tuple[str, list[tuple[str, float]]]]]]
+        incoming = {name: {} for name in new_names}
+        max_dump_s = 0.0
+        for src in existing:
+            agent = self.agent(src)
+            grouped = agent.dump_and_hash(target_ring)
+            max_dump_s = max(
+                max_dump_s, len(agent.node) / self.dump_rate_items_s
+            )
+            for dst, per_class in grouped.items():
+                if dst not in new_set:
+                    # Ketama can slightly reshuffle among existing nodes;
+                    # those keys are left in place (they re-warm on miss).
+                    continue
+                for class_id, entries in per_class.items():
+                    incoming[dst].setdefault(class_id, []).append(
+                        (src, entries)
+                    )
+        plan.timings.dump_s = max_dump_s
+
+        import_load: dict[str, int] = {name: 0 for name in new_names}
+        for dst in new_names:
+            dst_agent = self.agent(dst)
+            for class_id, sources in incoming[dst].items():
+                total_incoming = sum(len(entries) for _, entries in sources)
+                capacity = dst_agent.slab_capacity_items(class_id)
+                if capacity and total_incoming > capacity:
+                    lists = [
+                        [ts for _, ts in entries] for _, entries in sources
+                    ]
+                    result = fuse_cache_detailed(lists, capacity)
+                    plan.fusecache_rounds += result.rounds
+                    plan.fusecache_comparisons += result.comparisons
+                    picks = result.topick
+                else:
+                    picks = [len(entries) for _, entries in sources]
+                for index, (src, entries) in enumerate(sources):
+                    take = picks[index]
+                    if take == 0:
+                        continue
+                    keys = [key for key, _ in entries[:take]]
+                    plan.transfers.setdefault((src, dst), []).extend(keys)
+                    import_load[dst] += take
+        plan.timings.fusecache_s = (
+            plan.fusecache_comparisons * self.comparison_time_s
+        )
+
+        self._price_data_phase(plan, import_load)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Naive fraction-based planning (Section V-B4 comparison)
+    # ------------------------------------------------------------------
+
+    def plan_fraction_scale_in(
+        self, retiring: list[str], keep_fraction: float
+    ) -> MigrationPlan:
+        """Plan the *Naive* migration: hottest ``keep_fraction`` of each
+        retiring node's items, regardless of the targets' contents.
+
+        No metadata exchange and no FuseCache -- Naive assumes the hotness
+        distribution is identical across every node, so "the coldest
+        ``1 - keep_fraction`` fraction of items of all nodes can be
+        discarded" (Section V-B4): victims ship their hottest
+        ``keep_fraction``, and every *retained* node pre-deletes its own
+        coldest ``1 - keep_fraction`` to make room.  When node
+        temperatures actually differ, a hot retained node throws away
+        items that are hotter than the junk it receives -- the failure
+        mode Fig. 8 demonstrates.
+        """
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise MigrationError(
+                f"keep_fraction must be in [0, 1], got {keep_fraction}"
+            )
+        active = set(self.cluster.active_members)
+        unknown = [name for name in retiring if name not in active]
+        if unknown:
+            raise MigrationError(f"cannot retire inactive nodes: {unknown}")
+        retained = sorted(active - set(retiring))
+        if not retained:
+            raise MigrationError("cannot retire every node")
+
+        target_ring = self.cluster.ring_for(retained)
+        plan = MigrationPlan(
+            kind="scale_in",
+            retiring=sorted(retiring),
+            retained=retained,
+            new_nodes=[],
+            transfers={},
+            timings=PhaseTimings(),
+        )
+        import_load: dict[str, int] = {name: 0 for name in retained}
+        max_dump_s = 0.0
+        for src in plan.retiring:
+            node = self.cluster.nodes[src]
+            max_dump_s = max(
+                max_dump_s, len(node) / self.dump_rate_items_s
+            )
+            for class_id in node.active_class_ids():
+                items = node.items_in_mru_order(class_id)
+                take = int(len(items) * keep_fraction)
+                for item in items[:take]:
+                    dst = target_ring.node_for_key(item.key)
+                    plan.transfers.setdefault((src, dst), []).append(
+                        item.key
+                    )
+                    import_load[dst] += 1
+        # Room-making under the uniform-hotness assumption: every
+        # retained node drops its own coldest (1 - keep_fraction).
+        for name in retained:
+            node = self.cluster.nodes[name]
+            doomed: list[str] = []
+            for class_id in node.active_class_ids():
+                items = node.items_in_mru_order(class_id)
+                keep = int(len(items) * keep_fraction)
+                doomed.extend(item.key for item in items[keep:])
+            if doomed:
+                plan.pre_deletes[name] = doomed
+        plan.timings.dump_s = max_dump_s
+        self._price_data_phase(plan, import_load)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: MigrationPlan, now: float = 0.0) -> MigrationReport:
+        """Run phase 3 and switch membership.
+
+        Keys evicted since planning are skipped (the protocol tolerates
+        drift between the metadata snapshot and the data move).  For
+        scale-in, retiring nodes are destroyed after the switch; for
+        scale-out, the new nodes are activated after their import.
+        """
+        mode = plan.import_mode or self.import_mode
+        report = MigrationReport(plan=plan)
+        for node_name, keys in plan.pre_deletes.items():
+            node = self.cluster.nodes.get(node_name)
+            if node is None:
+                continue
+            for key in keys:
+                node.delete(key)
+        for (src, dst), keys in plan.transfers.items():
+            # A node lost between planning and execution degrades the
+            # migration to a partial warm-up rather than failing it: the
+            # scaling action must still complete (Section III-D's
+            # protocol tolerates snapshot drift).
+            if src not in self.cluster.nodes or dst not in self.cluster.nodes:
+                report.skipped_pairs.append((src, dst))
+                continue
+            migrated = self.agent(src).export_items(keys)
+            report.items_exported += len(migrated)
+            report.items_imported += self.agent(dst).import_items(
+                migrated, mode=mode, now=now
+            )
+        if plan.kind == "scale_in":
+            retained = [
+                name
+                for name in plan.retained
+                if name in self.cluster.nodes
+            ]
+            if not retained:
+                raise MigrationError(
+                    "no retained node survived until execution"
+                )
+            self.cluster.set_membership(retained)
+            for name in plan.retiring:
+                if name in self.cluster.nodes:
+                    self.cluster.destroy(name)
+        else:
+            for name in plan.new_nodes:
+                if name in self.cluster.nodes:
+                    self.cluster.activate(name)
+        report.membership_after = sorted(self.cluster.active_members)
+        return report
+
+    def abort_scale_out(self, plan: MigrationPlan) -> None:
+        """Tear down nodes provisioned by an unexecuted scale-out plan."""
+        for name in plan.new_nodes:
+            if name in self.cluster.nodes and name not in self.cluster.ring:
+                self.cluster.destroy(name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _price_data_phase(
+        self, plan: MigrationPlan, import_load: dict[str, int]
+    ) -> None:
+        """Fill in phase-3 byte counts and modeled durations."""
+        data_flows: list[Flow] = []
+        for (src, dst), keys in plan.transfers.items():
+            node = self.cluster.nodes[src]
+            size = 0
+            for key in keys:
+                item = node.peek(key)
+                if item is not None:
+                    size += len(key) + item.value_size
+            plan.items_to_migrate += len(keys)
+            plan.bytes_to_migrate += size
+            if size > 0:
+                data_flows.append(Flow(src, dst, size))
+        plan.timings.data_transfer_s = self.network.phase_time(data_flows)
+        busiest_import = max(import_load.values(), default=0)
+        plan.timings.import_s = busiest_import / self.import_rate_items_s

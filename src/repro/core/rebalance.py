@@ -1,0 +1,188 @@
+"""Hot-spot load rebalancing -- the paper's stated future work.
+
+Section VII (and the related-work discussion of MBal/SPORE) points at
+integrating ElMem's dynamic scaling with *load balancing*: skewed key
+popularity leaves some Memcached nodes much hotter than others, which
+both degrades tail latency and -- as the Fig. 7 analysis shows -- makes
+node choice matter during scaling.  This module implements that
+extension: it watches per-node request load and, when the imbalance
+crosses a threshold, migrates a batch of the hottest items off the most
+loaded node to the least loaded one, installing client-side routing
+overrides (:meth:`~repro.memcached.cluster.MemcachedCluster.set_remap`)
+so subsequent requests follow the data.
+
+The data movement reuses ElMem's machinery: items are exported with
+their MRU timestamps and imported timestamp-preserving, so FuseCache
+keeps seeing honest hotness on every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memcached.cluster import MemcachedCluster
+from repro.netsim.transfer import Flow, NetworkModel
+
+
+@dataclass
+class RebalanceAction:
+    """One executed rebalancing step."""
+
+    time: float
+    source: str
+    target: str
+    items_moved: int
+    bytes_moved: int
+    duration_s: float
+    imbalance_before: float
+
+
+@dataclass
+class _LoadWindow:
+    """Sliding per-node request counters."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    total: int = 0
+
+    def bump(self, node: str) -> None:
+        self.counts[node] = self.counts.get(node, 0) + 1
+        self.total += 1
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.total = 0
+
+
+class LoadRebalancer:
+    """Request-driven hot-spot mitigation for a Memcached tier.
+
+    Parameters
+    ----------
+    cluster:
+        The tier to watch and rebalance.
+    network:
+        Transfer-time model for pricing the data moves.
+    imbalance_threshold:
+        Trigger when (hottest node load) / (mean load) exceeds this.
+    batch_items:
+        Items to move per rebalancing step.
+    min_window_requests:
+        Observations required before the imbalance signal is trusted.
+    """
+
+    def __init__(
+        self,
+        cluster: MemcachedCluster,
+        network: NetworkModel | None = None,
+        imbalance_threshold: float = 1.5,
+        batch_items: int = 500,
+        min_window_requests: int = 2_000,
+    ) -> None:
+        if imbalance_threshold <= 1.0:
+            raise ConfigurationError(
+                "imbalance_threshold must exceed 1.0"
+            )
+        if batch_items < 1:
+            raise ConfigurationError("batch_items must be positive")
+        self.cluster = cluster
+        self.network = network or NetworkModel()
+        self.imbalance_threshold = imbalance_threshold
+        self.batch_items = batch_items
+        self.min_window_requests = min_window_requests
+        self.window = _LoadWindow()
+        self.actions: list[RebalanceAction] = []
+
+    # ------------------------------------------------------------------
+    # Signal collection
+    # ------------------------------------------------------------------
+
+    def observe(self, key: str) -> None:
+        """Attribute one request to the node currently serving ``key``."""
+        self.window.bump(self.cluster.route(key))
+
+    def observe_many(self, keys) -> None:
+        """Attribute a batch of requests."""
+        for key in keys:
+            self.observe(key)
+
+    def imbalance(self) -> float:
+        """Hottest node's load relative to the mean (1.0 = balanced)."""
+        members = self.cluster.active_members
+        if not members or self.window.total == 0:
+            return 1.0
+        mean = self.window.total / len(members)
+        hottest = max(
+            self.window.counts.get(name, 0) for name in members
+        )
+        return hottest / mean if mean > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def maybe_rebalance(self, now: float) -> RebalanceAction | None:
+        """Move one hot batch if the tier is imbalanced enough.
+
+        Returns the action taken, or ``None`` when the window is too
+        small, the tier is balanced, or there is nothing to move.
+        """
+        if self.window.total < self.min_window_requests:
+            return None
+        current = self.imbalance()
+        if current < self.imbalance_threshold:
+            return None
+        members = sorted(self.cluster.active_members)
+        if len(members) < 2:
+            return None
+        source = max(
+            members, key=lambda name: self.window.counts.get(name, 0)
+        )
+        target = min(
+            members, key=lambda name: self.window.counts.get(name, 0)
+        )
+        if source == target:
+            return None
+        action = self._move_batch(source, target, now, current)
+        self.window.reset()
+        if action is not None:
+            self.actions.append(action)
+        return action
+
+    def _move_batch(
+        self, source: str, target: str, now: float, imbalance: float
+    ) -> RebalanceAction | None:
+        source_node = self.cluster.nodes[source]
+        target_node = self.cluster.nodes[target]
+        hottest = sorted(
+            (
+                item
+                for class_id in source_node.active_class_ids()
+                for item in source_node.items_in_mru_order(class_id)[
+                    : self.batch_items
+                ]
+            ),
+            key=lambda item: item.last_access,
+            reverse=True,
+        )[: self.batch_items]
+        if not hottest:
+            return None
+        keys = [item.key for item in hottest]
+        migrated = source_node.export_items(keys)
+        imported = target_node.batch_import(migrated, mode="merge")
+        moved_bytes = sum(record.transfer_bytes for record in migrated)
+        for key in keys:
+            source_node.delete(key)
+            self.cluster.set_remap(key, target)
+        duration = self.network.phase_time(
+            [Flow(source, target, max(moved_bytes, 1))]
+        )
+        return RebalanceAction(
+            time=now,
+            source=source,
+            target=target,
+            items_moved=imported,
+            bytes_moved=moved_bytes,
+            duration_s=duration,
+            imbalance_before=imbalance,
+        )

@@ -1,0 +1,62 @@
+"""The persistent key-value store behind the cache tier.
+
+Holds the authoritative copy of every KV pair (the paper's dataset is
+~190 M pairs / ~50 GB on ardb+RocksDB; simulations scale this down).  Reads
+never miss -- persistence is the point -- and the store counts accesses so
+experiments can report database load.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class BackingStore:
+    """Authoritative KV store: key -> (value, value_size)."""
+
+    def __init__(self, records: Mapping[str, tuple[Any, int]] | None = None) -> None:
+        self._records: dict[str, tuple[Any, int]] = dict(records or {})
+        self.reads = 0
+        self.writes = 0
+
+    @classmethod
+    def from_sizes(cls, sizes: Mapping[str, int]) -> "BackingStore":
+        """Build a store whose values are opaque, with declared sizes."""
+        return cls({key: (None, size) for key, size in sizes.items()})
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterable[str]:
+        """All stored keys."""
+        return self._records.keys()
+
+    def get(self, key: str) -> tuple[Any, int]:
+        """Read ``(value, value_size)``; raises ``KeyError`` if absent."""
+        self.reads += 1
+        return self._records[key]
+
+    def value_size(self, key: str) -> int:
+        """Declared value size without counting a read."""
+        return self._records[key][1]
+
+    def put(self, key: str, value: Any, value_size: int) -> None:
+        """Insert or overwrite a record."""
+        if value_size < 0:
+            raise ConfigurationError(
+                f"value_size must be non-negative, got {value_size}"
+            )
+        self.writes += 1
+        self._records[key] = (value, value_size)
+
+    def total_bytes(self) -> int:
+        """Sum of key and value bytes across all records."""
+        return sum(
+            len(key) + size for key, (_, size) in self._records.items()
+        )

@@ -1,0 +1,108 @@
+"""Load-dependent database latency.
+
+The paper's database handles ``r_DB`` ~ 4,000 req/s "before the latency
+rises abruptly" (Section V-A).  We reproduce that knee with an open M/M/1
+queue inside capacity and an explicit backlog outside it: overload seconds
+accumulate a queue that must drain before latency recovers, which is what
+stretches the baseline's restoration time to many minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MM1LatencyModel:
+    """Mean response time of an M/M/1 queue with a utilisation guard.
+
+    Parameters
+    ----------
+    service_time_s:
+        Mean service time per request (1/mu).
+    max_utilisation:
+        Utilisation at which the analytic formula is clamped; beyond this
+        the caller should account for backlog explicitly.
+    """
+
+    service_time_s: float
+    max_utilisation: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.service_time_s <= 0:
+            raise ConfigurationError("service_time_s must be positive")
+        if not 0.0 < self.max_utilisation < 1.0:
+            raise ConfigurationError("max_utilisation must be in (0, 1)")
+
+    def mean_latency(self, utilisation: float) -> float:
+        """Mean sojourn time ``s / (1 - rho)`` with ``rho`` clamped."""
+        rho = min(max(utilisation, 0.0), self.max_utilisation)
+        return self.service_time_s / (1.0 - rho)
+
+
+class DatabaseTier:
+    """The storage tier as seen by the web servers.
+
+    Combines a :class:`~repro.database.kvstore.BackingStore` with a
+    capacity-``r_db`` latency model.  The simulator calls
+    :meth:`observe_second` once per simulated second with the miss load;
+    the returned mean latency is then used to sample per-request response
+    times for that second.
+
+    Parameters
+    ----------
+    store:
+        The authoritative KV records.
+    capacity_rps:
+        ``r_DB``: sustainable requests/second before the latency knee.
+    service_time_s:
+        Mean per-request service time when idle (RocksDB point read plus a
+        network hop; the paper's stable RT is ~5 ms end to end).
+    """
+
+    def __init__(
+        self,
+        store,
+        capacity_rps: float,
+        service_time_s: float = 0.004,
+        max_utilisation: float = 0.97,
+    ) -> None:
+        if capacity_rps <= 0:
+            raise ConfigurationError("capacity_rps must be positive")
+        self.store = store
+        self.capacity_rps = capacity_rps
+        self.model = MM1LatencyModel(service_time_s, max_utilisation)
+        self.backlog_requests = 0.0
+        self.seconds_observed = 0
+        self.overloaded_seconds = 0
+
+    def get(self, key: str):
+        """Read ``(value, value_size)`` from the backing store."""
+        return self.store.get(key)
+
+    def observe_second(self, miss_rps: float) -> float:
+        """Advance the queue by one second under ``miss_rps`` arrivals.
+
+        Returns the mean database latency (seconds) for requests issued in
+        this second: the M/M/1 sojourn time within capacity, plus the time
+        needed to drain any backlog accumulated during overload.
+        """
+        if miss_rps < 0:
+            raise ConfigurationError("miss_rps must be non-negative")
+        self.seconds_observed += 1
+        offered = miss_rps + self.backlog_requests
+        utilisation = offered / self.capacity_rps
+        if utilisation > 1.0:
+            self.overloaded_seconds += 1
+        # Queue dynamics: up to capacity_rps requests drain this second.
+        self.backlog_requests = max(0.0, offered - self.capacity_rps)
+        queueing_delay = self.backlog_requests / self.capacity_rps
+        return self.model.mean_latency(utilisation) + queueing_delay
+
+    def reset(self) -> None:
+        """Clear queue state between experiments."""
+        self.backlog_requests = 0.0
+        self.seconds_observed = 0
+        self.overloaded_seconds = 0

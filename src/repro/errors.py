@@ -1,0 +1,21 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """An operation exceeded a hard capacity limit (memory, ring, ...)."""
+
+
+class MembershipError(ReproError):
+    """A cluster-membership operation referenced an unknown or duplicate node."""
+
+
+class MigrationError(ReproError):
+    """A data-migration step could not be completed."""

@@ -1,0 +1,107 @@
+"""Ketama-style consistent hashing ring.
+
+This is the client-side placement function used by ``libmemcached`` in the
+paper's testbed.  Each node contributes many virtual points on a 32-bit ring;
+a key is owned by the first point clockwise from its hash.  Removing one of
+``k+1`` nodes remaps roughly ``1/(k+1)`` of the keys, and only to surviving
+nodes -- the property ElMem's scale-out path relies on (Section III-D4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError, MembershipError
+from repro.hashing.hashutil import hash32, points_for_vnode
+
+DEFAULT_VNODES = 160
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring over a set of named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names.
+    vnodes:
+        Virtual points per node (per unit weight).  More points give better
+        balance at the cost of a larger ring.
+    weights:
+        Optional per-node weight multipliers for heterogeneous nodes.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        vnodes: int = DEFAULT_VNODES,
+        weights: dict[str, float] | None = None,
+    ) -> None:
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self._vnodes = vnodes
+        self._weights = dict(weights or {})
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._members: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def members(self) -> frozenset[str]:
+        """The current set of node names on the ring."""
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def add_node(self, node: str, weight: float | None = None) -> None:
+        """Add ``node`` to the ring; raises if it is already a member."""
+        if node in self._members:
+            raise MembershipError(f"node {node!r} already on the ring")
+        if weight is not None:
+            self._weights[node] = weight
+        self._members.add(node)
+        count = max(1, round(self._vnodes * self._weights.get(node, 1.0)))
+        for point in points_for_vnode(node, count):
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` from the ring; raises if it is not a member."""
+        if node not in self._members:
+            raise MembershipError(f"node {node!r} not on the ring")
+        self._members.remove(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def set_members(self, nodes: Iterable[str]) -> None:
+        """Reset ring membership to exactly ``nodes``."""
+        target = set(nodes)
+        for node in list(self._members - target):
+            self.remove_node(node)
+        for node in sorted(target - self._members):
+            self.add_node(node)
+
+    def node_for_key(self, key: str) -> str:
+        """Return the node owning ``key``; raises if the ring is empty."""
+        if not self._points:
+            raise MembershipError("hash ring is empty")
+        point = hash32(key)
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def nodes_for_keys(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning node (one ring lookup per key)."""
+        grouped: dict[str, list[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.node_for_key(key), []).append(key)
+        return grouped

@@ -1,0 +1,62 @@
+"""Rendezvous (highest-random-weight) hashing.
+
+An alternative placement function used in the ablation benchmarks: it gives
+perfectly minimal remapping on membership change at the cost of O(k) lookup
+per key, versus the ring's O(log k·vnodes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import MembershipError
+from repro.hashing.hashutil import hash64
+
+
+class RendezvousHash:
+    """Highest-random-weight key-to-node mapping over named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._members: set[str] = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def members(self) -> frozenset[str]:
+        """The current set of node names."""
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def add_node(self, node: str) -> None:
+        """Add ``node``; raises if already present."""
+        if node in self._members:
+            raise MembershipError(f"node {node!r} already a member")
+        self._members.add(node)
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node``; raises if absent."""
+        if node not in self._members:
+            raise MembershipError(f"node {node!r} not a member")
+        self._members.remove(node)
+
+    def set_members(self, nodes: Iterable[str]) -> None:
+        """Reset membership to exactly ``nodes``."""
+        self._members = set(nodes)
+
+    def node_for_key(self, key: str) -> str:
+        """Return the member with the highest combined hash for ``key``."""
+        if not self._members:
+            raise MembershipError("no members")
+        return max(self._members, key=lambda node: hash64(f"{node}:{key}"))
+
+    def nodes_for_keys(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning node."""
+        grouped: dict[str, list[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.node_for_key(key), []).append(key)
+        return grouped

@@ -1,0 +1,233 @@
+"""The distributed Memcached tier: a pool of nodes plus client-side routing.
+
+The cluster mirrors the paper's deployment model: clients (the web tier)
+hash keys onto the *active* membership via consistent hashing; Memcached
+nodes themselves are unaware of key ownership.  Nodes can be deactivated
+(removed from the ring) without being destroyed, which is what lets
+CacheScale keep reading from retiring nodes as a "secondary cache" and what
+lets ElMem migrate data off a node before turning it off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.errors import MembershipError
+from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
+from repro.memcached.node import MemcachedNode, NodeStats
+
+
+class MemcachedCluster:
+    """A pool of :class:`MemcachedNode` with ketama routing.
+
+    Parameters
+    ----------
+    node_names:
+        Names of the initially active nodes.
+    memory_per_node:
+        Cache bytes per node (the paper uses 4 GB VMs; simulations scale
+        this down).
+    vnodes:
+        Virtual points per node on the hash ring.
+    """
+
+    def __init__(
+        self,
+        node_names: Iterable[str],
+        memory_per_node: int,
+        vnodes: int = DEFAULT_VNODES,
+        min_chunk: int = 96,
+        growth_factor: float = 1.25,
+    ) -> None:
+        self.memory_per_node = memory_per_node
+        self.vnodes = vnodes
+        self._min_chunk = min_chunk
+        self._growth_factor = growth_factor
+        self.nodes: dict[str, MemcachedNode] = {}
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        # Per-key routing overrides installed by the load rebalancer;
+        # consulted before the hash ring.  Entries pointing at nodes that
+        # leave the membership are dropped automatically.
+        self._remap: dict[str, str] = {}
+        for name in node_names:
+            self.provision(name)
+            self.activate(name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def active_members(self) -> frozenset[str]:
+        """Names of nodes currently on the hash ring."""
+        return self.ring.members
+
+    @property
+    def active_nodes(self) -> list[MemcachedNode]:
+        """Node objects currently on the ring, sorted by name."""
+        return [self.nodes[name] for name in sorted(self.ring.members)]
+
+    def provision(self, name: str) -> MemcachedNode:
+        """Create a cold node in the pool (not yet on the ring)."""
+        if name in self.nodes:
+            raise MembershipError(f"node {name!r} already provisioned")
+        node = MemcachedNode(
+            name,
+            self.memory_per_node,
+            min_chunk=self._min_chunk,
+            growth_factor=self._growth_factor,
+        )
+        self.nodes[name] = node
+        return node
+
+    def activate(self, name: str) -> None:
+        """Put a provisioned node onto the hash ring."""
+        if name not in self.nodes:
+            raise MembershipError(f"node {name!r} not provisioned")
+        self.ring.add_node(name)
+
+    def deactivate(self, name: str) -> None:
+        """Take a node off the ring; its data stays until :meth:`destroy`."""
+        self.ring.remove_node(name)
+        self._drop_stale_remaps()
+
+    def destroy(self, name: str) -> None:
+        """Flush and delete a node from the pool (the VM is turned off)."""
+        node = self.nodes.pop(name, None)
+        if node is None:
+            raise MembershipError(f"node {name!r} not provisioned")
+        if name in self.ring:
+            self.ring.remove_node(name)
+        node.flush_all()
+
+    def set_membership(self, names: Iterable[str]) -> None:
+        """Reset the ring to exactly ``names`` (all must be provisioned)."""
+        names = list(names)
+        missing = [name for name in names if name not in self.nodes]
+        if missing:
+            raise MembershipError(f"nodes not provisioned: {missing}")
+        self.ring.set_members(names)
+        self._drop_stale_remaps()
+
+    # ------------------------------------------------------------------
+    # Routing overrides (load rebalancing)
+    # ------------------------------------------------------------------
+
+    def set_remap(self, key: str, node: str) -> None:
+        """Route ``key`` to ``node`` instead of its hash owner."""
+        if node not in self.ring:
+            raise MembershipError(f"remap target {node!r} not active")
+        if self.ring.node_for_key(key) == node:
+            self._remap.pop(key, None)
+        else:
+            self._remap[key] = node
+
+    def clear_remap(self, key: str) -> None:
+        """Remove a routing override if present."""
+        self._remap.pop(key, None)
+
+    def clear_all_remaps(self) -> None:
+        """Drop every routing override."""
+        self._remap.clear()
+
+    @property
+    def remap_count(self) -> int:
+        """Number of active routing overrides."""
+        return len(self._remap)
+
+    def _drop_stale_remaps(self) -> None:
+        members = self.ring.members
+        stale = [
+            key
+            for key, node in self._remap.items()
+            if node not in members
+        ]
+        for key in stale:
+            del self._remap[key]
+
+    def ring_for(self, members: Iterable[str]) -> ConsistentHashRing:
+        """A hypothetical ring over ``members`` with this cluster's vnodes.
+
+        Used during migration planning, where retiring-node Agents hash
+        their keys against the *retained* membership (Section III-D1).
+        """
+        return ConsistentHashRing(members, vnodes=self.vnodes)
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """Name of the active node responsible for ``key``.
+
+        A rebalancer override takes precedence over the hash ring.
+        """
+        if self._remap:
+            override = self._remap.get(key)
+            if override is not None:
+                return override
+        return self.ring.node_for_key(key)
+
+    def get(self, key: str, now: float) -> Any | None:
+        """Routed ``get``; ``None`` on a miss."""
+        return self.nodes[self.route(key)].get(key, now)
+
+    def set(self, key: str, value: Any, value_size: int, now: float) -> bool:
+        """Routed ``set``."""
+        return self.nodes[self.route(key)].set(key, value, value_size, now)
+
+    def delete(self, key: str) -> bool:
+        """Routed ``delete``."""
+        return self.nodes[self.route(key)].delete(key)
+
+    def multiget(
+        self, keys: Iterable[str], now: float
+    ) -> tuple[dict[str, Any], list[str]]:
+        """The web tier's multi-get: returns ``(hits, missed_keys)``."""
+        hits: dict[str, Any] = {}
+        misses: list[str] = []
+        for key in keys:
+            value = self.nodes[self.route(key)].get(key, now)
+            if value is None:
+                misses.append(key)
+            else:
+                hits[key] = value
+        return hits, misses
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_items(self) -> int:
+        """Items cached across active nodes."""
+        return sum(node.curr_items for node in self.active_nodes)
+
+    def total_used_bytes(self) -> int:
+        """Chunk-rounded bytes in use across active nodes."""
+        return sum(node.used_bytes for node in self.active_nodes)
+
+    def total_capacity_bytes(self) -> int:
+        """Aggregate cache memory of the active membership."""
+        return self.memory_per_node * len(self.ring)
+
+    def aggregate_stats(self) -> NodeStats:
+        """Sum of per-node counters over the whole pool."""
+        total = NodeStats()
+        for node in self.nodes.values():
+            stats = node.stats
+            total.get_hits += stats.get_hits
+            total.get_misses += stats.get_misses
+            total.sets += stats.sets
+            total.deletes += stats.deletes
+            total.evictions += stats.evictions
+            total.expired += stats.expired
+            total.too_large += stats.too_large
+            total.imported += stats.imported
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemcachedCluster(active={sorted(self.ring.members)}, "
+            f"pool={len(self.nodes)})"
+        )

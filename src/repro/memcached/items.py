@@ -1,0 +1,87 @@
+"""The cached item record.
+
+Items model Memcached's ``item`` struct: key, opaque value, last-access
+(MRU) timestamp, and the intrusive list pointers that place the item on its
+slab class's MRU list.  Values are carried as opaque Python objects with an
+explicit ``value_size`` so the simulator can cache multi-kilobyte "values"
+without allocating real buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Per-item metadata overhead in bytes, approximating Memcached's item header
+# (struct _stritem) plus CAS and the key's trailing NUL.
+ITEM_OVERHEAD = 56
+
+
+class Item:
+    """A single cached key/value pair.
+
+    Attributes
+    ----------
+    key:
+        The item's key (at most 250 bytes in real Memcached).
+    value:
+        Opaque cached payload; the simulator usually stores ``None``.
+    value_size:
+        Declared size of the value in bytes; drives slab-class selection.
+    last_access:
+        MRU timestamp (simulation seconds).  This is the "hotness" that
+        FuseCache compares.
+    created_at:
+        Timestamp of the original ``set``.
+    """
+
+    __slots__ = (
+        "key",
+        "value",
+        "value_size",
+        "last_access",
+        "created_at",
+        "expires_at",
+        "cas_id",
+        "slab_class_id",
+        "prev",
+        "next",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        value: Any,
+        value_size: int,
+        now: float,
+        exptime: float = 0.0,
+    ) -> None:
+        self.key = key
+        self.value = value
+        self.value_size = value_size
+        self.last_access = now
+        self.created_at = now
+        # 0 means "never expires", matching Memcached's exptime=0.
+        self.expires_at = now + exptime if exptime > 0 else 0.0
+        self.cas_id = 0
+        self.slab_class_id: int = -1
+        self.prev: Item | None = None
+        self.next: Item | None = None
+
+    @property
+    def total_size(self) -> int:
+        """Bytes the item occupies before chunk rounding."""
+        return ITEM_OVERHEAD + len(self.key) + self.value_size
+
+    def touch(self, now: float) -> None:
+        """Record an access at time ``now`` (monotonic within a node)."""
+        self.last_access = now
+
+    def is_expired(self, now: float) -> bool:
+        """True if the item carries a TTL that has lapsed by ``now``."""
+        return self.expires_at > 0.0 and now >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Item(key={self.key!r}, value_size={self.value_size}, "
+            f"last_access={self.last_access:.3f})"
+        )

@@ -1,0 +1,307 @@
+"""Memcached ASCII (text) protocol server facade.
+
+Wraps a :class:`~repro.memcached.node.MemcachedNode` behind the classic
+text protocol, so the node can be driven exactly the way ``telnet 11211``
+or a client library would drive real Memcached:
+
+    set user:1 0 0 5\r\nhello\r\n        ->  STORED\r\n
+    get user:1\r\n                       ->  VALUE user:1 0 5\r\nhello\r\nEND\r\n
+
+Supported commands: ``get``/``gets`` (multi-key), ``set``/``add``/
+``replace``/``append``/``prepend``/``cas``, ``delete``, ``incr``/``decr``,
+``touch``, ``flush_all``, ``stats`` (+ ``stats slabs``), ``version``.
+
+The parser is incremental: :meth:`TextProtocolServer.feed` accepts
+arbitrary byte chunks and returns whatever complete responses they
+produce, holding partial commands (or partial data blocks) until more
+bytes arrive.  ``exptime`` is interpreted as relative seconds
+(simulation time); Memcached's 30-day absolute-timestamp rule is not
+modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.memcached.node import MemcachedNode
+
+CRLF = b"\r\n"
+MAX_KEY_LENGTH = 250
+
+STORAGE_COMMANDS = frozenset(
+    {"set", "add", "replace", "append", "prepend", "cas"}
+)
+
+
+class TextProtocolServer:
+    """Incremental text-protocol handler for one Memcached node.
+
+    Parameters
+    ----------
+    node:
+        The node executing the commands.
+    clock:
+        Zero-argument callable returning the current simulation time;
+        every operation is stamped with it.
+    """
+
+    def __init__(
+        self, node: MemcachedNode, clock: Callable[[], float]
+    ) -> None:
+        self.node = node
+        self.clock = clock
+        self._buffer = b""
+        # When a storage command header has been read, this holds
+        # (command line parts, payload bytes expected).
+        self._pending: tuple[list[str], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+
+    def feed(self, data: bytes) -> bytes:
+        """Consume ``data`` and return the responses it completes."""
+        self._buffer += data
+        responses: list[bytes] = []
+        while True:
+            if self._pending is not None:
+                parts, size = self._pending
+                # Payload plus its trailing CRLF must be available.
+                if len(self._buffer) < size + 2:
+                    break
+                payload = self._buffer[:size]
+                trailer = self._buffer[size : size + 2]
+                self._buffer = self._buffer[size + 2 :]
+                self._pending = None
+                if trailer != CRLF:
+                    responses.append(b"CLIENT_ERROR bad data chunk" + CRLF)
+                else:
+                    responses.append(self._store(parts, payload))
+                continue
+            line_end = self._buffer.find(CRLF)
+            if line_end < 0:
+                break
+            line = self._buffer[:line_end].decode("utf-8", "replace")
+            self._buffer = self._buffer[line_end + 2 :]
+            response = self._dispatch(line)
+            if response is not None:
+                responses.append(response)
+        return b"".join(responses)
+
+    def execute(self, command: str, payload: bytes | None = None) -> bytes:
+        """One-shot helper: run a single command line (plus payload)."""
+        data = command.encode("utf-8") + CRLF
+        if payload is not None:
+            data += payload + CRLF
+        return self.feed(data)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, line: str) -> bytes | None:
+        parts = line.split()
+        if not parts:
+            return b"ERROR" + CRLF
+        command = parts[0].lower()
+        if command in STORAGE_COMMANDS:
+            return self._begin_storage(parts)
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return b"ERROR" + CRLF
+        return handler(parts[1:])
+
+    def _begin_storage(self, parts: list[str]) -> bytes | None:
+        command = parts[0].lower()
+        expected = 6 if command == "cas" else 5
+        if len(parts) not in (expected, expected + 1):
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        try:
+            size = int(parts[4])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if size < 0:
+            return b"CLIENT_ERROR bad data chunk" + CRLF
+        if len(parts[1]) > MAX_KEY_LENGTH:
+            return b"CLIENT_ERROR key too long" + CRLF
+        self._pending = (parts, size)
+        return None
+
+    def _store(self, parts: list[str], payload: bytes) -> bytes:
+        command = parts[0].lower()
+        key = parts[1]
+        try:
+            flags = int(parts[2])
+            exptime = float(parts[3])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        now = self.clock()
+        value = (flags, payload)
+        size = len(payload)
+        if command == "set":
+            stored = self.node.set(key, value, size, now, exptime=exptime)
+            if not stored:
+                return b"SERVER_ERROR object too large for cache" + CRLF
+            return b"STORED" + CRLF
+        if command == "add":
+            stored = self.node.add(key, value, size, now, exptime=exptime)
+            return (b"STORED" if stored else b"NOT_STORED") + CRLF
+        if command == "replace":
+            stored = self.node.replace(
+                key, value, size, now, exptime=exptime
+            )
+            return (b"STORED" if stored else b"NOT_STORED") + CRLF
+        if command in ("append", "prepend"):
+            existing = self.node.peek(key)
+            if existing is None or existing.is_expired(now):
+                return b"NOT_STORED" + CRLF
+            old_flags, old_payload = existing.value
+            merged = (
+                old_payload + payload
+                if command == "append"
+                else payload + old_payload
+            )
+            self.node.set(
+                key, (old_flags, merged), len(merged), now
+            )
+            return b"STORED" + CRLF
+        # cas
+        try:
+            token = int(parts[5])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        outcome = self.node.cas(
+            key, value, size, token, now, exptime=exptime
+        )
+        return {
+            "stored": b"STORED",
+            "exists": b"EXISTS",
+            "not_found": b"NOT_FOUND",
+        }[outcome] + CRLF
+
+    # ------------------------------------------------------------------
+    # Retrieval / mutation commands
+    # ------------------------------------------------------------------
+
+    def _cmd_get(self, keys: list[str], with_cas: bool = False) -> bytes:
+        if not keys:
+            return b"ERROR" + CRLF
+        now = self.clock()
+        chunks: list[bytes] = []
+        for key in keys:
+            value = self.node.get(key, now)
+            if value is None:
+                continue
+            flags, payload = value
+            header = f"VALUE {key} {flags} {len(payload)}"
+            if with_cas:
+                header += f" {self.node.peek(key).cas_id}"
+            chunks.append(header.encode("utf-8") + CRLF + payload + CRLF)
+        chunks.append(b"END" + CRLF)
+        return b"".join(chunks)
+
+    def _cmd_gets(self, keys: list[str]) -> bytes:
+        return self._cmd_get(keys, with_cas=True)
+
+    def _cmd_delete(self, args: list[str]) -> bytes:
+        if len(args) != 1:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        deleted = self.node.delete(args[0])
+        return (b"DELETED" if deleted else b"NOT_FOUND") + CRLF
+
+    def _cmd_incr(self, args: list[str]) -> bytes:
+        return self._arith(args, sign=1)
+
+    def _cmd_decr(self, args: list[str]) -> bytes:
+        return self._arith(args, sign=-1)
+
+    def _arith(self, args: list[str], sign: int) -> bytes:
+        if len(args) != 2:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        key = args[0]
+        try:
+            delta = int(args[1])
+        except ValueError:
+            return (
+                b"CLIENT_ERROR invalid numeric delta argument" + CRLF
+            )
+        now = self.clock()
+        item = self.node.peek(key)
+        if item is None or item.is_expired(now):
+            return b"NOT_FOUND" + CRLF
+        flags, payload = item.value
+        try:
+            current = int(payload)
+        except ValueError:
+            return (
+                b"CLIENT_ERROR cannot increment or decrement "
+                b"non-numeric value" + CRLF
+            )
+        updated = max(0, current + sign * delta)
+        new_payload = str(updated).encode("utf-8")
+        self.node.set(key, (flags, new_payload), len(new_payload), now)
+        return str(updated).encode("utf-8") + CRLF
+
+    def _cmd_touch(self, args: list[str]) -> bytes:
+        if len(args) != 2:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        try:
+            exptime = float(args[1])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        touched = self.node.touch_item(args[0], exptime, self.clock())
+        return (b"TOUCHED" if touched else b"NOT_FOUND") + CRLF
+
+    def _cmd_flush_all(self, args: list[str]) -> bytes:
+        self.node.flush_all()
+        return b"OK" + CRLF
+
+    def _cmd_version(self, args: list[str]) -> bytes:
+        return b"VERSION repro-1.4.25-elmem" + CRLF
+
+    def _cmd_stats(self, args: list[str]) -> bytes:
+        if args and args[0] == "slabs":
+            return self._stats_slabs()
+        stats = self.node.stats
+        pairs = [
+            ("curr_items", self.node.curr_items),
+            ("bytes", self.node.used_bytes),
+            ("limit_maxbytes", self.node.memory_bytes),
+            ("cmd_get", stats.gets),
+            ("cmd_set", stats.sets),
+            ("get_hits", stats.get_hits),
+            ("get_misses", stats.get_misses),
+            ("delete_hits", stats.deletes),
+            ("evictions", stats.evictions),
+            ("expired_unfetched", stats.expired),
+        ]
+        body = b"".join(
+            f"STAT {name} {value}".encode("utf-8") + CRLF
+            for name, value in pairs
+        )
+        return body + b"END" + CRLF
+
+    def _stats_slabs(self) -> bytes:
+        chunks: list[bytes] = []
+        for slab_class in self.node.slabs.classes:
+            if slab_class.pages == 0:
+                continue
+            cid = slab_class.class_id
+            rows = [
+                (f"{cid}:chunk_size", slab_class.chunk_size),
+                (f"{cid}:chunks_per_page", slab_class.chunks_per_page),
+                (f"{cid}:total_pages", slab_class.pages),
+                (f"{cid}:used_chunks", slab_class.used_chunks),
+                (f"{cid}:free_chunks", slab_class.free_chunks),
+            ]
+            chunks.extend(
+                f"STAT {name} {value}".encode("utf-8") + CRLF
+                for name, value in rows
+            )
+        chunks.append(
+            f"STAT active_slabs "
+            f"{sum(1 for c in self.node.slabs.classes if c.pages)}".encode()
+            + CRLF
+        )
+        chunks.append(b"END" + CRLF)
+        return b"".join(chunks)

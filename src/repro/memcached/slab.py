@@ -1,0 +1,207 @@
+"""Slab memory allocator (Section II-A of the paper).
+
+Memory is carved into 1 MB *pages*.  Pages are assigned on demand to *slab
+classes*; class ``i`` splits its pages into fixed-size chunks sized by a
+geometric growth factor, and every item whose total size rounds up to that
+chunk size lives in class ``i``.  Each class owns an MRU list of its items;
+the node evicts from a class's LRU tail when the class is full and no free
+page remains.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memcached.items import Item
+from repro.memcached.lru import MRUList
+
+PAGE_SIZE = 1 << 20
+"""Bytes per slab page (1 MB, as in Memcached)."""
+
+DEFAULT_MIN_CHUNK = 96
+DEFAULT_GROWTH_FACTOR = 1.25
+
+
+def size_class_table(
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+    growth_factor: float = DEFAULT_GROWTH_FACTOR,
+    max_chunk: int = PAGE_SIZE,
+) -> list[int]:
+    """Return the ascending chunk sizes for each slab class.
+
+    Mirrors Memcached's ``slabs_init``: sizes grow geometrically from
+    ``min_chunk`` by ``growth_factor``, 8-byte aligned, capped at one page.
+    """
+    if min_chunk <= 0:
+        raise ConfigurationError(f"min_chunk must be positive, got {min_chunk}")
+    if growth_factor <= 1.0:
+        raise ConfigurationError(
+            f"growth_factor must exceed 1.0, got {growth_factor}"
+        )
+    if max_chunk > PAGE_SIZE:
+        raise ConfigurationError("max_chunk cannot exceed the page size")
+    sizes: list[int] = []
+    size = float(min_chunk)
+    while size < max_chunk:
+        aligned = int(-(-size // 8) * 8)
+        if not sizes or aligned > sizes[-1]:
+            sizes.append(aligned)
+        size *= growth_factor
+    if not sizes or sizes[-1] != max_chunk:
+        sizes.append(max_chunk)
+    return sizes
+
+
+class SlabClass:
+    """One slab class: a chunk size, its pages, and its MRU item list."""
+
+    __slots__ = ("class_id", "chunk_size", "pages", "used_chunks", "mru")
+
+    def __init__(self, class_id: int, chunk_size: int) -> None:
+        self.class_id = class_id
+        self.chunk_size = chunk_size
+        self.pages = 0
+        self.used_chunks = 0
+        self.mru = MRUList()
+
+    @property
+    def chunks_per_page(self) -> int:
+        """Chunks that fit into one page of this class."""
+        return PAGE_SIZE // self.chunk_size
+
+    @property
+    def total_chunks(self) -> int:
+        """Chunk capacity across all pages currently owned by the class."""
+        return self.pages * self.chunks_per_page
+
+    @property
+    def free_chunks(self) -> int:
+        """Unused chunks in already-assigned pages."""
+        return self.total_chunks - self.used_chunks
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed by used chunks (chunk-rounded, as Memcached bills)."""
+        return self.used_chunks * self.chunk_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlabClass(id={self.class_id}, chunk={self.chunk_size}, "
+            f"pages={self.pages}, used={self.used_chunks})"
+        )
+
+
+class SlabAllocator:
+    """Page/chunk accounting for one Memcached node.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Total cache memory; determines the page budget.
+    min_chunk, growth_factor:
+        Size-class table parameters (Memcached defaults).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        min_chunk: int = DEFAULT_MIN_CHUNK,
+        growth_factor: float = DEFAULT_GROWTH_FACTOR,
+    ) -> None:
+        if memory_bytes < PAGE_SIZE:
+            raise ConfigurationError(
+                f"memory_bytes must be at least one page ({PAGE_SIZE}), "
+                f"got {memory_bytes}"
+            )
+        self.memory_bytes = memory_bytes
+        self.total_pages = memory_bytes // PAGE_SIZE
+        self.assigned_pages = 0
+        self.chunk_sizes = size_class_table(min_chunk, growth_factor)
+        self.classes = [
+            SlabClass(class_id, chunk_size)
+            for class_id, chunk_size in enumerate(self.chunk_sizes)
+        ]
+
+    @property
+    def free_pages(self) -> int:
+        """Pages not yet assigned to any class."""
+        return self.total_pages - self.assigned_pages
+
+    def class_for_size(self, total_size: int) -> SlabClass:
+        """Return the slab class whose chunk fits ``total_size`` bytes.
+
+        Raises :class:`CapacityError` if the item exceeds the largest chunk
+        (Memcached answers ``SERVER_ERROR object too large``).
+        """
+        index = bisect.bisect_left(self.chunk_sizes, total_size)
+        if index == len(self.chunk_sizes):
+            raise CapacityError(
+                f"item of {total_size} bytes exceeds max chunk "
+                f"{self.chunk_sizes[-1]}"
+            )
+        return self.classes[index]
+
+    def try_allocate(self, slab_class: SlabClass) -> bool:
+        """Reserve one chunk in ``slab_class``; assign a new page if needed.
+
+        Returns ``False`` when the class is full and no free page remains --
+        the caller must then evict from the class's LRU tail.
+        """
+        if slab_class.free_chunks == 0:
+            if self.free_pages == 0:
+                return False
+            slab_class.pages += 1
+            self.assigned_pages += 1
+        slab_class.used_chunks += 1
+        return True
+
+    def release(self, slab_class: SlabClass) -> None:
+        """Return one chunk of ``slab_class`` to its free pool."""
+        if slab_class.used_chunks == 0:
+            raise CapacityError(
+                f"release on empty slab class {slab_class.class_id}"
+            )
+        slab_class.used_chunks -= 1
+
+    def link_item(self, item: Item) -> SlabClass | None:
+        """Pick the class for ``item``, allocate a chunk, and push it MRU.
+
+        Returns the class on success, or ``None`` when the caller must evict
+        first (no chunk and no page available).
+        """
+        slab_class = self.class_for_size(item.total_size)
+        if not self.try_allocate(slab_class):
+            return None
+        item.slab_class_id = slab_class.class_id
+        slab_class.mru.push_front(item)
+        return slab_class
+
+    def unlink_item(self, item: Item) -> None:
+        """Remove ``item`` from its class's MRU list and free its chunk."""
+        slab_class = self.classes[item.slab_class_id]
+        slab_class.mru.remove(item)
+        self.release(slab_class)
+        item.slab_class_id = -1
+
+    def page_fractions(self) -> dict[int, float]:
+        """Fraction of assigned pages per class id (the paper's ``w_b``).
+
+        Classes with no pages are omitted.  Returns an empty dict when no
+        page has been assigned yet.
+        """
+        if self.assigned_pages == 0:
+            return {}
+        return {
+            slab_class.class_id: slab_class.pages / self.assigned_pages
+            for slab_class in self.classes
+            if slab_class.pages > 0
+        }
+
+    def used_bytes(self) -> int:
+        """Chunk-rounded bytes in use across all classes."""
+        return sum(slab_class.used_bytes for slab_class in self.classes)
+
+    def item_count(self) -> int:
+        """Number of stored items across all classes."""
+        return sum(len(slab_class.mru) for slab_class in self.classes)

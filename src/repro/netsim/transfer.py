@@ -1,0 +1,94 @@
+"""Bandwidth-limited transfer timing.
+
+Timing model: a flow of ``B`` bytes over one connection takes
+``setup + B / bandwidth`` seconds; when several flows traverse the same
+node's NIC concurrently they share that NIC fairly, so a phase of flows
+completes when the most loaded NIC finishes.  This matches how the paper's
+Agents pipe tarballs between nodes in parallel during migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+
+GBIT = 125_000_000
+"""Bytes per second of one gigabit."""
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One point-to-point transfer of ``size_bytes`` from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigurationError("flow size must be non-negative")
+        if self.src == self.dst:
+            raise ConfigurationError("flow endpoints must differ")
+
+
+class NetworkModel:
+    """Cluster network with homogeneous per-node NIC bandwidth.
+
+    Parameters
+    ----------
+    nic_bandwidth_bps:
+        Bytes/second each node can send (and, independently, receive).
+        The paper's OpenStack VMs are on a shared 1 Gbit fabric.
+    connection_setup_s:
+        Per-flow overhead (ssh handshake, tar spawn).
+    """
+
+    def __init__(
+        self,
+        nic_bandwidth_bps: float = 1.0 * GBIT,
+        connection_setup_s: float = 0.5,
+    ) -> None:
+        if nic_bandwidth_bps <= 0:
+            raise ConfigurationError("nic_bandwidth_bps must be positive")
+        if connection_setup_s < 0:
+            raise ConfigurationError("connection_setup_s must be >= 0")
+        self.nic_bandwidth_bps = nic_bandwidth_bps
+        self.connection_setup_s = connection_setup_s
+
+    def flow_time(self, size_bytes: int) -> float:
+        """Seconds for one flow with the NIC to itself."""
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        return self.connection_setup_s + size_bytes / self.nic_bandwidth_bps
+
+    def phase_time(self, flows: Iterable[Flow]) -> float:
+        """Completion time of a set of concurrent flows.
+
+        Each NIC's finish time is the bytes it must move divided by its
+        bandwidth; the phase ends when the busiest NIC drains.  Setup
+        costs for flows sharing a source are paid sequentially per source
+        (one ssh spawn at a time), concurrently across sources.
+        """
+        egress: dict[str, int] = {}
+        ingress: dict[str, int] = {}
+        setups: dict[str, int] = {}
+        any_flow = False
+        for flow in flows:
+            any_flow = True
+            egress[flow.src] = egress.get(flow.src, 0) + flow.size_bytes
+            ingress[flow.dst] = ingress.get(flow.dst, 0) + flow.size_bytes
+            setups[flow.src] = setups.get(flow.src, 0) + 1
+        if not any_flow:
+            return 0.0
+        per_node_times = []
+        for node, sent in egress.items():
+            duration = (
+                setups[node] * self.connection_setup_s
+                + sent / self.nic_bandwidth_bps
+            )
+            per_node_times.append(duration)
+        for node, received in ingress.items():
+            per_node_times.append(received / self.nic_bandwidth_bps)
+        return max(per_node_times)

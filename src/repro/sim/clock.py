@@ -1,0 +1,37 @@
+"""Simulation time.
+
+All timestamps in the system are simulation seconds from this clock;
+nothing reads the wall clock, so runs are fully reproducible.  Warm-up
+happens at negative times so that measurements start exactly at t=0 with
+a realistic cache state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SimulationClock:
+    """A monotonically advancing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def advance(self, seconds: float = 1.0) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ConfigurationError("cannot advance time backwards")
+        self._now += seconds
+        return self._now
+
+    def at(self, seconds: float) -> float:
+        """Jump to an absolute time not before the current one."""
+        if seconds < self._now:
+            raise ConfigurationError("cannot move the clock backwards")
+        self._now = float(seconds)
+        return self._now

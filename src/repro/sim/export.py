@@ -1,0 +1,72 @@
+"""Exporting simulation metrics for external analysis/plotting.
+
+The paper's figures are per-second time series; this module writes them
+as CSV/JSON so any plotting tool can regenerate the plots from a run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.sim.metrics import MetricsCollector
+
+FIELDS = [
+    "time",
+    "requests",
+    "kv_gets",
+    "hits",
+    "misses",
+    "secondary_hits",
+    "hit_rate",
+    "p50_rt_ms",
+    "p95_rt_ms",
+    "p99_rt_ms",
+    "mean_rt_ms",
+    "db_latency_ms",
+    "db_backlog",
+    "active_nodes",
+    "writes",
+]
+
+
+def metrics_to_rows(metrics: MetricsCollector) -> list[dict[str, float]]:
+    """Flatten per-second records into plain dicts (one per second)."""
+    rows = []
+    for record in metrics.records:
+        rows.append(
+            {name: float(getattr(record, name)) for name in FIELDS}
+        )
+    return rows
+
+
+def write_csv(metrics: MetricsCollector, path: str | Path) -> Path:
+    """Write the per-second series as CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerows(metrics_to_rows(metrics))
+    return path
+
+
+def write_json(metrics: MetricsCollector, path: str | Path) -> Path:
+    """Write the per-second series as JSON; returns the path written."""
+    path = Path(path)
+    payload = {
+        "fields": FIELDS,
+        "records": metrics_to_rows(metrics),
+        "summary": metrics.summary(),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, float]]:
+    """Read back a CSV written by :func:`write_csv`."""
+    with Path(path).open() as handle:
+        return [
+            {name: float(value) for name, value in row.items()}
+            for row in csv.DictReader(handle)
+        ]

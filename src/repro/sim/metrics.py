@@ -1,0 +1,91 @@
+"""Per-second metrics, matching what the paper's figures plot.
+
+Every simulated second yields one :class:`SecondRecord` with the cache
+hit rate and the 95th-percentile web-request response time -- the two
+series of Fig. 2/6/8 -- plus supporting detail (node count, database
+latency and backlog) used by the analysis module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SecondRecord:
+    """Aggregates for one simulated second."""
+
+    time: float
+    requests: int
+    kv_gets: int
+    hits: int
+    misses: int
+    secondary_hits: int
+    p95_rt_ms: float
+    mean_rt_ms: float
+    db_latency_ms: float
+    active_nodes: int
+    db_backlog: float = 0.0
+    p50_rt_ms: float = float("nan")
+    p99_rt_ms: float = float("nan")
+    writes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over this second's KV gets (1.0 when idle)."""
+        if self.kv_gets == 0:
+            return 1.0
+        return self.hits / self.kv_gets
+
+
+@dataclass
+class MetricsCollector:
+    """Time-ordered sequence of per-second records with array accessors."""
+
+    records: list[SecondRecord] = field(default_factory=list)
+
+    def add(self, record: SecondRecord) -> None:
+        """Append one second of measurements."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def times(self) -> np.ndarray:
+        """Timestamps of all records."""
+        return np.array([r.time for r in self.records])
+
+    def series(self, name: str) -> np.ndarray:
+        """Any record attribute/property as a float array."""
+        return np.array(
+            [float(getattr(r, name)) for r in self.records]
+        )
+
+    def hit_rates(self) -> np.ndarray:
+        """Per-second hit rate series."""
+        return self.series("hit_rate")
+
+    def p95_series_ms(self) -> np.ndarray:
+        """Per-second 95th-percentile RT series (milliseconds)."""
+        return self.series("p95_rt_ms")
+
+    def between(self, start: float, end: float) -> "MetricsCollector":
+        """Records with ``start <= time < end``."""
+        subset = [r for r in self.records if start <= r.time < end]
+        return MetricsCollector(subset)
+
+    def summary(self) -> dict[str, float]:
+        """Headline aggregates over the collected window."""
+        if not self.records:
+            return {}
+        p95 = self.p95_series_ms()
+        finite = p95[np.isfinite(p95)]
+        return {
+            "seconds": float(len(self.records)),
+            "mean_hit_rate": float(self.hit_rates().mean()),
+            "mean_p95_rt_ms": float(finite.mean()) if len(finite) else 0.0,
+            "max_p95_rt_ms": float(finite.max()) if len(finite) else 0.0,
+            "total_requests": float(self.series("requests").sum()),
+        }

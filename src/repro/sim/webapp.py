@@ -1,0 +1,176 @@
+"""The multi-tier web application (paper Fig. 1 / Section V-A).
+
+Each simulated second: web requests arrive Poisson at the trace's rate,
+every request multi-gets its KV pairs from the cache tier (through the
+active migration policy, which may consult a secondary cache), misses are
+fetched from the database and written back to the cache, and the
+request's response time is the weighted average of its per-KV latencies
+-- exactly the paper's RT definition.  The per-second 95th percentile of
+those response times is what Figs. 2/6/8 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.policies import MigrationPolicy
+from repro.database.latency import DatabaseTier
+from repro.sim.metrics import SecondRecord
+from repro.workloads.generator import RequestGenerator
+
+
+@dataclass
+class LatencyModel:
+    """Fixed component latencies of the request path (milliseconds)."""
+
+    cache_hit_ms: float = 0.8
+    secondary_hit_ms: float = 2.0
+    web_overhead_ms: float = 0.3
+
+    def __post_init__(self) -> None:
+        if min(self.cache_hit_ms, self.secondary_hit_ms) <= 0:
+            raise ValueError("latencies must be positive")
+
+
+class WebApplication:
+    """Drives one second of traffic at a time through the full stack."""
+
+    def __init__(
+        self,
+        generator: RequestGenerator,
+        policy: MigrationPolicy,
+        database: DatabaseTier,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+        key_observer: Callable[[list[str]], None] | None = None,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.generator = generator
+        self.policy = policy
+        self.database = database
+        self.latency = latency or LatencyModel()
+        self.key_observer = key_observer
+        # Fraction of KV operations that are writes (set + database
+        # write-through).  The paper's evaluation uses read-only gets
+        # (Section V-A); writes are supported for completeness.
+        self.write_fraction = write_fraction
+        self._rng = np.random.default_rng(seed + 7)
+
+    def run_second(self, now: float, rate_rps: float) -> SecondRecord:
+        """Simulate one second of traffic at mean ``rate_rps`` requests/s."""
+        batches = self.generator.requests_for_second(rate_rps)
+        active_nodes = len(self.policy.cluster.active_members)
+        if not batches:
+            idle_db_ms = self.database.observe_second(0.0) * 1000.0
+            return SecondRecord(
+                time=now,
+                requests=0,
+                kv_gets=0,
+                hits=0,
+                misses=0,
+                secondary_hits=0,
+                p95_rt_ms=float("nan"),
+                mean_rt_ms=float("nan"),
+                db_latency_ms=idle_db_ms,
+                active_nodes=active_nodes,
+                db_backlog=self.database.backlog_requests,
+            )
+
+        hit_counts = np.empty(len(batches), dtype=np.int64)
+        miss_counts = np.empty(len(batches), dtype=np.int64)
+        secondary_counts = np.empty(len(batches), dtype=np.int64)
+        write_counts = np.zeros(len(batches), dtype=np.int64)
+        for index, keys in enumerate(batches):
+            if self.key_observer is not None:
+                self.key_observer(keys)
+            if self.write_fraction > 0.0:
+                keys, written = self._apply_writes(keys, now)
+                write_counts[index] = written
+                if not keys:
+                    hit_counts[index] = 0
+                    miss_counts[index] = 0
+                    secondary_counts[index] = 0
+                    continue
+            result = self.policy.multiget(keys, now)
+            hit_counts[index] = result.hit_count
+            miss_counts[index] = len(result.misses)
+            secondary_counts[index] = result.secondary_hits
+            for key in result.misses:
+                value, value_size = self.database.get(key)
+                self.policy.fill(key, value, value_size, now)
+
+        total_misses = int(miss_counts.sum())
+        total_writes = int(write_counts.sum())
+        # Writes hit the database too (write-through), adding to r_DB's
+        # load alongside the read misses.
+        db_mean_s = self.database.observe_second(
+            float(total_misses + total_writes)
+        )
+        db_mean_ms = db_mean_s * 1000.0
+
+        # Per-request DB latency: the sum of m i.i.d. exponential fetches
+        # is Erlang(m) -- drawn as a Gamma with shape m.  Write-throughs
+        # pay the database the same way read misses do.
+        db_ops = miss_counts + write_counts
+        miss_latency_ms = np.zeros(len(batches))
+        has_miss = db_ops > 0
+        if has_miss.any():
+            miss_latency_ms[has_miss] = self._rng.gamma(
+                shape=db_ops[has_miss].astype(np.float64),
+                scale=db_mean_ms,
+            )
+        primary_hits = hit_counts - secondary_counts
+        per_item_total_ms = (
+            primary_hits * self.latency.cache_hit_ms
+            + secondary_counts * self.latency.secondary_hit_ms
+            + miss_latency_ms
+        )
+        items = self.generator.items_per_request
+        response_ms = (
+            per_item_total_ms / items + self.latency.web_overhead_ms
+        )
+
+        p50, p95, p99 = np.percentile(response_ms, [50, 95, 99])
+        return SecondRecord(
+            time=now,
+            requests=len(batches),
+            kv_gets=int(hit_counts.sum() + miss_counts.sum()),
+            hits=int(hit_counts.sum()),
+            misses=total_misses,
+            secondary_hits=int(secondary_counts.sum()),
+            p95_rt_ms=float(p95),
+            mean_rt_ms=float(response_ms.mean()),
+            db_latency_ms=db_mean_ms,
+            active_nodes=active_nodes,
+            db_backlog=self.database.backlog_requests,
+            p50_rt_ms=float(p50),
+            p99_rt_ms=float(p99),
+            writes=total_writes,
+        )
+
+    def _apply_writes(
+        self, keys: list[str], now: float
+    ) -> tuple[list[str], int]:
+        """Split a request's keys into writes (executed) and reads.
+
+        Each write stores a fresh value of the key's existing size into
+        both the database (write-through) and the cache.
+        """
+        reads: list[str] = []
+        written = 0
+        for key in keys:
+            if self._rng.random() >= self.write_fraction:
+                reads.append(key)
+                continue
+            store = self.database.store
+            value_size = store.value_size(key)
+            new_value = f"w@{now}"
+            store.put(key, new_value, value_size)
+            self.policy.fill(key, new_value, value_size, now)
+            written += 1
+        return reads, written

@@ -1,0 +1,97 @@
+"""Temporal popularity churn.
+
+Production key popularity is not stationary: items rise and fall over
+hours (one reason the paper's AutoScaler re-profiles the request trace
+every minute instead of trusting old measurements).  This module wraps a
+base popularity distribution with *churn*: at a configurable rate, the
+popularity ranks of random key pairs are swapped, so the hot set drifts
+while the overall skew (the rank-probability curve) is preserved.
+
+Used by tests and the churn ablation to verify that ElMem's machinery
+-- which keys hotness off MRU timestamps rather than static popularity
+-- keeps working when the hot set moves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.popularity import PopularityDistribution
+
+
+class ChurningPopularity(PopularityDistribution):
+    """A popularity distribution whose hot set drifts over time.
+
+    Parameters
+    ----------
+    base:
+        The distribution providing the (fixed) multiset of
+        probabilities; Zipf in practice.
+    swaps_per_step:
+        Key pairs whose probabilities are exchanged on each
+        :meth:`advance` call.
+    hot_bias:
+        Fraction of swaps forced to involve one of the currently hottest
+        1 % of keys, making the drift visible at the head of the
+        distribution rather than only in the tail.
+    """
+
+    def __init__(
+        self,
+        base: PopularityDistribution,
+        swaps_per_step: int = 100,
+        hot_bias: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if swaps_per_step < 0:
+            raise ConfigurationError("swaps_per_step must be >= 0")
+        if not 0.0 <= hot_bias <= 1.0:
+            raise ConfigurationError("hot_bias must be in [0, 1]")
+        super().__init__(base.num_keys, base.probabilities.copy(), seed)
+        self.swaps_per_step = swaps_per_step
+        self.hot_bias = hot_bias
+        self._churn_rng = np.random.default_rng(seed + 17)
+        self.steps_advanced = 0
+
+    def advance(self, steps: int = 1) -> None:
+        """Apply ``steps`` rounds of churn to the probability vector."""
+        if steps < 0:
+            raise ConfigurationError("steps must be >= 0")
+        hot_count = max(1, self.num_keys // 100)
+        for _ in range(steps):
+            self.steps_advanced += 1
+            for _ in range(self.swaps_per_step):
+                if self._churn_rng.random() < self.hot_bias:
+                    hot_ranks = np.argpartition(
+                        -self.probabilities, hot_count
+                    )[:hot_count]
+                    a = int(self._churn_rng.choice(hot_ranks))
+                else:
+                    a = int(self._churn_rng.integers(self.num_keys))
+                b = int(self._churn_rng.integers(self.num_keys))
+                self.probabilities[[a, b]] = self.probabilities[[b, a]]
+        # Sampling uses the cumulative vector; rebuild it once per batch.
+        self._cumulative = np.cumsum(self.probabilities)
+
+    def hot_set(self, count: int) -> set[int]:
+        """The ``count`` currently most popular key indices."""
+        if count <= 0:
+            return set()
+        count = min(count, self.num_keys)
+        return set(
+            int(i)
+            for i in np.argpartition(-self.probabilities, count - 1)[
+                :count
+            ]
+        )
+
+
+def hot_set_overlap(before: set[int], after: set[int]) -> float:
+    """Jaccard overlap of two hot sets (1.0 = unchanged, 0.0 = disjoint)."""
+    if not before and not after:
+        return 1.0
+    union = before | after
+    if not union:
+        return 1.0
+    return len(before & after) / len(union)

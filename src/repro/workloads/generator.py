@@ -1,0 +1,72 @@
+"""Request-stream generation.
+
+The paper's load generator (httperf) issues PHP web requests whose mean
+rate follows the demand trace with exponential interarrival times; each
+web request needs a fixed number of KV pairs fetched via multi-get
+(Section V-A).  Exponential interarrivals make per-second request counts
+Poisson, which is how the generator draws them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.keyspace import Dataset
+from repro.workloads.popularity import PopularityDistribution
+
+DEFAULT_ITEMS_PER_REQUEST = 4
+
+
+class RequestGenerator:
+    """Per-second batches of web requests over a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The key space being requested.
+    popularity:
+        Distribution over key indices.
+    items_per_request:
+        KV pairs fetched per web request (fixed, as in the paper).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        popularity: PopularityDistribution,
+        items_per_request: int = DEFAULT_ITEMS_PER_REQUEST,
+        seed: int = 0,
+    ) -> None:
+        if popularity.num_keys != dataset.num_keys:
+            raise ConfigurationError(
+                "popularity and dataset key counts differ"
+            )
+        if items_per_request < 1:
+            raise ConfigurationError("items_per_request must be >= 1")
+        self.dataset = dataset
+        self.popularity = popularity
+        self.items_per_request = items_per_request
+        self._rng = np.random.default_rng(seed)
+
+    def requests_for_second(self, rate_rps: float) -> list[list[str]]:
+        """Web requests arriving within one second at mean rate ``rate_rps``.
+
+        Returns a list of key batches, one per web request.
+        """
+        if rate_rps < 0:
+            raise ConfigurationError("rate_rps must be non-negative")
+        count = int(self._rng.poisson(rate_rps))
+        if count == 0:
+            return []
+        indices = self.popularity.sample(count * self.items_per_request)
+        keyspace = self.dataset.keyspace
+        keys = [keyspace.key(int(i)) for i in indices]
+        step = self.items_per_request
+        return [keys[i : i + step] for i in range(0, len(keys), step)]
+
+    def key_stream(self, total_keys: int) -> list[str]:
+        """A flat stream of ``total_keys`` requested keys (for profiling)."""
+        indices = self.popularity.sample(total_keys)
+        keyspace = self.dataset.keyspace
+        return [keyspace.key(int(i)) for i in indices]

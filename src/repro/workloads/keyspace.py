@@ -1,0 +1,119 @@
+"""The dataset: keys, their value sizes, and the backing store.
+
+The paper's dataset is ~19 million KV pairs (~50 GB on disk) with 11-byte
+keys; simulations scale the count down while keeping the same key and
+value-size distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.kvstore import BackingStore
+from repro.errors import ConfigurationError
+from repro.memcached.items import ITEM_OVERHEAD
+from repro.workloads.valuesize import KEY_LENGTH, GeneralizedParetoSizes
+
+
+class KeySpace:
+    """Fixed-width key namespace: index ``i`` <-> an 11-byte key string."""
+
+    def __init__(self, num_keys: int) -> None:
+        if num_keys <= 0:
+            raise ConfigurationError("num_keys must be positive")
+        if num_keys > 10**(KEY_LENGTH - 1):
+            raise ConfigurationError(
+                f"too many keys for {KEY_LENGTH}-byte keys"
+            )
+        self.num_keys = num_keys
+
+    def key(self, index: int) -> str:
+        """The key string for ``index`` (always 11 bytes)."""
+        if not 0 <= index < self.num_keys:
+            raise IndexError(f"key index {index} out of range")
+        return f"k{index:0{KEY_LENGTH - 1}d}"
+
+    def index(self, key: str) -> int:
+        """Inverse of :meth:`key`."""
+        return int(key[1:])
+
+    def keys(self):
+        """Iterate every key string."""
+        return (self.key(i) for i in range(self.num_keys))
+
+
+@dataclass
+class Dataset:
+    """A key space, each key's value size, and the backing store."""
+
+    keyspace: KeySpace
+    value_sizes: np.ndarray
+    store: BackingStore
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct KV pairs."""
+        return self.keyspace.num_keys
+
+    def value_size(self, index: int) -> int:
+        """Value bytes of key ``index``."""
+        return int(self.value_sizes[index])
+
+    def average_value_bytes(self) -> float:
+        """Mean value size over the dataset."""
+        return float(self.value_sizes.mean())
+
+    def average_item_bytes(self) -> float:
+        """Mean cached footprint: key + value + item overhead."""
+        return KEY_LENGTH + ITEM_OVERHEAD + self.average_value_bytes()
+
+    def average_chunk_bytes(
+        self, min_chunk: int = 96, growth_factor: float = 1.25
+    ) -> float:
+        """Mean *chunk-rounded* footprint under a slab geometry.
+
+        Memcached bills every item the full chunk of its size class, so
+        capacity planning with raw item bytes under-provisions badly
+        (coarse growth factors waste ~2x).  This is the right
+        ``bytes_per_item`` for the AutoScaler's memory-for-hit-rate
+        conversion.
+        """
+        from repro.memcached.slab import size_class_table
+
+        table = np.array(size_class_table(min_chunk, growth_factor))
+        totals = self.value_sizes + (KEY_LENGTH + ITEM_OVERHEAD)
+        indices = np.searchsorted(table, totals, side="left")
+        indices = np.minimum(indices, len(table) - 1)
+        return float(table[indices].mean())
+
+    def total_bytes(self) -> int:
+        """Key+value bytes across the dataset (the on-disk size)."""
+        return int(self.value_sizes.sum()) + KEY_LENGTH * self.num_keys
+
+
+def build_dataset(
+    num_keys: int,
+    sizes: GeneralizedParetoSizes | None = None,
+    seed: int = 0,
+    max_value_size: int | None = None,
+) -> Dataset:
+    """Generate a dataset with Generalized-Pareto value sizes.
+
+    ``max_value_size`` optionally tightens the truncation (simulations
+    with small nodes cap values so single items cannot dominate a node).
+    """
+    sampler = sizes or GeneralizedParetoSizes(
+        seed=seed,
+        max_size=max_value_size or 1_000_000,
+    )
+    keyspace = KeySpace(num_keys)
+    value_sizes = sampler.sample(num_keys)
+    if max_value_size is not None:
+        value_sizes = np.minimum(value_sizes, max_value_size)
+    records = {
+        keyspace.key(i): (f"v{i}", int(value_sizes[i]))
+        for i in range(num_keys)
+    }
+    return Dataset(keyspace, value_sizes, BackingStore(records))

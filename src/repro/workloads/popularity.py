@@ -1,0 +1,142 @@
+"""Key-popularity distributions.
+
+Facebook's Memcached workloads are heavily skewed; a Zipf law is the
+standard model (and what makes cache *hotness* meaningful: with uniform
+popularity there would be nothing for FuseCache to select).  Sampling is
+vectorised: an inverse-CDF lookup over a precomputed cumulative mass
+array, O(log N) per sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PopularityDistribution:
+    """Base class: a probability mass over key indices ``0..n-1``."""
+
+    def __init__(self, num_keys: int, probabilities: np.ndarray, seed: int) -> None:
+        if num_keys <= 0:
+            raise ConfigurationError("num_keys must be positive")
+        if len(probabilities) != num_keys:
+            raise ConfigurationError("probability vector length mismatch")
+        self.num_keys = num_keys
+        self.probabilities = probabilities / probabilities.sum()
+        self._cumulative = np.cumsum(self.probabilities)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` key indices i.i.d. from the distribution."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        uniforms = self._rng.random(count)
+        return np.searchsorted(self._cumulative, uniforms, side="right")
+
+    def probability(self, index: int) -> float:
+        """Probability mass of key ``index``."""
+        return float(self.probabilities[index])
+
+    def rank_order(self) -> np.ndarray:
+        """Key indices sorted most-popular first."""
+        return np.argsort(-self.probabilities, kind="stable")
+
+    def reseed(self, seed: int) -> None:
+        """Reset the sampling stream (for reproducible replays)."""
+        self._rng = np.random.default_rng(seed)
+
+
+class ZipfPopularity(PopularityDistribution):
+    """Zipf(alpha) over a finite key space.
+
+    ``P(rank r) ~ 1 / r^alpha``; ``alpha`` around 0.9-1.0 matches
+    published Memcached workload analyses.  Key indices are randomly
+    permuted so popularity is not correlated with key order (and hence
+    not with hash placement).
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        alpha: float = 0.95,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> None:
+        if alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        self.alpha = alpha
+        ranks = np.arange(1, num_keys + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        if shuffle:
+            permutation = np.random.default_rng(seed + 1).permutation(num_keys)
+            weights = weights[permutation]
+        super().__init__(num_keys, weights, seed)
+
+
+class UniformPopularity(PopularityDistribution):
+    """Every key equally likely -- the no-skew ablation case."""
+
+    def __init__(self, num_keys: int, seed: int = 0) -> None:
+        super().__init__(num_keys, np.ones(num_keys), seed)
+
+
+class NodeBiasedPopularity(PopularityDistribution):
+    """A base distribution re-weighted by each key's owning cache node.
+
+    Production Memcached tiers exhibit per-node *hot spots* -- some nodes
+    end up owning disproportionately hot data (the problem systems like
+    SPORE and MBal exist to fix, and the asymmetry visible in the paper's
+    Fig. 7, where retiring the wrong node moves 86 % more items).  With
+    purely hash-uniform placement every node's hotness distribution is
+    statistically identical, which would erase that asymmetry; this
+    wrapper reintroduces it by multiplying each key's probability by a
+    weight attached to its owning node.
+
+    Parameters
+    ----------
+    base:
+        The underlying popularity (e.g. Zipf).
+    owner_labels:
+        ``owner_labels[i]`` names the node owning key ``i`` at workload-
+        generation time (placement drift after scaling is intentional --
+        the bias models history, not an invariant).
+    node_weights:
+        Multiplier per node name; nodes absent from the dict get 1.0.
+    """
+
+    def __init__(
+        self,
+        base: PopularityDistribution,
+        owner_labels: list[str],
+        node_weights: dict[str, float],
+        seed: int = 0,
+    ) -> None:
+        if len(owner_labels) != base.num_keys:
+            raise ConfigurationError("owner label per key required")
+        multipliers = np.array(
+            [node_weights.get(owner, 1.0) for owner in owner_labels]
+        )
+        if (multipliers <= 0).any():
+            raise ConfigurationError("node weights must be positive")
+        super().__init__(
+            base.num_keys, base.probabilities * multipliers, seed
+        )
+        self.node_weights = dict(node_weights)
+
+
+def lognormal_node_weights(
+    node_names: list[str], sigma: float, seed: int = 0
+) -> dict[str, float]:
+    """Draw per-node hotness multipliers ``exp(N(0, sigma^2))``.
+
+    ``sigma`` around 0.5-1.0 yields the 2-4x inter-node temperature
+    spread reported for production cache clusters.
+    """
+    if sigma < 0:
+        raise ConfigurationError("sigma must be non-negative")
+    rng = np.random.default_rng(seed)
+    return {
+        name: float(np.exp(rng.normal(0.0, sigma)))
+        for name in sorted(node_names)
+    }

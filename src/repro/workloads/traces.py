@@ -1,0 +1,251 @@
+"""Demand traces shaped like the paper's Fig. 5.
+
+The original traces (Facebook SYS/ETC, an SAP enterprise application,
+NLANR/WITS, Microsoft storage) are proprietary; the paper itself only
+shows *normalised* rates because "these are modified per system
+capabilities".  Each factory below synthesises a per-second normalised
+rate series with the qualitative shape the figure shows and the scaling
+actions Section V-B exercises:
+
+- **SYS**: high plateau, then a sharp sustained drop about a third in
+  (drives the 10 -> 7 scale-in);
+- **ETC**: drop then recovery (10 -> 9 scale-in followed by 9 -> 10
+  scale-out);
+- **SAP**: staircase decline (10 -> 9 -> 8);
+- **NLANR**: rise then fall (8 -> 9 scale-out, then 9 -> 8 scale-in);
+- **Microsoft**: gradual noisy decline (10 -> 9 -> 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RateTrace:
+    """A normalised request-rate series, one sample per second."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1 or len(self.values) == 0:
+            raise ConfigurationError("trace must be a non-empty 1-D series")
+        if (self.values < 0).any():
+            raise ConfigurationError("trace rates must be non-negative")
+
+    @property
+    def duration_s(self) -> int:
+        """Trace length in seconds."""
+        return len(self.values)
+
+    def normalised(self) -> "RateTrace":
+        """Scale the series so its peak is 1.0 (Fig. 5 presentation)."""
+        peak = self.values.max()
+        if peak == 0:
+            return RateTrace(self.name, self.values.copy())
+        return RateTrace(self.name, self.values / peak)
+
+    def scaled(self, peak_rps: float) -> np.ndarray:
+        """Requests/second series with the peak mapped to ``peak_rps``."""
+        return self.normalised().values * peak_rps
+
+    def rate_at(self, second: int) -> float:
+        """Normalised rate at ``second`` (clamped to the last sample)."""
+        index = min(max(second, 0), len(self.values) - 1)
+        return float(self.values[index])
+
+    def resampled(self, duration_s: int) -> "RateTrace":
+        """Linearly resample the series to ``duration_s`` samples."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        old_x = np.linspace(0.0, 1.0, num=len(self.values))
+        new_x = np.linspace(0.0, 1.0, num=duration_s)
+        return RateTrace(self.name, np.interp(new_x, old_x, self.values))
+
+    @classmethod
+    def from_csv(cls, path, name: str | None = None) -> "RateTrace":
+        """Load a demand trace from a one-column (or ``t,rate``) CSV.
+
+        Real deployments can replay their own measured request-rate
+        series through the simulator this way; rows that fail to parse
+        (headers) are skipped.
+        """
+        values = []
+        with open(path) as handle:
+            for line in handle:
+                parts = line.strip().split(",")
+                if not parts or not parts[-1]:
+                    continue
+                try:
+                    values.append(float(parts[-1]))
+                except ValueError:
+                    continue
+        if not values:
+            raise ConfigurationError(f"no rate samples found in {path}")
+        import os
+
+        trace_name = name or os.path.splitext(os.path.basename(path))[0]
+        return cls(trace_name, np.asarray(values))
+
+    def to_csv(self, path) -> None:
+        """Write the series as ``second,rate`` rows."""
+        with open(path, "w") as handle:
+            handle.write("second,rate\n")
+            for second, rate in enumerate(self.values):
+                handle.write(f"{second},{rate}\n")
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.concatenate(
+        (np.full(window - 1, values[0]), values)
+    )
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def _with_noise(
+    values: np.ndarray, noise: float, seed: int
+) -> np.ndarray:
+    if noise <= 0:
+        return values
+    rng = np.random.default_rng(seed)
+    jitter = rng.normal(1.0, noise, size=len(values))
+    return np.clip(values * jitter, 0.0, None)
+
+
+def _piecewise(
+    duration_s: int, anchors: list[tuple[float, float]]
+) -> np.ndarray:
+    """Linear interpolation through ``(fraction_of_duration, level)``."""
+    times = np.array([frac * (duration_s - 1) for frac, _ in anchors])
+    levels = np.array([level for _, level in anchors])
+    seconds = np.arange(duration_s)
+    return np.interp(seconds, times, levels)
+
+
+def sys_trace(
+    duration_s: int = 3600, noise: float = 0.03, seed: int = 11
+) -> RateTrace:
+    """Facebook SYS: plateau, steep sustained drop around 1/3 in."""
+    base = _piecewise(
+        duration_s,
+        [
+            (0.00, 0.95),
+            (0.30, 1.00),
+            (0.34, 0.40),
+            (0.60, 0.33),
+            (1.00, 0.30),
+        ],
+    )
+    return RateTrace(
+        "SYS", _smooth(_with_noise(base, noise, seed), 15)
+    )
+
+
+def etc_trace(
+    duration_s: int = 3600, noise: float = 0.03, seed: int = 13
+) -> RateTrace:
+    """Facebook ETC: diurnal dip then recovery."""
+    base = _piecewise(
+        duration_s,
+        [
+            (0.00, 1.00),
+            (0.28, 0.95),
+            (0.36, 0.45),
+            (0.55, 0.42),
+            (0.62, 0.50),
+            (0.75, 0.95),
+            (1.00, 1.00),
+        ],
+    )
+    return RateTrace(
+        "ETC", _smooth(_with_noise(base, noise, seed), 15)
+    )
+
+
+def sap_trace(
+    duration_s: int = 3600, noise: float = 0.02, seed: int = 17
+) -> RateTrace:
+    """SAP enterprise application: staircase decline."""
+    base = _piecewise(
+        duration_s,
+        [
+            (0.00, 1.00),
+            (0.30, 0.95),
+            (0.36, 0.60),
+            (0.58, 0.58),
+            (0.66, 0.38),
+            (1.00, 0.35),
+        ],
+    )
+    return RateTrace(
+        "SAP", _smooth(_with_noise(base, noise, seed), 15)
+    )
+
+
+def nlanr_trace(
+    duration_s: int = 3600, noise: float = 0.04, seed: int = 19
+) -> RateTrace:
+    """NLANR/WITS: ramp up to a midday peak, then decline."""
+    base = _piecewise(
+        duration_s,
+        [
+            (0.00, 0.55),
+            (0.25, 0.60),
+            (0.35, 0.95),
+            (0.55, 1.00),
+            (0.66, 0.55),
+            (1.00, 0.50),
+        ],
+    )
+    return RateTrace(
+        "NLANR", _smooth(_with_noise(base, noise, seed), 15)
+    )
+
+
+def microsoft_trace(
+    duration_s: int = 3600, noise: float = 0.06, seed: int = 23
+) -> RateTrace:
+    """Microsoft storage: bursty, gradually declining demand."""
+    base = _piecewise(
+        duration_s,
+        [
+            (0.00, 1.00),
+            (0.25, 0.90),
+            (0.38, 0.55),
+            (0.55, 0.50),
+            (0.68, 0.35),
+            (1.00, 0.32),
+        ],
+    )
+    return RateTrace(
+        "Microsoft", _smooth(_with_noise(base, noise, seed), 10)
+    )
+
+
+TRACE_FACTORIES = {
+    "sys": sys_trace,
+    "etc": etc_trace,
+    "sap": sap_trace,
+    "nlanr": nlanr_trace,
+    "microsoft": microsoft_trace,
+}
+
+
+def make_trace(name: str, duration_s: int = 3600, **kwargs) -> RateTrace:
+    """Build one of the five paper traces by name."""
+    try:
+        factory = TRACE_FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace {name!r}; choose from {sorted(TRACE_FACTORIES)}"
+        ) from None
+    return factory(duration_s=duration_s, **kwargs)

@@ -1,0 +1,71 @@
+"""Value-size distribution (Section V-A2 of the paper).
+
+"The value sizes follow a Generalized Pareto distribution with scale
+(sigma) of 214.476 and shape (kappa) of 0.348148, similar to the
+distribution reported by Facebook", truncated to 1 byte - 1 MB; keys are
+fixed at 11 bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+FACEBOOK_ETC_SCALE = 214.476
+FACEBOOK_ETC_SHAPE = 0.348148
+KEY_LENGTH = 11
+"""Fixed key size in bytes (paper Section V-A2)."""
+
+
+class GeneralizedParetoSizes:
+    """Sampler for per-key value sizes.
+
+    Parameters
+    ----------
+    scale, shape:
+        Generalized Pareto parameters; defaults are the paper's
+        Facebook-ETC fit.
+    min_size, max_size:
+        Truncation bounds (1 byte to 1 MB in the paper).
+    """
+
+    def __init__(
+        self,
+        scale: float = FACEBOOK_ETC_SCALE,
+        shape: float = FACEBOOK_ETC_SHAPE,
+        min_size: int = 1,
+        max_size: int = 1_000_000,
+        seed: int = 0,
+    ) -> None:
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if not 1 <= min_size <= max_size:
+            raise ConfigurationError("need 1 <= min_size <= max_size")
+        self.scale = scale
+        self.shape = shape
+        self.min_size = min_size
+        self.max_size = max_size
+        self._rng = np.random.default_rng(seed)
+        self._distribution = stats.genpareto(c=shape, loc=0.0, scale=scale)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` truncated value sizes (integer bytes)."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        raw = self._distribution.rvs(size=count, random_state=self._rng)
+        sizes = np.clip(np.ceil(raw), self.min_size, self.max_size)
+        return sizes.astype(np.int64)
+
+    def theoretical_mean(self) -> float:
+        """Untruncated mean ``sigma / (1 - kappa)`` (finite for kappa<1)."""
+        if self.shape >= 1.0:
+            return float("inf")
+        return self.scale / (1.0 - self.shape)
+
+    def quantile(self, q: float) -> float:
+        """Untruncated quantile of the value-size distribution."""
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError("q must be in (0, 1)")
+        return float(self._distribution.ppf(q))

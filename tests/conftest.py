@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.node import MemcachedNode
+from repro.memcached.slab import PAGE_SIZE
+
+
+@pytest.fixture
+def small_node() -> MemcachedNode:
+    """A 4-page node, enough for a few thousand small items."""
+    return MemcachedNode("n0", 4 * PAGE_SIZE)
+
+
+@pytest.fixture
+def small_cluster() -> MemcachedCluster:
+    """Four 4-page nodes on a ketama ring."""
+    names = [f"node-{i:03d}" for i in range(4)]
+    return MemcachedCluster(names, 4 * PAGE_SIZE)
+
+
+def fill_node(
+    node: MemcachedNode,
+    count: int,
+    value_size: int = 100,
+    start_time: float = 0.0,
+    prefix: str = "k",
+) -> list[str]:
+    """Insert ``count`` items with increasing timestamps; returns keys."""
+    keys = []
+    for i in range(count):
+        key = f"{prefix}{i:08d}"
+        assert node.set(key, f"v{i}", value_size, start_time + i)
+        keys.append(key)
+    return keys

@@ -1,0 +1,85 @@
+"""Tests for the terminal chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.asciiplot import BLOCKS, chart, sparkline, _downsample
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 5) == ""
+
+    def test_flat_series(self):
+        line = sparkline([5.0] * 10, width=10)
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_rising_series_rises(self):
+        line = sparkline(list(range(100)), width=10)
+        levels = [BLOCKS.index(c) for c in line]
+        assert levels == sorted(levels)
+        assert levels[-1] > levels[0]
+
+    def test_spike_is_visible(self):
+        values = [1.0] * 50 + [100.0] + [1.0] * 49
+        line = sparkline(values, width=20)
+        assert BLOCKS[-1] in line
+
+    def test_nan_gap_renders_blank(self):
+        values = [1.0, float("nan"), 1.0]
+        line = sparkline(values, width=3)
+        assert line[1] == " "
+
+
+class TestDownsample:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            _downsample([1.0], 0)
+
+    def test_empty(self):
+        assert _downsample([], 10) == []
+
+    def test_max_pooling_preserves_spikes(self):
+        values = [0.0] * 10 + [9.0] + [0.0] * 9
+        buckets = _downsample(values, 4)
+        assert max(b for b in buckets if b is not None) == 9.0
+
+    def test_output_length_bounded(self):
+        assert len(_downsample(list(range(1000)), 40)) <= 40
+
+
+class TestChart:
+    def test_no_data(self):
+        assert "(no data)" in chart([], "t")
+
+    def test_contains_title_and_range(self):
+        out = chart([1.0, 2.0, 3.0], "latency", width=10, height=4)
+        assert "latency" in out
+        assert "max 3" in out
+        assert "min 1" in out
+
+    def test_height_rows(self):
+        out = chart(list(range(50)), "t", width=20, height=6)
+        # Title + height rows (no markers).
+        assert len(out.splitlines()) == 7
+
+    def test_log_scale_handles_spikes(self):
+        values = [1.0] * 50 + [10_000.0] + [1.0] * 49
+        out = chart(values, "rt", log_scale=True)
+        assert "max 1e+04" in out or "max 10000" in out
+
+    def test_markers_row(self):
+        out = chart(
+            list(range(100)), "t", width=20, height=4, markers=[0.5]
+        )
+        assert out.splitlines()[-1].count("^") == 1
+
+    def test_nan_tolerated(self):
+        values = [1.0, float("nan"), 5.0, float("nan")]
+        out = chart(values, "t", width=4, height=3)
+        assert "t" in out

@@ -1,0 +1,163 @@
+"""Tests for the AutoScaler (Q1) and the scheduled scaling policy."""
+
+import pytest
+
+from repro.core.autoscaler import (
+    AutoScaler,
+    AutoScalerConfig,
+    ScheduledScalingPolicy,
+    min_hit_rate,
+)
+from repro.errors import ConfigurationError
+
+MIB = 1 << 20
+
+
+def make_config(**overrides) -> AutoScalerConfig:
+    defaults = dict(
+        db_capacity_rps=100.0,
+        node_memory_bytes=MIB,
+        bytes_per_item=100.0,
+        max_nodes=32,
+        hit_rate_margin=0.0,
+        profiler="exact",
+        window_requests=10_000,
+    )
+    defaults.update(overrides)
+    return AutoScalerConfig(**defaults)
+
+
+class TestEquationOne:
+    def test_low_rate_needs_no_cache(self):
+        assert min_hit_rate(50.0, 100.0) == 0.0
+        assert min_hit_rate(100.0, 100.0) == 0.0
+
+    def test_formula_above_capacity(self):
+        assert min_hit_rate(200.0, 100.0) == pytest.approx(0.5)
+        assert min_hit_rate(1000.0, 100.0) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            min_hit_rate(100.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            min_hit_rate(-1.0, 100.0)
+
+
+class TestConfigValidation:
+    def test_node_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_config(min_nodes=0)
+        with pytest.raises(ConfigurationError):
+            make_config(min_nodes=5, max_nodes=2)
+
+    def test_profiler_name(self):
+        with pytest.raises(ConfigurationError):
+            make_config(profiler="bogus")
+
+    def test_margin_range(self):
+        with pytest.raises(ConfigurationError):
+            make_config(hit_rate_margin=1.0)
+
+
+class TestDecisions:
+    def feed_cyclic(self, scaler: AutoScaler, keys: int, repeats: int):
+        for _ in range(repeats):
+            for i in range(keys):
+                scaler.observe(f"k{i}")
+
+    def test_low_rate_scales_to_minimum(self):
+        scaler = AutoScaler(make_config())
+        self.feed_cyclic(scaler, keys=50, repeats=10)
+        decision = scaler.decide(request_rate=50.0, current_nodes=4)
+        assert decision.target_nodes == 1
+        assert decision.is_scale_in
+        assert decision.delta == -3
+
+    def test_high_rate_scales_out(self):
+        # 1000 distinct keys at 100 B each = ~100 KB working set; with
+        # 4 nodes of 1 MiB this stays at min, but a tiny node forces more.
+        scaler = AutoScaler(
+            make_config(node_memory_bytes=10_000, db_capacity_rps=10.0)
+        )
+        self.feed_cyclic(scaler, keys=1000, repeats=5)
+        decision = scaler.decide(request_rate=1000.0, current_nodes=1)
+        assert decision.is_scale_out
+        assert decision.target_nodes > 1
+
+    def test_target_capped_at_max_nodes(self):
+        scaler = AutoScaler(
+            make_config(node_memory_bytes=1 * MIB, max_nodes=2,
+                        db_capacity_rps=1.0)
+        )
+        self.feed_cyclic(scaler, keys=5000, repeats=3)
+        decision = scaler.decide(request_rate=10_000.0, current_nodes=2)
+        assert decision.target_nodes <= 2
+
+    def test_unreachable_hit_rate_sizes_for_working_set(self):
+        """All-cold traffic (no reuse) cannot reach p_min; the scaler
+        must still produce a bounded decision."""
+        scaler = AutoScaler(make_config(db_capacity_rps=1.0, max_nodes=8))
+        for i in range(2000):
+            scaler.observe(f"unique-{i}")
+        decision = scaler.decide(request_rate=1000.0, current_nodes=4)
+        assert 1 <= decision.target_nodes <= 8
+
+    def test_margin_increases_target(self):
+        plain = AutoScaler(make_config(hit_rate_margin=0.0))
+        padded = AutoScaler(make_config(hit_rate_margin=0.05))
+        self.feed_cyclic(plain, 500, 5)
+        self.feed_cyclic(padded, 500, 5)
+        d_plain = plain.decide(400.0, 4)
+        d_padded = padded.decide(400.0, 4)
+        assert d_padded.p_min > d_plain.p_min
+
+    def test_window_reset(self):
+        scaler = AutoScaler(make_config())
+        scaler.observe("a")
+        assert scaler.window_fill == 1
+        scaler.reset_window()
+        assert scaler.window_fill == 0
+
+    def test_exact_window_rolls_over(self):
+        scaler = AutoScaler(make_config(window_requests=10))
+        for i in range(25):
+            scaler.observe(f"k{i % 3}")
+        assert scaler.window_fill <= 10
+
+    def test_mimir_profiler_works_too(self):
+        scaler = AutoScaler(make_config(profiler="mimir"))
+        self.feed_cyclic(scaler, 100, 5)
+        decision = scaler.decide(50.0, 2)
+        assert decision.target_nodes >= 1
+
+    def test_decision_properties(self):
+        scaler = AutoScaler(make_config())
+        self.feed_cyclic(scaler, 50, 4)
+        decision = scaler.decide(50.0, 1)
+        assert not decision.is_scale_in
+        assert not decision.is_scale_out
+        assert decision.delta == 0
+
+
+class TestScheduledPolicy:
+    def test_fires_once_at_time(self):
+        policy = ScheduledScalingPolicy([(100.0, 7)])
+        assert policy.pending_action(50.0, 10) is None
+        decision = policy.pending_action(100.0, 10)
+        assert decision is not None
+        assert decision.target_nodes == 7
+        assert decision.delta == -3
+        assert policy.pending_action(101.0, 10) is None
+
+    def test_noop_action_returns_none(self):
+        policy = ScheduledScalingPolicy([(10.0, 5)])
+        assert policy.pending_action(10.0, 5) is None
+        # The action is consumed even when it is a no-op.
+        assert policy.pending_action(11.0, 6) is None
+
+    def test_actions_fire_in_order(self):
+        policy = ScheduledScalingPolicy([(200.0, 8), (100.0, 9)])
+        first = policy.pending_action(150.0, 10)
+        assert first.target_nodes == 9
+        second = policy.pending_action(250.0, 9)
+        assert second.target_nodes == 8

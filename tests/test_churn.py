@@ -1,0 +1,107 @@
+"""Tests for the temporal popularity churn extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.churn import ChurningPopularity, hot_set_overlap
+from repro.workloads.popularity import ZipfPopularity
+
+
+def make_churn(num_keys=2000, swaps=200, hot_bias=0.5, seed=5):
+    base = ZipfPopularity(num_keys, alpha=1.0, seed=seed)
+    return ChurningPopularity(
+        base, swaps_per_step=swaps, hot_bias=hot_bias, seed=seed
+    )
+
+
+class TestChurn:
+    def test_validation(self):
+        base = ZipfPopularity(10, seed=1)
+        with pytest.raises(ConfigurationError):
+            ChurningPopularity(base, swaps_per_step=-1)
+        with pytest.raises(ConfigurationError):
+            ChurningPopularity(base, hot_bias=1.5)
+        with pytest.raises(ConfigurationError):
+            make_churn().advance(-1)
+
+    def test_probabilities_stay_normalised(self):
+        churn = make_churn()
+        churn.advance(10)
+        assert churn.probabilities.sum() == pytest.approx(1.0)
+
+    def test_skew_is_preserved(self):
+        """Churn permutes probabilities; the sorted curve is invariant."""
+        churn = make_churn()
+        before = np.sort(churn.probabilities)
+        churn.advance(20)
+        after = np.sort(churn.probabilities)
+        assert np.allclose(before, after)
+
+    def test_hot_set_drifts(self):
+        churn = make_churn(swaps=300, hot_bias=0.8)
+        before = churn.hot_set(50)
+        churn.advance(30)
+        after = churn.hot_set(50)
+        overlap = hot_set_overlap(before, after)
+        assert overlap < 0.9  # the hot set moved...
+        assert churn.steps_advanced == 30
+
+    def test_no_swaps_means_no_drift(self):
+        churn = make_churn(swaps=0)
+        before = churn.hot_set(50)
+        churn.advance(50)
+        assert hot_set_overlap(before, churn.hot_set(50)) == 1.0
+
+    def test_sampling_follows_drifted_distribution(self):
+        churn = make_churn(num_keys=500, swaps=500, hot_bias=1.0)
+        churn.advance(20)
+        samples = churn.sample(20_000)
+        counts = np.bincount(samples, minlength=500)
+        # The most sampled keys should come from the *current* hot set.
+        top_sampled = set(np.argsort(-counts)[:10])
+        current_hot = churn.hot_set(25)
+        assert len(top_sampled & current_hot) >= 5
+
+    def test_hot_set_helpers(self):
+        churn = make_churn(num_keys=100)
+        assert churn.hot_set(0) == set()
+        assert len(churn.hot_set(10)) == 10
+        assert len(churn.hot_set(1000)) == 100
+        assert hot_set_overlap(set(), set()) == 1.0
+        assert hot_set_overlap({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+
+class TestChurnWithMigration:
+    def test_fusecache_keys_off_recency_not_popularity(self):
+        """After the hot set drifts, migration still saves the items
+        that are *currently* hot, because hotness = MRU timestamps."""
+        from repro.core.master import Master
+        from repro.memcached.cluster import MemcachedCluster
+        from repro.memcached.slab import PAGE_SIZE
+
+        churn = make_churn(num_keys=2000, swaps=400, hot_bias=0.9)
+        cluster = MemcachedCluster(
+            [f"n{i}" for i in range(3)], 4 * PAGE_SIZE
+        )
+        keyspace = [f"key-{i:05d}" for i in range(2000)]
+        # Warm with the ORIGINAL popularity (older timestamps)...
+        for t, index in enumerate(churn.sample(4000)):
+            cluster.set(keyspace[index], index, 150, float(t))
+        # ...then drift and keep accessing with the NEW popularity.
+        churn.advance(30)
+        recent = churn.sample(4000)
+        for t, index in enumerate(recent):
+            cluster.set(keyspace[index], index, 150, 10_000.0 + t)
+
+        master = Master(cluster)
+        retiring = master.choose_retiring(1)
+        plan = master.plan_scale_in(retiring)
+        master.execute(plan)
+        # Currently-hot keys that lived on the retired node must survive.
+        survivors = 0
+        current_hot = [keyspace[i] for i in churn.hot_set(30)]
+        for key in current_hot:
+            if cluster.get(key, 1e9) is not None:
+                survivors += 1
+        assert survivors >= len(current_hot) * 0.6

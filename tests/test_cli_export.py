@@ -1,0 +1,114 @@
+"""Tests for the CLI and the metrics exporters."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.export import metrics_to_rows, read_csv, write_csv, write_json
+from repro.sim.metrics import MetricsCollector, SecondRecord
+
+
+def make_metrics(seconds=5):
+    metrics = MetricsCollector()
+    for t in range(seconds):
+        metrics.add(
+            SecondRecord(
+                time=float(t),
+                requests=10,
+                kv_gets=40,
+                hits=36,
+                misses=4,
+                secondary_hits=1,
+                p95_rt_ms=5.0 + t,
+                mean_rt_ms=2.0,
+                db_latency_ms=4.0,
+                active_nodes=3,
+                db_backlog=0.0,
+            )
+        )
+    return metrics
+
+
+class TestExport:
+    def test_rows_have_all_fields(self):
+        rows = metrics_to_rows(make_metrics())
+        assert len(rows) == 5
+        assert rows[0]["hit_rate"] == pytest.approx(0.9)
+        assert rows[3]["p95_rt_ms"] == pytest.approx(8.0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        metrics = make_metrics()
+        path = write_csv(metrics, tmp_path / "metrics.csv")
+        rows = read_csv(path)
+        assert len(rows) == 5
+        assert rows[0]["active_nodes"] == 3.0
+
+    def test_json_export(self, tmp_path):
+        path = write_json(make_metrics(), tmp_path / "metrics.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["records"]) == 5
+        assert "summary" in payload
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_traces_command(self, capsys):
+        assert main(["traces", "--duration", "600"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sys", "etc", "sap", "nlanr", "microsoft"):
+            assert name in out
+
+    def test_cost_command(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "204.0 W" in out
+        assert "+47%" in out
+
+    def test_fusecache_command(self, capsys):
+        assert main(["fusecache", "--items", "1024", "--lists", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "FuseCache" in out
+        assert "k-way merge" in out
+
+    def test_mrc_command(self, capsys):
+        assert (
+            main(
+                [
+                    "mrc",
+                    "--requests",
+                    "3000",
+                    "--profiler",
+                    "exact",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+
+    @pytest.mark.slow
+    def test_run_command_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "run",
+                "--trace",
+                "sys",
+                "--policy",
+                "baseline",
+                "--duration",
+                "30",
+                "--scale",
+                "10:9",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        rows = read_csv(csv_path)
+        assert len(rows) == 30

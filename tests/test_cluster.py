@@ -1,0 +1,113 @@
+"""Tests for the Memcached cluster and membership operations."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+
+
+class TestMembership:
+    def test_initial_membership(self, small_cluster):
+        assert len(small_cluster.active_members) == 4
+        assert len(small_cluster.nodes) == 4
+
+    def test_provision_duplicate_rejected(self, small_cluster):
+        with pytest.raises(MembershipError):
+            small_cluster.provision("node-000")
+
+    def test_activate_unprovisioned_rejected(self, small_cluster):
+        with pytest.raises(MembershipError):
+            small_cluster.activate("ghost")
+
+    def test_provision_then_activate(self, small_cluster):
+        small_cluster.provision("extra")
+        assert "extra" not in small_cluster.active_members
+        small_cluster.activate("extra")
+        assert "extra" in small_cluster.active_members
+
+    def test_deactivate_keeps_data(self, small_cluster):
+        small_cluster.set("key", "v", 100, 1.0)
+        owner = small_cluster.route("key")
+        small_cluster.deactivate(owner)
+        assert owner not in small_cluster.active_members
+        assert small_cluster.nodes[owner].contains("key")
+
+    def test_destroy_flushes_and_removes(self, small_cluster):
+        small_cluster.destroy("node-001")
+        assert "node-001" not in small_cluster.nodes
+        assert "node-001" not in small_cluster.active_members
+
+    def test_destroy_unknown_rejected(self, small_cluster):
+        with pytest.raises(MembershipError):
+            small_cluster.destroy("ghost")
+
+    def test_set_membership_requires_provisioned(self, small_cluster):
+        with pytest.raises(MembershipError):
+            small_cluster.set_membership(["node-000", "ghost"])
+
+    def test_set_membership(self, small_cluster):
+        small_cluster.set_membership(["node-000", "node-002"])
+        assert small_cluster.active_members == {"node-000", "node-002"}
+
+    def test_ring_for_hypothetical_membership(self, small_cluster):
+        ring = small_cluster.ring_for(["node-000", "node-001"])
+        assert ring.members == {"node-000", "node-001"}
+        # Building a hypothetical ring must not disturb the live one.
+        assert len(small_cluster.active_members) == 4
+
+
+class TestRouting:
+    def test_route_is_stable(self, small_cluster):
+        assert small_cluster.route("key1") == small_cluster.route("key1")
+
+    def test_set_and_get_roundtrip(self, small_cluster):
+        assert small_cluster.set("key1", "v1", 100, 1.0)
+        assert small_cluster.get("key1", 2.0) == "v1"
+
+    def test_data_lands_on_routed_node(self, small_cluster):
+        small_cluster.set("key1", "v1", 100, 1.0)
+        owner = small_cluster.route("key1")
+        for name, node in small_cluster.nodes.items():
+            assert node.contains("key1") == (name == owner)
+
+    def test_delete_routes(self, small_cluster):
+        small_cluster.set("key1", "v1", 100, 1.0)
+        assert small_cluster.delete("key1")
+        assert small_cluster.get("key1", 2.0) is None
+
+    def test_multiget_partitions_hits_and_misses(self, small_cluster):
+        small_cluster.set("a", 1, 100, 1.0)
+        small_cluster.set("b", 2, 100, 1.0)
+        hits, misses = small_cluster.multiget(["a", "b", "c"], 2.0)
+        assert hits == {"a": 1, "b": 2}
+        assert misses == ["c"]
+
+    def test_keys_spread_across_nodes(self, small_cluster):
+        for i in range(400):
+            small_cluster.set(f"key{i}", i, 100, 1.0)
+        populated = [
+            node for node in small_cluster.active_nodes if node.curr_items
+        ]
+        assert len(populated) == 4
+
+
+class TestAggregates:
+    def test_total_items_and_bytes(self, small_cluster):
+        for i in range(20):
+            small_cluster.set(f"key{i}", i, 100, 1.0)
+        assert small_cluster.total_items() == 20
+        assert small_cluster.total_used_bytes() > 0
+        assert (
+            small_cluster.total_capacity_bytes()
+            == 4 * 4 * PAGE_SIZE
+        )
+
+    def test_aggregate_stats(self, small_cluster):
+        small_cluster.set("a", 1, 100, 1.0)
+        small_cluster.get("a", 2.0)
+        small_cluster.get("missing", 3.0)
+        stats = small_cluster.aggregate_stats()
+        assert stats.sets == 1
+        assert stats.get_hits == 1
+        assert stats.get_misses == 1

@@ -1,0 +1,145 @@
+"""Tests for the cost/energy model and the elasticity-potential analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import (
+    MEMCACHED_NODE,
+    WEB_NODE,
+    ServerSpec,
+    cost_premium,
+    energy_kwh,
+    power_premium,
+    power_watts,
+    rental_cost_usd,
+    savings_vs_static,
+)
+from repro.analysis.elasticity import elastic_node_series, node_savings
+from repro.cache_analysis.mrc import HitRateCurve
+from repro.errors import ConfigurationError
+from repro.workloads.traces import RateTrace, make_trace
+
+
+class TestPowerModel:
+    def test_paper_web_node_power(self):
+        # Section II-B: ~204 W for a 2-socket, 12 GB web node.
+        assert power_watts(WEB_NODE) == pytest.approx(204.0, abs=1.0)
+
+    def test_paper_memcached_node_power(self):
+        # Section II-B: ~299 W for a 1-socket, 72 GB cache node.
+        assert power_watts(MEMCACHED_NODE) == pytest.approx(299.0, abs=1.0)
+
+    def test_power_premium_is_47_percent(self):
+        assert power_premium() == pytest.approx(0.47, abs=0.01)
+
+    def test_cost_premium_is_66_percent(self):
+        assert cost_premium() == pytest.approx(0.66, abs=0.01)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            ServerSpec(cpu_sockets=0, memory_gb=12)
+        with pytest.raises(ConfigurationError):
+            ServerSpec(cpu_sockets=1, memory_gb=0)
+
+    def test_power_monotone_in_memory(self):
+        small = ServerSpec(1, 16)
+        large = ServerSpec(1, 64)
+        assert power_watts(large) > power_watts(small)
+
+
+class TestEnergyAndCost:
+    def test_energy_of_constant_tier(self):
+        # 10 nodes for 3600 s at ~299 W = ~2.99 kWh.
+        series = np.full(3600, 10)
+        assert energy_kwh(series) == pytest.approx(2.99, abs=0.05)
+
+    def test_energy_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            energy_kwh(np.array([-1.0]))
+
+    def test_rental_cost(self):
+        series = np.full(3600, 10)  # 10 node-hours
+        assert rental_cost_usd(series) == pytest.approx(1.66)
+
+    def test_savings_vs_static(self):
+        series = np.array([10, 10, 5, 5])
+        assert savings_vs_static(series) == pytest.approx(0.25)
+
+    def test_savings_with_explicit_static(self):
+        series = np.array([5, 5])
+        assert savings_vs_static(series, static_nodes=10) == pytest.approx(
+            0.5
+        )
+
+    def test_savings_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            savings_vs_static(np.array([]))
+
+
+class TestElasticity:
+    def make_curve(self):
+        # 1000 requests: distances uniform in [0, 100), no cold misses ->
+        # hit rate grows linearly with capacity up to 100 items.
+        histogram = [10] * 100
+        return HitRateCurve(histogram, cold_misses=0)
+
+    def test_elastic_series_tracks_rate(self):
+        trace = RateTrace("t", np.array([100.0, 1000.0, 100.0]))
+        series = elastic_node_series(
+            trace,
+            peak_kv_rate=1000.0,
+            db_capacity_rps=100.0,
+            curve=self.make_curve(),
+            bytes_per_item=1000.0,
+            node_memory_bytes=10_000,
+        )
+        assert len(series) == 3
+        assert series[1] > series[0]
+        assert series[0] == series[2]
+
+    def test_low_rate_needs_min_nodes(self):
+        trace = RateTrace("t", np.array([1.0]))
+        series = elastic_node_series(
+            trace,
+            peak_kv_rate=10.0,
+            db_capacity_rps=100.0,
+            curve=self.make_curve(),
+            bytes_per_item=1000.0,
+            node_memory_bytes=10_000,
+            min_nodes=2,
+        )
+        assert series[0] == 2
+
+    def test_savings_on_diurnal_trace(self):
+        """A trace with a big swing should show substantial savings
+        (the paper's Section II-C claim is 30-70%)."""
+        # A skewed (Zipf-like) reuse curve: most hits need few items.
+        histogram = [int(1000 * 0.95**d) + 1 for d in range(100)]
+        curve = HitRateCurve(histogram, cold_misses=0)
+        trace = make_trace("sys", duration_s=1200)
+        series = elastic_node_series(
+            trace,
+            peak_kv_rate=2000.0,
+            db_capacity_rps=150.0,
+            curve=curve,
+            bytes_per_item=1000.0,
+            node_memory_bytes=12_000,
+        )
+        savings = node_savings(series)
+        assert 0.15 < savings < 0.8
+
+    def test_node_savings_validation(self):
+        with pytest.raises(ConfigurationError):
+            node_savings(np.array([]))
+
+    def test_invalid_node_memory(self):
+        trace = RateTrace("t", np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            elastic_node_series(
+                trace,
+                peak_kv_rate=10.0,
+                db_capacity_rps=100.0,
+                curve=self.make_curve(),
+                bytes_per_item=1000.0,
+                node_memory_bytes=0,
+            )

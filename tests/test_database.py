@@ -1,0 +1,121 @@
+"""Tests for the backing store and database latency model."""
+
+import pytest
+
+from repro.database.kvstore import BackingStore
+from repro.database.latency import DatabaseTier, MM1LatencyModel
+from repro.errors import ConfigurationError
+
+
+class TestBackingStore:
+    def test_put_get_roundtrip(self):
+        store = BackingStore()
+        store.put("k", "v", 128)
+        assert store.get("k") == ("v", 128)
+        assert store.reads == 1
+        assert store.writes == 1
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            BackingStore().get("ghost")
+
+    def test_from_sizes(self):
+        store = BackingStore.from_sizes({"a": 10, "b": 20})
+        assert len(store) == 2
+        assert store.get("a") == (None, 10)
+
+    def test_value_size_does_not_count_read(self):
+        store = BackingStore.from_sizes({"a": 10})
+        assert store.value_size("a") == 10
+        assert store.reads == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackingStore().put("k", "v", -1)
+
+    def test_total_bytes(self):
+        store = BackingStore.from_sizes({"ab": 10, "cd": 20})
+        assert store.total_bytes() == 10 + 20 + 4
+
+    def test_contains_and_keys(self):
+        store = BackingStore.from_sizes({"a": 1})
+        assert "a" in store
+        assert "b" not in store
+        assert list(store.keys()) == ["a"]
+
+
+class TestMM1LatencyModel:
+    def test_idle_latency_is_service_time(self):
+        model = MM1LatencyModel(0.004)
+        assert model.mean_latency(0.0) == pytest.approx(0.004)
+
+    def test_latency_rises_with_utilisation(self):
+        model = MM1LatencyModel(0.004)
+        assert model.mean_latency(0.5) == pytest.approx(0.008)
+        assert model.mean_latency(0.9) > model.mean_latency(0.5)
+
+    def test_clamped_at_max_utilisation(self):
+        model = MM1LatencyModel(0.004, max_utilisation=0.9)
+        assert model.mean_latency(5.0) == model.mean_latency(0.9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MM1LatencyModel(0.0)
+        with pytest.raises(ConfigurationError):
+            MM1LatencyModel(0.004, max_utilisation=1.0)
+
+
+class TestDatabaseTier:
+    def make_tier(self, capacity=100.0):
+        store = BackingStore.from_sizes({"k": 10})
+        return DatabaseTier(store, capacity_rps=capacity)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseTier(BackingStore(), capacity_rps=0.0)
+
+    def test_get_reads_store(self):
+        tier = self.make_tier()
+        assert tier.get("k") == (None, 10)
+
+    def test_latency_knee(self):
+        """Latency rises abruptly once offered load crosses capacity."""
+        tier = self.make_tier(capacity=100.0)
+        below = tier.observe_second(50.0)
+        tier.reset()
+        near = tier.observe_second(95.0)
+        tier.reset()
+        above = tier.observe_second(200.0)
+        assert below < near < above
+        assert above > 5 * below
+
+    def test_backlog_accumulates_and_drains(self):
+        tier = self.make_tier(capacity=100.0)
+        tier.observe_second(300.0)
+        assert tier.backlog_requests == pytest.approx(200.0)
+        assert tier.overloaded_seconds == 1
+        tier.observe_second(0.0)
+        assert tier.backlog_requests == pytest.approx(100.0)
+        tier.observe_second(0.0)
+        assert tier.backlog_requests == pytest.approx(0.0)
+
+    def test_backlog_inflates_latency_of_later_seconds(self):
+        tier = self.make_tier(capacity=100.0)
+        tier.observe_second(500.0)
+        during_drain = tier.observe_second(10.0)
+        tier.reset()
+        fresh = tier.observe_second(10.0)
+        assert during_drain > fresh
+
+    def test_negative_rate_rejected(self):
+        tier = self.make_tier()
+        with pytest.raises(ConfigurationError):
+            tier.observe_second(-1.0)
+
+    def test_reset(self):
+        tier = self.make_tier()
+        tier.observe_second(500.0)
+        tier.reset()
+        assert tier.backlog_requests == 0.0
+        assert tier.seconds_observed == 0
+        assert tier.overloaded_seconds == 0

@@ -1,0 +1,149 @@
+"""Tests for post-scaling degradation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.degradation import (
+    degradation_reduction,
+    peak_reduction,
+    stable_rt_ms,
+    summarize_post_scaling,
+)
+from repro.errors import ConfigurationError
+from repro.sim.metrics import MetricsCollector, SecondRecord
+
+
+def series_to_metrics(p95_values, start=0.0):
+    metrics = MetricsCollector()
+    for offset, value in enumerate(p95_values):
+        metrics.add(
+            SecondRecord(
+                time=start + offset,
+                requests=10,
+                kv_gets=40,
+                hits=36,
+                misses=4,
+                secondary_hits=0,
+                p95_rt_ms=value,
+                mean_rt_ms=value / 2,
+                db_latency_ms=4.0,
+                active_nodes=10,
+            )
+        )
+    return metrics
+
+
+def spike_series(stable=5.0, peak=100.0, spike_at=100, spike_len=50,
+                 total=400):
+    """Stable RT, then a decaying spike, then stable again."""
+    values = np.full(total, stable)
+    for i in range(spike_len):
+        values[spike_at + i] = stable + (peak - stable) * (
+            1 - i / spike_len
+        )
+    return values
+
+
+class TestStableRT:
+    def test_median_of_window(self):
+        metrics = series_to_metrics([5.0] * 100)
+        assert stable_rt_ms(metrics, before=100.0) == pytest.approx(5.0)
+
+    def test_no_samples_raises(self):
+        metrics = series_to_metrics([5.0] * 10)
+        with pytest.raises(ConfigurationError):
+            stable_rt_ms(metrics, before=0.0)
+
+    def test_nan_samples_ignored(self):
+        values = [5.0] * 50 + [float("nan")] * 10 + [5.0] * 40
+        metrics = series_to_metrics(values)
+        assert stable_rt_ms(metrics, before=100.0) == pytest.approx(5.0)
+
+
+class TestSummary:
+    def test_peak_detection(self):
+        metrics = series_to_metrics(spike_series())
+        summary = summarize_post_scaling(metrics, scale_time=100.0)
+        assert summary.peak_rt_ms == pytest.approx(100.0)
+        assert summary.stable_rt_ms == pytest.approx(5.0)
+
+    def test_restoration_time(self):
+        metrics = series_to_metrics(
+            spike_series(spike_at=100, spike_len=50)
+        )
+        summary = summarize_post_scaling(
+            metrics, scale_time=100.0, restoration_factor=1.5
+        )
+        assert summary.restoration_time_s is not None
+        # The spike decays linearly over 50 s; RT falls below 7.5 ms at
+        # ~48 s after the scaling action.
+        assert 40 <= summary.restoration_time_s <= 55
+
+    def test_never_restored(self):
+        values = np.full(300, 5.0)
+        values[100:] = 50.0  # permanently degraded
+        metrics = series_to_metrics(values)
+        summary = summarize_post_scaling(
+            metrics, scale_time=100.0, horizon_s=200.0
+        )
+        assert summary.restoration_time_s is None
+
+    def test_average_excess(self):
+        values = np.full(300, 5.0)
+        values[100:200] = 15.0
+        metrics = series_to_metrics(values)
+        summary = summarize_post_scaling(
+            metrics, scale_time=100.0, horizon_s=200.0
+        )
+        # 100 s at +10 ms over a 200 s window -> mean excess 5 ms.
+        assert summary.average_excess_rt_ms == pytest.approx(5.0)
+
+    def test_no_post_samples_raises(self):
+        metrics = series_to_metrics([5.0] * 100)
+        with pytest.raises(ConfigurationError):
+            summarize_post_scaling(metrics, scale_time=100.0)
+
+    def test_as_row(self):
+        metrics = series_to_metrics(spike_series())
+        row = summarize_post_scaling(metrics, scale_time=100.0).as_row()
+        assert set(row) == {
+            "stable_rt_ms",
+            "peak_rt_ms",
+            "restoration_time_s",
+            "average_post_rt_ms",
+            "average_excess_rt_ms",
+        }
+
+
+class TestReductions:
+    def make_pair(self):
+        baseline = summarize_post_scaling(
+            series_to_metrics(spike_series(peak=105.0)), 100.0
+        )
+        improved = summarize_post_scaling(
+            series_to_metrics(spike_series(peak=15.0)), 100.0
+        )
+        return baseline, improved
+
+    def test_degradation_reduction(self):
+        baseline, improved = self.make_pair()
+        reduction = degradation_reduction(baseline, improved)
+        assert reduction == pytest.approx(0.9, abs=0.02)
+
+    def test_peak_reduction(self):
+        baseline, improved = self.make_pair()
+        assert peak_reduction(baseline, improved) == pytest.approx(
+            1 - 15.0 / 105.0, abs=0.01
+        )
+
+    def test_zero_baseline_degradation(self):
+        flat = summarize_post_scaling(
+            series_to_metrics(np.full(300, 5.0)), 100.0
+        )
+        assert degradation_reduction(flat, flat) == 0.0
+
+    def test_worse_policy_gives_negative_reduction(self):
+        baseline, improved = self.make_pair()
+        assert degradation_reduction(improved, baseline) < 0

@@ -1,0 +1,97 @@
+"""Tests for the ElMemController facade."""
+
+import pytest
+
+from repro.core.autoscaler import AutoScalerConfig
+from repro.core.elmem import ElMemController
+from repro.core.policies import BaselinePolicy
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+
+MIB = 1 << 20
+
+
+def make_controller(nodes=4, **config_overrides):
+    names = [f"node-{i:03d}" for i in range(nodes)]
+    cluster = MemcachedCluster(names, 4 * PAGE_SIZE)
+    for i in range(500):
+        cluster.set(f"key-{i:05d}", f"v{i}", 150, float(i))
+    config = AutoScalerConfig(
+        db_capacity_rps=100.0,
+        node_memory_bytes=4 * MIB,
+        bytes_per_item=250.0,
+        profiler="exact",
+        hit_rate_margin=0.0,
+        **config_overrides,
+    )
+    return ElMemController(cluster, config, evaluation_interval_s=60.0)
+
+
+class TestControlLoop:
+    def test_multiget_and_fill(self):
+        controller = make_controller()
+        result = controller.multiget(["key-00001", "ghost"], 1000.0)
+        assert "key-00001" in result.hits
+        assert result.misses == ["ghost"]
+        controller.fill("ghost", "v", 100, 1001.0)
+        assert controller.multiget(["ghost"], 1002.0).hit_count == 1
+
+    def test_evaluate_throttled_by_interval(self):
+        controller = make_controller()
+        controller.observe_keys(["key-00001"] * 10, 0.0)
+        first = controller.evaluate(50.0, now=0.0)
+        assert first is not None
+        controller.tick(1e6)  # finish any migration the decision started
+        assert controller.evaluate(50.0, now=30.0) is None
+        assert controller.evaluate(50.0, now=60.0) is not None
+
+    def test_low_rate_triggers_scale_in(self):
+        controller = make_controller()
+        # Small, highly reusable working set at a rate under r_DB.
+        for _ in range(20):
+            controller.observe_keys(
+                [f"key-{i:05d}" for i in range(50)], 0.0
+            )
+        decision = controller.evaluate(50.0, now=0.0)
+        assert decision is not None
+        assert decision.is_scale_in
+        assert controller.policy.pending
+        controller.tick(1e6)
+        assert len(controller.cluster.active_members) < 4
+
+    def test_evaluate_skipped_while_migrating(self):
+        controller = make_controller()
+        for _ in range(20):
+            controller.observe_keys(
+                [f"key-{i:05d}" for i in range(50)], 0.0
+            )
+        controller.evaluate(50.0, now=0.0)
+        assert controller.policy.pending
+        assert controller.evaluate(50.0, now=120.0) is None
+
+    def test_custom_policy_injection(self):
+        names = [f"node-{i:03d}" for i in range(3)]
+        cluster = MemcachedCluster(names, 4 * PAGE_SIZE)
+        config = AutoScalerConfig(
+            db_capacity_rps=100.0,
+            node_memory_bytes=4 * MIB,
+            bytes_per_item=250.0,
+        )
+        controller = ElMemController(
+            cluster, config, policy=BaselinePolicy()
+        )
+        assert controller.policy.name == "baseline"
+        assert controller.policy.cluster is cluster
+
+    def test_window_resets_after_evaluation(self):
+        controller = make_controller()
+        controller.observe_keys(["a", "b", "a"], 0.0)
+        assert controller.autoscaler.window_fill == 3
+        controller.evaluate(10.0, now=0.0)
+        assert controller.autoscaler.window_fill == 0
+
+    def test_decisions_recorded(self):
+        controller = make_controller()
+        controller.observe_keys(["key-00001"] * 5, 0.0)
+        controller.evaluate(10.0, now=0.0)
+        assert len(controller.decisions) == 1

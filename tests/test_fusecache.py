@@ -1,0 +1,185 @@
+"""Tests for FuseCache and the baseline top-n selection algorithms.
+
+The central invariant: whatever per-list counts an algorithm returns, the
+*multiset* of selected timestamps must equal the top-n of the full sorted
+merge -- for any k, any list sizes, and any amount of ties.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusecache import (
+    fuse_cache,
+    fuse_cache_detailed,
+    kway_merge_top_n,
+    lower_bound_comparisons,
+    selected_multiset,
+    sort_merge_top_n,
+)
+from repro.errors import ConfigurationError
+
+
+def brute_force_top_n(lists, n):
+    merged = sorted((v for lst in lists for v in lst), reverse=True)
+    return merged[:n]
+
+
+sorted_desc_lists = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=50).map(float),
+        max_size=30,
+    ).map(lambda lst: sorted(lst, reverse=True)),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestFuseCacheBasics:
+    def test_empty_input(self):
+        assert fuse_cache([], 5) == []
+
+    def test_n_zero(self):
+        assert fuse_cache([[3.0, 2.0]], 0) == [0]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse_cache([[1.0]], -1)
+
+    def test_unsorted_input_rejected_when_validating(self):
+        with pytest.raises(ConfigurationError):
+            fuse_cache([[1.0, 2.0]], 1, validate=True)
+
+    def test_n_exceeding_total_takes_everything(self):
+        lists = [[3.0, 1.0], [2.0]]
+        assert fuse_cache(lists, 10) == [2, 1]
+
+    def test_single_list(self):
+        assert fuse_cache([[9.0, 8.0, 7.0, 6.0]], 2) == [2]
+
+    def test_empty_lists_mixed(self):
+        lists = [[], [5.0, 4.0], []]
+        assert fuse_cache(lists, 1) == [0, 1, 0]
+
+    def test_counts_sum_to_n(self):
+        lists = [[9.0, 7.0, 5.0], [8.0, 6.0, 4.0], [10.0, 3.0]]
+        picks = fuse_cache(lists, 4)
+        assert sum(picks) == 4
+
+    def test_known_example(self):
+        lists = [[9.0, 7.0, 5.0], [8.0, 6.0, 4.0, 2.0], [10.0, 3.0]]
+        picks = fuse_cache(lists, 5)
+        assert selected_multiset(lists, picks) == [10.0, 9.0, 8.0, 7.0, 6.0]
+
+    def test_all_ties(self):
+        lists = [[1.0, 1.0, 1.0], [1.0, 1.0], [1.0]]
+        picks = fuse_cache(lists, 4)
+        assert sum(picks) == 4
+        assert all(0 <= p <= len(lst) for p, lst in zip(picks, lists))
+
+    def test_detailed_counters_populated(self):
+        lists = [[float(x) for x in range(100, 0, -1)] for _ in range(4)]
+        result = fuse_cache_detailed(lists, 50)
+        assert result.selected == 50
+        assert result.rounds >= 1
+        assert result.comparisons > 0
+
+
+class TestBaselines:
+    def test_sort_merge_simple(self):
+        lists = [[9.0, 7.0], [8.0, 6.0]]
+        assert sort_merge_top_n(lists, 3) == [2, 1]
+
+    def test_sort_merge_overflow_takes_all(self):
+        lists = [[9.0], [8.0]]
+        assert sort_merge_top_n(lists, 5) == [1, 1]
+
+    def test_sort_merge_n_zero(self):
+        assert sort_merge_top_n([[1.0], [2.0]], 0) == [0, 0]
+
+    def test_kway_merge_simple(self):
+        lists = [[9.0, 7.0], [8.0, 6.0]]
+        assert kway_merge_top_n(lists, 3) == [2, 1]
+
+    def test_kway_merge_empty_lists(self):
+        assert kway_merge_top_n([[], [5.0]], 1) == [0, 1]
+
+    def test_kway_handles_ties_with_budget(self):
+        lists = [[5.0, 5.0], [5.0, 5.0]]
+        picks = kway_merge_top_n(lists, 3)
+        assert sum(picks) == 3
+
+
+class TestEquivalence:
+    @given(sorted_desc_lists, st.integers(min_value=0, max_value=80))
+    @settings(max_examples=200, deadline=None)
+    def test_fusecache_matches_brute_force(self, lists, n):
+        picks = fuse_cache(lists, n)
+        expected = brute_force_top_n(lists, n)
+        assert selected_multiset(lists, picks) == expected
+
+    @given(sorted_desc_lists, st.integers(min_value=0, max_value=80))
+    @settings(max_examples=100, deadline=None)
+    def test_sort_merge_matches_brute_force(self, lists, n):
+        picks = sort_merge_top_n(lists, n)
+        assert selected_multiset(lists, picks) == brute_force_top_n(lists, n)
+
+    @given(sorted_desc_lists, st.integers(min_value=0, max_value=80))
+    @settings(max_examples=100, deadline=None)
+    def test_kway_matches_brute_force(self, lists, n):
+        picks = kway_merge_top_n(lists, n)
+        assert selected_multiset(lists, picks) == brute_force_top_n(lists, n)
+
+    @given(sorted_desc_lists, st.integers(min_value=0, max_value=80))
+    @settings(max_examples=100, deadline=None)
+    def test_picks_never_exceed_list_lengths(self, lists, n):
+        picks = fuse_cache(lists, n)
+        assert len(picks) == len(lists)
+        for pick, lst in zip(picks, lists):
+            assert 0 <= pick <= len(lst)
+
+    def test_large_distinct_lists(self):
+        lists = [
+            [float(v) for v in range(1000 - i, 0, -3)] for i in range(8)
+        ]
+        n = 500
+        picks = fuse_cache(lists, n)
+        assert selected_multiset(lists, picks) == brute_force_top_n(lists, n)
+
+
+class TestComplexity:
+    def test_comparisons_scale_polylog_in_n(self):
+        """FuseCache's comparison count grows ~k*(log n)^2, not ~n."""
+        k = 4
+
+        def comparisons(n):
+            lists = [
+                [float(x) for x in range(n, 0, -1)] for _ in range(k)
+            ]
+            return fuse_cache_detailed(lists, n // 2).comparisons
+
+        small = comparisons(256)
+        large = comparisons(4096)
+        # A linear-time algorithm would grow 16x; polylog stays well under.
+        assert large < 8 * small
+
+    def test_lower_bound_formula(self):
+        # log2(C(n+k-1, n)) for n=3, k=2 -> C(4,3)=4 -> 2 bits.
+        assert lower_bound_comparisons(3, 2) == pytest.approx(2.0)
+
+    def test_lower_bound_monotone_in_n(self):
+        values = [lower_bound_comparisons(n, 8) for n in (10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_lower_bound_invalid(self):
+        with pytest.raises(ConfigurationError):
+            lower_bound_comparisons(-1, 2)
+        with pytest.raises(ConfigurationError):
+            lower_bound_comparisons(5, 0)
+
+    def test_lower_bound_is_order_k_log_n(self):
+        n, k = 10**6, 100
+        bound = lower_bound_comparisons(n, k)
+        assert bound == pytest.approx(k * math.log2(n), rel=0.35)

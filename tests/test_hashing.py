@@ -1,0 +1,186 @@
+"""Tests for consistent and rendezvous hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MembershipError
+from repro.hashing.hashutil import hash32, hash64, points_for_vnode
+from repro.hashing.ketama import ConsistentHashRing
+from repro.hashing.rendezvous import RendezvousHash
+
+
+class TestHashUtil:
+    def test_hash64_is_stable(self):
+        assert hash64("alpha") == hash64("alpha")
+        assert hash64(b"alpha") == hash64("alpha")
+
+    def test_hash64_differs_across_keys(self):
+        assert hash64("alpha") != hash64("beta")
+
+    def test_hash64_range(self):
+        value = hash64("key")
+        assert 0 <= value < 2**64
+
+    def test_hash32_range(self):
+        assert 0 <= hash32("key") < 2**32
+
+    def test_points_for_vnode_count(self):
+        assert len(points_for_vnode("node", 7)) == 7
+        assert len(points_for_vnode("node", 8)) == 8
+
+    def test_points_for_vnode_deterministic(self):
+        assert points_for_vnode("n1", 12) == points_for_vnode("n1", 12)
+
+    def test_points_differ_per_label(self):
+        assert points_for_vnode("n1", 4) != points_for_vnode("n2", 4)
+
+
+class TestConsistentHashRing:
+    def test_empty_ring_rejects_lookup(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(MembershipError):
+            ring.node_for_key("k")
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing(["only"])
+        for i in range(50):
+            assert ring.node_for_key(f"key{i}") == "only"
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(MembershipError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(MembershipError):
+            ring.remove_node("b")
+
+    def test_members_tracking(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert ring.members == {"a", "b"}
+        ring.remove_node("a")
+        assert ring.members == {"b"}
+        assert len(ring) == 1
+        assert "b" in ring and "a" not in ring
+
+    def test_vnodes_must_be_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(vnodes=0)
+
+    def test_routing_deterministic(self):
+        ring1 = ConsistentHashRing(["a", "b", "c"])
+        ring2 = ConsistentHashRing(["c", "a", "b"])
+        for i in range(200):
+            key = f"key{i}"
+            assert ring1.node_for_key(key) == ring2.node_for_key(key)
+
+    def test_balance_is_reasonable(self):
+        ring = ConsistentHashRing([f"n{i}" for i in range(5)])
+        counts = {name: 0 for name in ring.members}
+        total = 5000
+        for i in range(total):
+            counts[ring.node_for_key(f"key{i}")] += 1
+        for count in counts.values():
+            assert 0.5 * total / 5 < count < 1.8 * total / 5
+
+    def test_remap_fraction_on_removal(self):
+        nodes = [f"n{i}" for i in range(10)]
+        ring = ConsistentHashRing(nodes)
+        before = {f"key{i}": ring.node_for_key(f"key{i}") for i in range(3000)}
+        ring.remove_node("n3")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.node_for_key(key)
+            if owner == "n3":
+                assert after != "n3"
+            elif after != owner:
+                moved += 1
+        # Keys not owned by the removed node must not move at all.
+        assert moved == 0
+
+    def test_addition_only_steals_keys(self):
+        nodes = [f"n{i}" for i in range(9)]
+        ring = ConsistentHashRing(nodes)
+        before = {f"key{i}": ring.node_for_key(f"key{i}") for i in range(3000)}
+        ring.add_node("new")
+        stolen = 0
+        for key, owner in before.items():
+            after = ring.node_for_key(key)
+            if after != owner:
+                assert after == "new"
+                stolen += 1
+        # Roughly 1/(k+1) = 10% of keys move to the new node.
+        assert 0.03 * len(before) < stolen < 0.25 * len(before)
+
+    def test_set_members_converges(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        ring.set_members(["b", "c", "d", "e"])
+        assert ring.members == {"b", "c", "d", "e"}
+
+    def test_nodes_for_keys_partition(self):
+        ring = ConsistentHashRing(["a", "b"])
+        keys = [f"key{i}" for i in range(100)]
+        grouped = ring.nodes_for_keys(keys)
+        flattened = [key for bucket in grouped.values() for key in bucket]
+        assert sorted(flattened) == sorted(keys)
+        for node, bucket in grouped.items():
+            for key in bucket:
+                assert ring.node_for_key(key) == node
+
+    def test_weighted_node_gets_more_keys(self):
+        ring = ConsistentHashRing(["a", "b"], weights={"a": 3.0})
+        counts = {"a": 0, "b": 0}
+        for i in range(4000):
+            counts[ring.node_for_key(f"key{i}")] += 1
+        assert counts["a"] > counts["b"]
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_lookup_always_returns_member(self, node_count, key_seed):
+        ring = ConsistentHashRing([f"n{i}" for i in range(node_count)])
+        assert ring.node_for_key(f"key{key_seed}") in ring.members
+
+
+class TestRendezvousHash:
+    def test_empty_rejects_lookup(self):
+        with pytest.raises(MembershipError):
+            RendezvousHash().node_for_key("k")
+
+    def test_duplicate_add_rejected(self):
+        hrw = RendezvousHash(["a"])
+        with pytest.raises(MembershipError):
+            hrw.add_node("a")
+
+    def test_minimal_remap_on_removal(self):
+        hrw = RendezvousHash([f"n{i}" for i in range(6)])
+        before = {f"key{i}": hrw.node_for_key(f"key{i}") for i in range(2000)}
+        hrw.remove_node("n2")
+        for key, owner in before.items():
+            if owner != "n2":
+                assert hrw.node_for_key(key) == owner
+
+    def test_minimal_remap_on_addition(self):
+        hrw = RendezvousHash([f"n{i}" for i in range(5)])
+        before = {f"key{i}": hrw.node_for_key(f"key{i}") for i in range(2000)}
+        hrw.add_node("new")
+        for key, owner in before.items():
+            after = hrw.node_for_key(key)
+            assert after in (owner, "new")
+
+    def test_set_members(self):
+        hrw = RendezvousHash(["a"])
+        hrw.set_members(["x", "y"])
+        assert hrw.members == {"x", "y"}
+
+    def test_balance(self):
+        hrw = RendezvousHash([f"n{i}" for i in range(4)])
+        counts = {name: 0 for name in hrw.members}
+        total = 4000
+        for i in range(total):
+            counts[hrw.node_for_key(f"key{i}")] += 1
+        for count in counts.values():
+            assert 0.6 * total / 4 < count < 1.5 * total / 4

@@ -1,0 +1,161 @@
+"""Cross-module integration tests.
+
+These exercise whole scaling stories -- multi-action sequences, failure
+injection between planning and execution, policy orderings -- at small
+scale so they stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.master import Master
+from repro.core.policies import ElMemPolicy
+from repro.errors import MigrationError
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+from repro.netsim.transfer import NetworkModel
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.traces import RateTrace
+
+
+def warmed_cluster(nodes=4, items=500, memory_pages=6):
+    names = [f"node-{i:03d}" for i in range(nodes)]
+    cluster = MemcachedCluster(names, memory_pages * PAGE_SIZE)
+    for i in range(items):
+        cluster.set(f"key-{i:05d}", f"v{i}", 150, float(i))
+    return cluster
+
+
+def small_experiment(**overrides):
+    defaults = dict(
+        trace=RateTrace("flat", np.full(80, 1.0)),
+        num_keys=4000,
+        initial_nodes=4,
+        memory_per_node=4 * (1 << 20),
+        peak_request_rate=50.0,
+        items_per_request=3,
+        db_capacity_rps=30.0,
+        warmup_seconds=5,
+        max_value_size=1200,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestScaleSequences:
+    def test_scale_in_then_out_roundtrip(self):
+        """10 -> 8 -> 10-style in/out sequence keeps the tier serving."""
+        cluster = warmed_cluster(nodes=4)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e7))
+        plan_in = master.plan_scale_in(master.choose_retiring(1))
+        master.execute(plan_in)
+        assert len(cluster.active_members) == 3
+        plan_out = master.plan_scale_out(["node-new"])
+        master.execute(plan_out)
+        assert len(cluster.active_members) == 4
+        # The tier still serves a healthy share of the original keys.
+        hits = sum(
+            1
+            for i in range(500)
+            if cluster.get(f"key-{i:05d}", 1e6) is not None
+        )
+        assert hits > 250
+
+    def test_repeated_scale_in_to_single_node(self):
+        cluster = warmed_cluster(nodes=4)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e7))
+        for _ in range(3):
+            plan = master.plan_scale_in(master.choose_retiring(1))
+            master.execute(plan)
+        assert len(cluster.active_members) == 1
+        survivor = next(iter(cluster.active_members))
+        assert cluster.nodes[survivor].curr_items > 0
+
+    def test_multi_action_experiment(self):
+        """An experiment with a scale-in followed by a scale-out."""
+        config = small_experiment(
+            trace=RateTrace("flat", np.full(120, 1.0)),
+            schedule=[(20.0, 3), (70.0, 4)],
+            policy="elmem",
+        )
+        result = run_experiment(config)
+        nodes = result.metrics.series("active_nodes")
+        assert nodes[0] == 4
+        assert nodes[60] == 3
+        assert nodes[-1] == 4
+
+
+class TestFailureInjection:
+    def test_retiring_node_dies_before_execution(self):
+        cluster = warmed_cluster(nodes=4)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e7))
+        retiring = master.choose_retiring(1)
+        plan = master.plan_scale_in(retiring)
+        cluster.destroy(retiring[0])  # crash before phase 3
+        report = master.execute(plan)
+        assert report.skipped_pairs
+        assert report.items_imported == 0
+        assert set(report.membership_after) == set(plan.retained)
+
+    def test_one_retained_node_dies_before_execution(self):
+        cluster = warmed_cluster(nodes=4)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e7))
+        retiring = master.choose_retiring(1)
+        plan = master.plan_scale_in(retiring)
+        victim = plan.retained[0]
+        cluster.destroy(victim)
+        report = master.execute(plan)
+        assert victim not in report.membership_after
+        assert len(report.membership_after) == 2
+        # Pairs toward the dead node were skipped; others went through.
+        assert all(dst == victim for _, dst in report.skipped_pairs)
+
+    def test_all_retained_dead_raises(self):
+        cluster = warmed_cluster(nodes=2)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e7))
+        retiring = master.choose_retiring(1)
+        plan = master.plan_scale_in(retiring)
+        cluster.destroy(plan.retained[0])
+        with pytest.raises(MigrationError):
+            master.execute(plan)
+
+    def test_policy_survives_mid_migration_crash(self):
+        policy = ElMemPolicy()
+        cluster = warmed_cluster(nodes=4)
+        master = Master(cluster, network=NetworkModel(nic_bandwidth_bps=1e5))
+        policy.bind(cluster, master)
+        policy.on_scale_decision(3, now=0.0)
+        assert policy.pending
+        _, plan = policy._pending
+        cluster.destroy(plan.retiring[0])
+        policy.tick(1e9)  # must not raise
+        assert not policy.pending
+        assert len(cluster.active_members) == 3
+
+
+class TestPolicyOrdering:
+    @pytest.mark.slow
+    def test_elmem_beats_baseline_on_hit_rate(self):
+        """End-to-end: after a scale-in, ElMem's post-scaling hit rate
+        dominates the baseline's."""
+        results = {}
+        for policy in ("baseline", "elmem"):
+            config = small_experiment(
+                schedule=[(20.0, 3)], policy=policy
+            )
+            results[policy] = run_experiment(config)
+        window = slice(22, 50)
+        base_hr = results["baseline"].metrics.hit_rates()[window].mean()
+        elmem_hr = results["elmem"].metrics.hit_rates()[window].mean()
+        assert elmem_hr >= base_hr
+
+    @pytest.mark.slow
+    def test_percentiles_are_ordered(self):
+        result = run_experiment(small_experiment())
+        p50 = result.metrics.series("p50_rt_ms")
+        p95 = result.metrics.series("p95_rt_ms")
+        p99 = result.metrics.series("p99_rt_ms")
+        mask = np.isfinite(p50)
+        assert (p50[mask] <= p95[mask] + 1e-9).all()
+        assert (p95[mask] <= p99[mask] + 1e-9).all()

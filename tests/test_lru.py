@@ -1,0 +1,178 @@
+"""Tests for the intrusive MRU list."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memcached.items import Item
+from repro.memcached.lru import MRUList
+
+
+def make_item(key: str, ts: float = 0.0) -> Item:
+    return Item(key, None, 10, ts)
+
+
+class TestBasicOperations:
+    def test_empty_list(self):
+        lst = MRUList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+        assert lst.pop_back() is None
+        assert lst.median() is None
+
+    def test_push_front_orders_mru(self):
+        lst = MRUList()
+        a, b, c = make_item("a"), make_item("b"), make_item("c")
+        lst.push_front(a)
+        lst.push_front(b)
+        lst.push_front(c)
+        assert [i.key for i in lst] == ["c", "b", "a"]
+        assert lst.head is c
+        assert lst.tail is a
+        assert len(lst) == 3
+
+    def test_pop_back_removes_lru(self):
+        lst = MRUList()
+        for key in "abc":
+            lst.push_front(make_item(key))
+        assert lst.pop_back().key == "a"
+        assert lst.pop_back().key == "b"
+        assert lst.pop_back().key == "c"
+        assert lst.pop_back() is None
+
+    def test_move_to_front(self):
+        lst = MRUList()
+        items = {key: make_item(key) for key in "abc"}
+        for key in "abc":
+            lst.push_front(items[key])
+        lst.move_to_front(items["a"])
+        assert [i.key for i in lst] == ["a", "c", "b"]
+
+    def test_move_to_front_of_head_is_noop(self):
+        lst = MRUList()
+        a = make_item("a")
+        lst.push_front(a)
+        lst.move_to_front(a)
+        assert [i.key for i in lst] == ["a"]
+
+    def test_remove_middle(self):
+        lst = MRUList()
+        items = {key: make_item(key) for key in "abc"}
+        for key in "abc":
+            lst.push_front(items[key])
+        lst.remove(items["b"])
+        assert [i.key for i in lst] == ["c", "a"]
+        lst.check_invariants()
+
+    def test_remove_only_element(self):
+        lst = MRUList()
+        a = make_item("a")
+        lst.push_front(a)
+        lst.remove(a)
+        assert len(lst) == 0
+        assert lst.head is None and lst.tail is None
+
+    def test_iter_lru_reverses(self):
+        lst = MRUList()
+        for key in "abc":
+            lst.push_front(make_item(key))
+        assert [i.key for i in lst.iter_lru()] == ["a", "b", "c"]
+
+    def test_timestamps_dump(self):
+        lst = MRUList()
+        for i, key in enumerate("abc"):
+            lst.push_front(make_item(key, float(i)))
+        assert lst.timestamps() == [2.0, 1.0, 0.0]
+
+
+class TestInsertBefore:
+    def test_insert_before_none_appends(self):
+        lst = MRUList()
+        lst.push_front(make_item("a"))
+        b = make_item("b")
+        lst.insert_before(None, b)
+        assert [i.key for i in lst] == ["a", "b"]
+        assert lst.tail is b
+
+    def test_insert_before_head(self):
+        lst = MRUList()
+        a = make_item("a")
+        lst.push_front(a)
+        b = make_item("b")
+        lst.insert_before(a, b)
+        assert [i.key for i in lst] == ["b", "a"]
+        assert lst.head is b
+
+    def test_insert_before_middle(self):
+        lst = MRUList()
+        items = {key: make_item(key) for key in "ab"}
+        lst.push_front(items["a"])
+        lst.push_front(items["b"])  # order: b, a
+        c = make_item("c")
+        lst.insert_before(items["a"], c)
+        assert [i.key for i in lst] == ["b", "c", "a"]
+        lst.check_invariants()
+
+    def test_insert_before_none_into_empty(self):
+        lst = MRUList()
+        a = make_item("a")
+        lst.insert_before(None, a)
+        assert [i.key for i in lst] == ["a"]
+        assert lst.head is a and lst.tail is a
+
+
+class TestMedian:
+    def test_median_odd(self):
+        lst = MRUList()
+        for key in "abcde":
+            lst.push_front(make_item(key))
+        # MRU order: e d c b a; index len//2 = 2 -> "c"
+        assert lst.median().key == "c"
+
+    def test_median_even(self):
+        lst = MRUList()
+        for key in "abcd":
+            lst.push_front(make_item(key))
+        # MRU order: d c b a; index 2 -> "b"
+        assert lst.median().key == "b"
+
+    def test_median_single(self):
+        lst = MRUList()
+        a = make_item("a")
+        lst.push_front(a)
+        assert lst.median() is a
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("pmr"), st.integers(0, 9)),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_random_ops_match_model(ops):
+    """The intrusive list behaves like a plain Python list model."""
+    lst = MRUList()
+    model: list[str] = []  # head-first
+    items: dict[str, Item] = {}
+    counter = 0
+    for op, arg in ops:
+        if op == "p":
+            key = f"k{counter}"
+            counter += 1
+            item = make_item(key)
+            items[key] = item
+            lst.push_front(item)
+            model.insert(0, key)
+        elif op == "m" and model:
+            key = model[arg % len(model)]
+            lst.move_to_front(items[key])
+            model.remove(key)
+            model.insert(0, key)
+        elif op == "r" and model:
+            key = model[arg % len(model)]
+            lst.remove(items[key])
+            model.remove(key)
+        assert [i.key for i in lst] == model
+        lst.check_invariants()

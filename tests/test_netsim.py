@@ -1,0 +1,66 @@
+"""Tests for the network transfer model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.transfer import GBIT, Flow, NetworkModel
+
+
+class TestFlow:
+    def test_valid_flow(self):
+        flow = Flow("a", "b", 1000)
+        assert flow.size_bytes == 1000
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow("a", "b", -1)
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow("a", "a", 10)
+
+
+class TestNetworkModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(nic_bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(connection_setup_s=-1)
+
+    def test_flow_time(self):
+        net = NetworkModel(nic_bandwidth_bps=1000, connection_setup_s=0.5)
+        assert net.flow_time(2000) == pytest.approx(2.5)
+
+    def test_flow_time_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().flow_time(-1)
+
+    def test_phase_time_empty(self):
+        assert NetworkModel().phase_time([]) == 0.0
+
+    def test_phase_time_single_flow(self):
+        net = NetworkModel(nic_bandwidth_bps=1000, connection_setup_s=0.0)
+        assert net.phase_time([Flow("a", "b", 3000)]) == pytest.approx(3.0)
+
+    def test_parallel_flows_from_distinct_sources_overlap(self):
+        net = NetworkModel(nic_bandwidth_bps=1000, connection_setup_s=0.0)
+        flows = [Flow("a", "x", 1000), Flow("b", "y", 1000)]
+        assert net.phase_time(flows) == pytest.approx(1.0)
+
+    def test_shared_source_serialises_bytes(self):
+        net = NetworkModel(nic_bandwidth_bps=1000, connection_setup_s=0.0)
+        flows = [Flow("a", "x", 1000), Flow("a", "y", 1000)]
+        assert net.phase_time(flows) == pytest.approx(2.0)
+
+    def test_shared_destination_serialises_bytes(self):
+        net = NetworkModel(nic_bandwidth_bps=1000, connection_setup_s=0.0)
+        flows = [Flow("a", "x", 1000), Flow("b", "x", 1000)]
+        assert net.phase_time(flows) == pytest.approx(2.0)
+
+    def test_setup_cost_paid_per_flow_on_source(self):
+        net = NetworkModel(nic_bandwidth_bps=1e9, connection_setup_s=0.5)
+        flows = [Flow("a", "x", 0), Flow("a", "y", 0)]
+        assert net.phase_time(flows) == pytest.approx(1.0)
+
+    def test_gbit_constant(self):
+        assert GBIT == 125_000_000

@@ -1,0 +1,198 @@
+"""Tests for the Memcached node model."""
+
+import pytest
+
+from repro.memcached.node import MemcachedNode, MigratedItem
+from repro.memcached.slab import PAGE_SIZE
+
+from tests.conftest import fill_node
+
+
+class TestGetSetDelete:
+    def test_miss_returns_none(self, small_node):
+        assert small_node.get("missing", 1.0) is None
+        assert small_node.stats.get_misses == 1
+
+    def test_set_then_get(self, small_node):
+        assert small_node.set("k", "v", 100, 1.0)
+        assert small_node.get("k", 2.0) == "v"
+        assert small_node.stats.get_hits == 1
+        assert small_node.stats.sets == 1
+
+    def test_get_refreshes_timestamp(self, small_node):
+        small_node.set("k", "v", 100, 1.0)
+        small_node.get("k", 5.0)
+        assert small_node.peek("k").last_access == 5.0
+
+    def test_set_overwrites(self, small_node):
+        small_node.set("k", "v1", 100, 1.0)
+        small_node.set("k", "v2", 100, 2.0)
+        assert small_node.get("k", 3.0) == "v2"
+        assert small_node.curr_items == 1
+
+    def test_set_resize_moves_slab_class(self, small_node):
+        small_node.set("k", "v", 50, 1.0)
+        first_class = small_node.peek("k").slab_class_id
+        small_node.set("k", "v", 5000, 2.0)
+        second_class = small_node.peek("k").slab_class_id
+        assert second_class > first_class
+        assert small_node.curr_items == 1
+
+    def test_delete(self, small_node):
+        small_node.set("k", "v", 100, 1.0)
+        assert small_node.delete("k")
+        assert not small_node.delete("k")
+        assert small_node.get("k", 2.0) is None
+        assert small_node.stats.deletes == 1
+
+    def test_contains_and_peek_have_no_side_effects(self, small_node):
+        small_node.set("k", "v", 100, 1.0)
+        assert small_node.contains("k")
+        item = small_node.peek("k")
+        assert item.last_access == 1.0
+        assert small_node.stats.get_hits == 0
+
+    def test_too_large_rejected(self, small_node):
+        assert not small_node.set("big", "v", 2 * PAGE_SIZE, 1.0)
+        assert small_node.stats.too_large == 1
+
+    def test_flush_all(self, small_node):
+        fill_node(small_node, 10)
+        small_node.flush_all()
+        assert small_node.curr_items == 0
+        assert small_node.used_bytes == 0
+
+    def test_hit_rate_stat(self, small_node):
+        small_node.set("k", "v", 100, 1.0)
+        small_node.get("k", 2.0)
+        small_node.get("absent", 3.0)
+        assert small_node.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestEviction:
+    @staticmethod
+    def _capacity(node: MemcachedNode, value_size: int, key: str) -> int:
+        """Items of this size one page can hold."""
+        total = len(key) + value_size + 56
+        return node.slabs.class_for_size(total).chunks_per_page
+
+    def test_eviction_is_coldest_first(self):
+        node = MemcachedNode("n", PAGE_SIZE)
+        size = 400
+        capacity = self._capacity(node, size, "k000")
+        for i in range(capacity + 3):
+            node.set(f"k{i:03d}", i, size, float(i))
+        assert node.stats.evictions == 3
+        for i in range(3):
+            assert not node.contains(f"k{i:03d}")  # coldest evicted
+        for i in range(3, capacity + 3):
+            assert node.contains(f"k{i:03d}")
+
+    def test_get_protects_from_eviction(self):
+        node = MemcachedNode("n", PAGE_SIZE)
+        size = 400
+        capacity = self._capacity(node, size, "k000")
+        for i in range(capacity):
+            node.set(f"k{i:03d}", i, size, float(i))
+        node.get("k000", 1000.0)  # touch the coldest so k001 becomes LRU
+        node.set("new", 1, size, 1001.0)
+        assert node.contains("k000")
+        assert not node.contains("k001")
+
+    def test_capacity_stays_bounded(self, small_node):
+        fill_node(small_node, 50_000, value_size=400)
+        assert small_node.used_bytes <= small_node.memory_bytes
+        assert small_node.stats.evictions > 0
+
+
+class TestDumpAndImport:
+    def test_dump_timestamps_mru_order(self, small_node):
+        fill_node(small_node, 20, start_time=100.0)
+        for class_id in small_node.active_class_ids():
+            dump = small_node.dump_timestamps(class_id)
+            timestamps = [ts for _, ts in dump]
+            assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_dump_metadata_covers_all_items(self, small_node):
+        keys = set(fill_node(small_node, 25))
+        dumped = {
+            key
+            for entries in small_node.dump_metadata().values()
+            for key, _ in entries
+        }
+        assert dumped == keys
+
+    def test_export_skips_missing(self, small_node):
+        fill_node(small_node, 5)
+        exported = small_node.export_items(["k00000001", "ghost"])
+        assert [e.key for e in exported] == ["k00000001"]
+
+    def test_export_preserves_metadata(self, small_node):
+        small_node.set("k", "value", 321, 42.0)
+        record = small_node.export_items(["k"])[0]
+        assert record.value == "value"
+        assert record.value_size == 321
+        assert record.last_access == 42.0
+        assert record.transfer_bytes == len("k") + 321
+
+    def test_batch_import_merge_keeps_sorted(self, small_node):
+        fill_node(small_node, 10, start_time=0.0)
+        migrated = [
+            MigratedItem("m1", "v", 100, 4.5),
+            MigratedItem("m2", "v", 100, 2.5),
+        ]
+        count = small_node.batch_import(migrated, mode="merge")
+        assert count == 2
+        for class_id in small_node.active_class_ids():
+            timestamps = [
+                ts for _, ts in small_node.dump_timestamps(class_id)
+            ]
+            assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_batch_import_prepend_puts_at_head(self, small_node):
+        fill_node(small_node, 5, start_time=100.0)
+        migrated = [MigratedItem("cold", "v", 100, 1.0)]
+        small_node.batch_import(migrated, mode="prepend")
+        class_id = small_node.peek("cold").slab_class_id
+        head_key = small_node.dump_timestamps(class_id)[0][0]
+        assert head_key == "cold"
+
+    def test_batch_import_overwrites_existing(self, small_node):
+        small_node.set("k", "old", 100, 1.0)
+        small_node.batch_import([MigratedItem("k", "new", 100, 9.0)])
+        assert small_node.peek("k").value == "new"
+        assert small_node.curr_items == 1
+
+    def test_batch_import_invalid_mode(self, small_node):
+        with pytest.raises(ValueError):
+            small_node.batch_import([], mode="bogus")
+
+    def test_batch_import_evicts_when_full(self):
+        node = MemcachedNode("n", PAGE_SIZE)
+        size = PAGE_SIZE // 2 - 200
+        node.set("a", 1, size, 1.0)
+        node.set("b", 2, size, 2.0)
+        migrated = [MigratedItem("hot", "v", size, 10.0)]
+        assert node.batch_import(migrated) == 1
+        assert node.contains("hot")
+        assert not node.contains("a")
+        assert node.stats.imported == 1
+
+
+class TestScoringSupport:
+    def test_median_timestamp(self, small_node):
+        fill_node(small_node, 9, start_time=0.0)
+        class_id = small_node.active_class_ids()[0]
+        median = small_node.median_timestamp(class_id)
+        dump = [ts for _, ts in small_node.dump_timestamps(class_id)]
+        assert median == dump[len(dump) // 2]
+
+    def test_median_of_empty_class_is_none(self, small_node):
+        empty_class = small_node.active_class_ids()[-1] + 1 \
+            if small_node.active_class_ids() else 0
+        assert small_node.median_timestamp(empty_class) is None
+
+    def test_page_fractions(self, small_node):
+        fill_node(small_node, 10)
+        fractions = small_node.page_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)

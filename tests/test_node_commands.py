@@ -1,0 +1,177 @@
+"""Tests for the extended Memcached command surface.
+
+TTL/expiration, add/replace, append/prepend, CAS, incr/decr, touch, and
+the LRU crawler -- the substrate the paper's custom commands sit on.
+"""
+
+import pytest
+
+from repro.memcached.node import MemcachedNode
+from repro.memcached.slab import PAGE_SIZE
+
+
+@pytest.fixture
+def node() -> MemcachedNode:
+    return MemcachedNode("n0", 4 * PAGE_SIZE)
+
+
+class TestExpiration:
+    def test_item_without_ttl_never_expires(self, node):
+        node.set("k", "v", 100, 1.0)
+        assert node.get("k", 1e9) == "v"
+
+    def test_expired_item_misses(self, node):
+        node.set("k", "v", 100, 1.0, exptime=10.0)
+        assert node.get("k", 5.0) == "v"
+        assert node.get("k", 11.0) is None
+        assert node.stats.expired == 1
+
+    def test_expiry_reclaims_memory(self, node):
+        node.set("k", "v", 100, 1.0, exptime=10.0)
+        used = node.used_bytes
+        node.get("k", 20.0)
+        assert node.used_bytes < used
+        assert node.curr_items == 0
+
+    def test_expiry_boundary_is_inclusive(self, node):
+        node.set("k", "v", 100, 0.0, exptime=10.0)
+        assert node.get("k", 9.999) == "v"
+        assert node.get("k", 10.0) is None
+
+    def test_overwrite_clears_ttl(self, node):
+        node.set("k", "v1", 100, 0.0, exptime=5.0)
+        node.set("k", "v2", 100, 1.0)
+        assert node.get("k", 100.0) == "v2"
+
+    def test_crawl_expired(self, node):
+        for i in range(10):
+            node.set(f"k{i}", i, 100, 0.0, exptime=5.0 if i % 2 else 0.0)
+        reclaimed = node.crawl_expired(now=6.0)
+        assert reclaimed == 5
+        assert node.curr_items == 5
+        assert node.stats.expired == 5
+
+    def test_crawl_nothing_expired(self, node):
+        node.set("k", "v", 100, 0.0)
+        assert node.crawl_expired(now=100.0) == 0
+
+
+class TestAddReplace:
+    def test_add_only_when_absent(self, node):
+        assert node.add("k", "v1", 100, 1.0)
+        assert not node.add("k", "v2", 100, 2.0)
+        assert node.get("k", 3.0) == "v1"
+
+    def test_add_succeeds_after_expiry(self, node):
+        node.set("k", "v1", 100, 0.0, exptime=5.0)
+        assert node.add("k", "v2", 100, 10.0)
+        assert node.get("k", 11.0) == "v2"
+
+    def test_replace_only_when_present(self, node):
+        assert not node.replace("k", "v", 100, 1.0)
+        node.set("k", "v1", 100, 2.0)
+        assert node.replace("k", "v2", 100, 3.0)
+        assert node.get("k", 4.0) == "v2"
+
+
+class TestConcat:
+    def test_append(self, node):
+        node.set("k", "hello", 5, 1.0)
+        assert node.append("k", "!", 1, 2.0)
+        assert node.get("k", 3.0) == ("hello", "!")
+        assert node.peek("k").value_size == 6
+
+    def test_prepend(self, node):
+        node.set("k", "world", 5, 1.0)
+        assert node.prepend("k", ">", 1, 2.0)
+        assert node.get("k", 3.0) == (">", "world")
+
+    def test_concat_on_missing_fails(self, node):
+        assert not node.append("ghost", "x", 1, 1.0)
+        assert not node.prepend("ghost", "x", 1, 1.0)
+
+    def test_concat_preserves_remaining_ttl(self, node):
+        node.set("k", "v", 1, 0.0, exptime=10.0)
+        node.append("k", "w", 1, 4.0)
+        assert node.get("k", 9.0) is not None
+        assert node.get("k", 11.0) is None
+
+
+class TestCas:
+    def test_gets_returns_token(self, node):
+        node.set("k", "v", 100, 1.0)
+        value, token = node.gets("k", 2.0)
+        assert value == "v"
+        assert token > 0
+
+    def test_gets_miss(self, node):
+        assert node.gets("ghost", 1.0) is None
+
+    def test_cas_stores_on_match(self, node):
+        node.set("k", "v1", 100, 1.0)
+        _, token = node.gets("k", 2.0)
+        assert node.cas("k", "v2", 100, token, 3.0) == "stored"
+        assert node.get("k", 4.0) == "v2"
+
+    def test_cas_rejects_stale_token(self, node):
+        node.set("k", "v1", 100, 1.0)
+        _, token = node.gets("k", 2.0)
+        node.set("k", "v2", 100, 3.0)  # token is now stale
+        assert node.cas("k", "v3", 100, token, 4.0) == "exists"
+        assert node.get("k", 5.0) == "v2"
+
+    def test_cas_on_missing(self, node):
+        assert node.cas("ghost", "v", 100, 1, 1.0) == "not_found"
+
+    def test_cas_tokens_are_unique(self, node):
+        node.set("a", 1, 100, 1.0)
+        node.set("b", 2, 100, 2.0)
+        assert node.peek("a").cas_id != node.peek("b").cas_id
+
+
+class TestArithmetic:
+    def test_incr(self, node):
+        node.set("counter", 10, 100, 1.0)
+        assert node.incr("counter", 5, 2.0) == 15
+        assert node.get("counter", 3.0) == 15
+
+    def test_decr_clamps_at_zero(self, node):
+        node.set("counter", 3, 100, 1.0)
+        assert node.decr("counter", 10, 2.0) == 0
+
+    def test_arith_on_missing_returns_none(self, node):
+        assert node.incr("ghost", 1, 1.0) is None
+
+    def test_arith_on_non_numeric_raises(self, node):
+        node.set("k", "not-a-number", 100, 1.0)
+        with pytest.raises(ValueError):
+            node.incr("k", 1, 2.0)
+
+    def test_incr_refreshes_mru(self, node):
+        node.set("a", 1, 100, 1.0)
+        node.set("b", 2, 100, 2.0)
+        node.incr("a", 1, 3.0)
+        class_id = node.peek("a").slab_class_id
+        assert node.dump_timestamps(class_id)[0][0] == "a"
+
+
+class TestTouch:
+    def test_touch_extends_ttl(self, node):
+        node.set("k", "v", 100, 0.0, exptime=5.0)
+        assert node.touch_item("k", 100.0, now=4.0)
+        assert node.get("k", 50.0) == "v"
+
+    def test_touch_can_clear_ttl(self, node):
+        node.set("k", "v", 100, 0.0, exptime=5.0)
+        node.touch_item("k", 0.0, now=1.0)
+        assert node.get("k", 1e6) == "v"
+
+    def test_touch_missing(self, node):
+        assert not node.touch_item("ghost", 10.0, now=1.0)
+
+    def test_touch_refreshes_recency(self, node):
+        node.set("a", 1, 100, 1.0)
+        node.set("b", 2, 100, 2.0)
+        node.touch_item("a", 0.0, now=3.0)
+        class_id = node.peek("a").slab_class_id
+        assert node.dump_timestamps(class_id)[0][0] == "a"

@@ -1,0 +1,232 @@
+"""Tests for the four migration policies."""
+
+import random
+
+import pytest
+
+from repro.core.master import Master
+from repro.core.policies import (
+    BaselinePolicy,
+    CacheScalePolicy,
+    ElMemPolicy,
+    NaivePolicy,
+    make_policy,
+)
+from repro.errors import MigrationError
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+from repro.netsim.transfer import NetworkModel
+
+
+def bound_policy(policy, nodes=4, items=400, memory_pages=4):
+    names = [f"node-{i:03d}" for i in range(nodes)]
+    cluster = MemcachedCluster(names, memory_pages * PAGE_SIZE)
+    for i in range(items):
+        cluster.set(f"key-{i:05d}", f"v{i}", 150, float(i))
+    master = Master(
+        cluster,
+        network=NetworkModel(nic_bandwidth_bps=1e6, connection_setup_s=0.1),
+    )
+    policy.bind(cluster, master, random.Random(1))
+    return cluster, master
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in ("baseline", "elmem", "naive", "cachescale"):
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(MigrationError):
+            make_policy("bogus")
+
+
+class TestBaselinePolicy:
+    def test_scale_in_is_immediate_and_cold(self):
+        policy = BaselinePolicy()
+        cluster, _ = bound_policy(policy)
+        before = cluster.total_items()
+        policy.on_scale_decision(3, now=10.0)
+        assert len(cluster.active_members) == 3
+        assert not policy.pending
+        # Items on the retired node are simply lost.
+        assert cluster.total_items() < before
+
+    def test_scale_out_adds_cold_nodes(self):
+        policy = BaselinePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(6, now=10.0)
+        assert len(cluster.active_members) == 6
+        new_nodes = [
+            node
+            for name, node in cluster.nodes.items()
+            if name.startswith("node-0") and node.curr_items == 0
+        ]
+        assert len(new_nodes) >= 2
+
+    def test_noop_decision(self):
+        policy = BaselinePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(4, now=1.0)
+        assert len(cluster.active_members) == 4
+        assert policy.events == []
+
+    def test_invalid_target(self):
+        policy = BaselinePolicy()
+        bound_policy(policy)
+        with pytest.raises(MigrationError):
+            policy.on_scale_decision(0, now=1.0)
+
+
+class TestElMemPolicy:
+    def test_membership_switch_is_deferred(self):
+        policy = ElMemPolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        assert policy.pending
+        assert len(cluster.active_members) == 4  # not yet switched
+        policy.tick(10.5)  # before the migration completes
+        assert len(cluster.active_members) == 4
+
+    def test_tick_executes_when_due(self):
+        policy = ElMemPolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        policy.tick(10.0 + 10_000.0)
+        assert not policy.pending
+        assert len(cluster.active_members) == 3
+        assert policy.reports
+        assert policy.reports[0].items_imported > 0
+
+    def test_concurrent_decision_skipped(self):
+        policy = ElMemPolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        policy.on_scale_decision(2, now=11.0)
+        policy.tick(10.0 + 10_000.0)
+        assert len(cluster.active_members) == 3  # second decision ignored
+
+    def test_scale_out_warms_new_node(self):
+        policy = ElMemPolicy()
+        cluster, _ = bound_policy(policy, memory_pages=8)
+        policy.on_scale_decision(5, now=10.0)
+        assert policy.pending
+        policy.tick(10.0 + 10_000.0)
+        assert len(cluster.active_members) == 5
+        new_name = (set(cluster.active_members) - {
+            "node-000", "node-001", "node-002", "node-003"
+        }).pop()
+        assert cluster.nodes[new_name].curr_items > 0
+
+    def test_hot_items_survive_scale_in(self):
+        policy = ElMemPolicy()
+        cluster, master = bound_policy(policy, memory_pages=8)
+        retiring = master.choose_retiring(1)[0]
+        hot_keys = [
+            item.key
+            for class_id in cluster.nodes[retiring].active_class_ids()
+            for item in cluster.nodes[retiring].items_in_mru_order(class_id)[:5]
+        ]
+        policy.on_scale_decision(3, now=10.0)
+        policy.tick(10.0 + 10_000.0)
+        for key in hot_keys:
+            assert cluster.get(key, 20_000.0) is not None
+
+
+class TestNaivePolicy:
+    def test_scale_in_deferred_then_executed(self):
+        policy = NaivePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        assert policy.pending
+        policy.tick(10.0 + 10_000.0)
+        assert len(cluster.active_members) == 3
+        assert policy.reports
+
+    def test_migrates_fraction_of_victim(self):
+        policy = NaivePolicy()
+        cluster, _ = bound_policy(policy)
+        counts = {
+            name: node.curr_items for name, node in cluster.nodes.items()
+        }
+        policy.on_scale_decision(3, now=10.0)
+        _, plan = policy._pending
+        victim = plan.retiring[0]
+        assert plan.items_to_migrate <= counts[victim]
+        assert plan.items_to_migrate >= int(counts[victim] * 0.7) - len(
+            cluster.nodes[victim].active_class_ids()
+        )
+
+    def test_scale_out_is_cold(self):
+        policy = NaivePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(5, now=10.0)
+        assert not policy.pending
+        assert len(cluster.active_members) == 5
+
+
+class TestCacheScalePolicy:
+    def test_membership_switches_immediately(self):
+        policy = CacheScalePolicy(discard_after_s=100.0)
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        assert len(cluster.active_members) == 3
+        assert policy.pending  # secondary still alive
+
+    def test_secondary_hit_migrates_item(self):
+        policy = CacheScalePolicy(discard_after_s=100.0)
+        cluster, master = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        retired = (set(policy._secondary_only)).pop()
+        node = cluster.nodes[retired]
+        key = next(iter(node.keys()))
+        result = policy.multiget([key], 20.0)
+        assert key in result.hits
+        assert result.secondary_hits == 1
+        # The item moved to its new primary owner.
+        primary = cluster.route(key)
+        assert cluster.nodes[primary].contains(key)
+        assert not node.contains(key)
+
+    def test_secondary_discarded_after_deadline(self):
+        policy = CacheScalePolicy(discard_after_s=50.0)
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        retired = set(policy._secondary_only).pop()
+        policy.tick(59.0)
+        assert retired in cluster.nodes
+        policy.tick(60.0)
+        assert retired not in cluster.nodes
+        assert not policy.pending
+
+    def test_miss_everywhere_is_a_miss(self):
+        policy = CacheScalePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.on_scale_decision(3, now=10.0)
+        result = policy.multiget(["never-cached"], 20.0)
+        assert result.misses == ["never-cached"]
+        assert result.hit_count == 0
+
+    def test_scale_out_uses_old_ring_as_secondary(self):
+        policy = CacheScalePolicy(discard_after_s=100.0)
+        cluster, _ = bound_policy(policy, memory_pages=8)
+        # Find a key that will move to the new node.
+        policy.on_scale_decision(5, now=10.0)
+        moved = [
+            key
+            for key in [f"key-{i:05d}" for i in range(400)]
+            if cluster.route(key) not in policy._secondary_ring.members
+            or cluster.route(key)
+            != policy._secondary_ring.node_for_key(key)
+        ]
+        assert moved, "ketama should remap some keys to the new node"
+        result = policy.multiget(moved[:10], 20.0)
+        # Old owners are warm, so these resolve via the secondary path.
+        assert result.hit_count == 10
+        assert result.secondary_hits > 0
+
+    def test_fill_goes_to_primary(self):
+        policy = CacheScalePolicy()
+        cluster, _ = bound_policy(policy)
+        policy.fill("fresh", "v", 100, 5.0)
+        assert cluster.nodes[cluster.route("fresh")].contains("fresh")

@@ -1,0 +1,195 @@
+"""Tests for the Memcached ASCII protocol facade."""
+
+import pytest
+
+from repro.memcached.node import MemcachedNode
+from repro.memcached.protocol import TextProtocolServer
+from repro.memcached.slab import PAGE_SIZE
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def server(clock) -> TextProtocolServer:
+    node = MemcachedNode("n0", 4 * PAGE_SIZE)
+    return TextProtocolServer(node, clock)
+
+
+def set_key(server, key, payload=b"hello", flags=0, exptime=0):
+    return server.execute(
+        f"set {key} {flags} {exptime} {len(payload)}", payload
+    )
+
+
+class TestStorage:
+    def test_set_and_get(self, server):
+        assert set_key(server, "k") == b"STORED\r\n"
+        assert (
+            server.execute("get k")
+            == b"VALUE k 0 5\r\nhello\r\nEND\r\n"
+        )
+
+    def test_get_miss_returns_end_only(self, server):
+        assert server.execute("get ghost") == b"END\r\n"
+
+    def test_multi_get(self, server):
+        set_key(server, "a", b"1")
+        set_key(server, "b", b"22")
+        response = server.execute("get a b ghost")
+        assert b"VALUE a 0 1\r\n1\r\n" in response
+        assert b"VALUE b 0 2\r\n22\r\n" in response
+        assert response.endswith(b"END\r\n")
+
+    def test_flags_roundtrip(self, server):
+        set_key(server, "k", b"x", flags=42)
+        assert b"VALUE k 42 1" in server.execute("get k")
+
+    def test_add_semantics(self, server):
+        assert server.execute("add k 0 0 1", b"a") == b"STORED\r\n"
+        assert server.execute("add k 0 0 1", b"b") == b"NOT_STORED\r\n"
+
+    def test_replace_semantics(self, server):
+        assert server.execute("replace k 0 0 1", b"a") == b"NOT_STORED\r\n"
+        set_key(server, "k")
+        assert server.execute("replace k 0 0 1", b"b") == b"STORED\r\n"
+
+    def test_append_prepend(self, server):
+        set_key(server, "k", b"mid")
+        assert server.execute("append k 0 0 3", b"end") == b"STORED\r\n"
+        assert server.execute("prepend k 0 0 4", b"pre-") == b"STORED\r\n"
+        assert b"pre-midend" in server.execute("get k")
+
+    def test_append_missing_not_stored(self, server):
+        assert server.execute("append k 0 0 1", b"x") == b"NOT_STORED\r\n"
+
+    def test_bad_data_trailer(self, server):
+        response = server.feed(b"set k 0 0 2\r\nabXX")
+        assert b"CLIENT_ERROR" in response
+
+    def test_oversized_key_rejected(self, server):
+        key = "k" * 251
+        response = server.execute(f"set {key} 0 0 1", b"x")
+        assert b"CLIENT_ERROR" in response
+
+    def test_malformed_storage_header(self, server):
+        assert b"CLIENT_ERROR" in server.execute("set k 0 0")
+        assert b"CLIENT_ERROR" in server.execute("set k 0 0 notanum")
+
+
+class TestCasProtocol:
+    def test_gets_and_cas_roundtrip(self, server):
+        set_key(server, "k")
+        response = server.execute("gets k").decode()
+        token = int(response.split("\r\n")[0].split()[-1])
+        assert (
+            server.execute(f"cas k 0 0 3 {token}", b"new") == b"STORED\r\n"
+        )
+
+    def test_cas_stale_token(self, server):
+        set_key(server, "k")
+        response = server.execute("gets k").decode()
+        token = int(response.split("\r\n")[0].split()[-1])
+        set_key(server, "k", b"other")
+        assert (
+            server.execute(f"cas k 0 0 1 {token}", b"x") == b"EXISTS\r\n"
+        )
+
+    def test_cas_missing_key(self, server):
+        assert server.execute("cas k 0 0 1 7", b"x") == b"NOT_FOUND\r\n"
+
+
+class TestMutation:
+    def test_delete(self, server):
+        set_key(server, "k")
+        assert server.execute("delete k") == b"DELETED\r\n"
+        assert server.execute("delete k") == b"NOT_FOUND\r\n"
+
+    def test_incr_decr(self, server):
+        set_key(server, "n", b"10")
+        assert server.execute("incr n 5") == b"15\r\n"
+        assert server.execute("decr n 100") == b"0\r\n"
+
+    def test_incr_non_numeric(self, server):
+        set_key(server, "k", b"abc")
+        assert b"CLIENT_ERROR" in server.execute("incr k 1")
+
+    def test_incr_missing(self, server):
+        assert server.execute("incr ghost 1") == b"NOT_FOUND\r\n"
+
+    def test_touch(self, server, clock):
+        server.execute("set k 0 10 1", b"x")
+        assert server.execute("touch k 100") == b"TOUCHED\r\n"
+        clock.now = 50.0
+        assert b"VALUE" in server.execute("get k")
+
+    def test_touch_missing(self, server):
+        assert server.execute("touch ghost 10") == b"NOT_FOUND\r\n"
+
+    def test_expiry_via_protocol(self, server, clock):
+        server.execute("set k 0 10 1", b"x")
+        clock.now = 11.0
+        assert server.execute("get k") == b"END\r\n"
+
+    def test_flush_all(self, server):
+        set_key(server, "k")
+        assert server.execute("flush_all") == b"OK\r\n"
+        assert server.execute("get k") == b"END\r\n"
+
+
+class TestMeta:
+    def test_version(self, server):
+        assert server.execute("version").startswith(b"VERSION")
+
+    def test_unknown_command(self, server):
+        assert server.execute("frobnicate") == b"ERROR\r\n"
+
+    def test_empty_line(self, server):
+        assert server.feed(b"\r\n") == b"ERROR\r\n"
+
+    def test_stats(self, server):
+        set_key(server, "k")
+        server.execute("get k")
+        stats = server.execute("stats").decode()
+        assert "STAT curr_items 1" in stats
+        assert "STAT get_hits 1" in stats
+        assert stats.endswith("END\r\n")
+
+    def test_stats_slabs(self, server):
+        set_key(server, "k")
+        response = server.execute("stats slabs").decode()
+        assert "chunk_size" in response
+        assert "active_slabs" in response
+
+
+class TestIncrementalParsing:
+    def test_command_split_across_chunks(self, server):
+        assert server.feed(b"set k 0 0 5") == b""
+        assert server.feed(b"\r\nhel") == b""
+        assert server.feed(b"lo\r\n") == b"STORED\r\n"
+
+    def test_payload_containing_crlf(self, server):
+        payload = b"a\r\nb"
+        response = server.execute(f"set k 0 0 {len(payload)}", payload)
+        assert response == b"STORED\r\n"
+        assert payload in server.execute("get k")
+
+    def test_pipelined_commands(self, server):
+        data = (
+            b"set a 0 0 1\r\nx\r\n"
+            b"set b 0 0 1\r\ny\r\n"
+            b"get a b\r\n"
+        )
+        response = server.feed(data)
+        assert response.count(b"STORED\r\n") == 2
+        assert b"VALUE a" in response and b"VALUE b" in response

@@ -1,0 +1,109 @@
+"""Fuzz tests for the text-protocol parser.
+
+Random byte chunking and random command streams must never crash the
+server, and every complete command must elicit a well-formed response.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memcached.node import MemcachedNode
+from repro.memcached.protocol import TextProtocolServer
+from repro.memcached.slab import PAGE_SIZE
+
+KNOWN_REPLIES = (
+    b"STORED",
+    b"NOT_STORED",
+    b"EXISTS",
+    b"NOT_FOUND",
+    b"DELETED",
+    b"TOUCHED",
+    b"OK",
+    b"ERROR",
+    b"CLIENT_ERROR",
+    b"SERVER_ERROR",
+    b"VALUE",
+    b"END",
+    b"VERSION",
+    b"STAT",
+)
+
+
+def make_server() -> TextProtocolServer:
+    node = MemcachedNode("fuzz", 4 * PAGE_SIZE)
+    return TextProtocolServer(node, clock=lambda: 1.0)
+
+
+keys = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Nd"), max_codepoint=127
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+command_lines = st.one_of(
+    st.builds(lambda k: f"get {k}", keys),
+    st.builds(lambda k: f"delete {k}", keys),
+    st.builds(lambda k, d: f"incr {k} {d}", keys, st.integers(0, 100)),
+    st.builds(lambda k, t: f"touch {k} {t}", keys, st.integers(0, 50)),
+    st.just("stats"),
+    st.just("version"),
+    st.just("flush_all"),
+    st.text(max_size=20).filter(lambda s: "\r" not in s and "\n" not in s),
+)
+
+
+@given(st.lists(command_lines, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_random_command_streams_never_crash(lines):
+    server = make_server()
+    wire = b"".join(line.encode("utf-8", "replace") + b"\r\n" for line in lines)
+    response = server.feed(wire)
+    assert isinstance(response, bytes)
+
+
+@given(
+    st.lists(
+        st.tuples(keys, st.binary(min_size=0, max_size=40)), max_size=10
+    ),
+    st.integers(1, 7),
+)
+@settings(max_examples=100, deadline=None)
+def test_chunked_storage_roundtrip(pairs, chunk_size):
+    """set commands fed in arbitrary chunk sizes still store correctly."""
+    server = make_server()
+    wire = b"".join(
+        f"set {key} 0 0 {len(payload)}".encode() + b"\r\n" + payload + b"\r\n"
+        for key, payload in pairs
+    )
+    responses = b""
+    for start in range(0, len(wire), chunk_size):
+        responses += server.feed(wire[start : start + chunk_size])
+    assert responses.count(b"STORED\r\n") == len(pairs)
+    # Every stored key is retrievable with its exact payload.
+    for key, payload in dict(pairs).items():
+        out = server.execute(f"get {key}")
+        assert payload in out
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_bytes_never_crash(blob):
+    server = make_server()
+    response = server.feed(blob)
+    assert isinstance(response, bytes)
+
+
+@given(st.lists(command_lines, min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_responses_start_with_known_tokens(lines):
+    server = make_server()
+    for line in lines:
+        out = server.execute(line)
+        if not out:
+            continue
+        first = out.split(b"\r\n")[0]
+        assert any(
+            first.startswith(reply) for reply in KNOWN_REPLIES
+        ), first

@@ -1,0 +1,169 @@
+"""Tests for the load rebalancer (future-work extension) and remaps."""
+
+import pytest
+
+from repro.core.rebalance import LoadRebalancer
+from repro.errors import ConfigurationError, MembershipError
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.slab import PAGE_SIZE
+from repro.netsim.transfer import NetworkModel
+
+
+def warmed_cluster(nodes=4, items=400):
+    names = [f"node-{i:03d}" for i in range(nodes)]
+    cluster = MemcachedCluster(names, 4 * PAGE_SIZE)
+    for i in range(items):
+        cluster.set(f"key-{i:05d}", f"v{i}", 150, float(i))
+    return cluster
+
+
+class TestClusterRemap:
+    def test_remap_changes_routing(self):
+        cluster = warmed_cluster()
+        key = "key-00000"
+        owner = cluster.route(key)
+        other = next(
+            name for name in cluster.active_members if name != owner
+        )
+        cluster.set_remap(key, other)
+        assert cluster.route(key) == other
+        assert cluster.remap_count == 1
+
+    def test_remap_to_hash_owner_is_dropped(self):
+        cluster = warmed_cluster()
+        key = "key-00000"
+        cluster.set_remap(key, cluster.ring.node_for_key(key))
+        assert cluster.remap_count == 0
+
+    def test_remap_to_inactive_rejected(self):
+        cluster = warmed_cluster()
+        with pytest.raises(MembershipError):
+            cluster.set_remap("key-00000", "ghost")
+
+    def test_clear_remap(self):
+        cluster = warmed_cluster()
+        key = "key-00000"
+        owner = cluster.route(key)
+        other = next(
+            name for name in cluster.active_members if name != owner
+        )
+        cluster.set_remap(key, other)
+        cluster.clear_remap(key)
+        assert cluster.route(key) == owner
+
+    def test_membership_change_drops_stale_remaps(self):
+        cluster = warmed_cluster()
+        key = "key-00000"
+        owner = cluster.route(key)
+        other = next(
+            name for name in cluster.active_members if name != owner
+        )
+        cluster.set_remap(key, other)
+        cluster.set_membership(
+            sorted(set(cluster.active_members) - {other})
+        )
+        assert cluster.remap_count == 0
+        assert cluster.route(key) != other
+
+    def test_clear_all(self):
+        cluster = warmed_cluster()
+        keys = [f"key-{i:05d}" for i in range(10)]
+        for key in keys:
+            owner = cluster.ring.node_for_key(key)
+            other = next(
+                n for n in cluster.active_members if n != owner
+            )
+            cluster.set_remap(key, other)
+        cluster.clear_all_remaps()
+        assert cluster.remap_count == 0
+
+
+class TestLoadRebalancer:
+    def make(self, cluster, **kwargs):
+        defaults = dict(
+            network=NetworkModel(nic_bandwidth_bps=1e6),
+            imbalance_threshold=1.3,
+            batch_items=50,
+            min_window_requests=100,
+        )
+        defaults.update(kwargs)
+        return LoadRebalancer(cluster, **defaults)
+
+    def hot_node_traffic(self, cluster, rebalancer, repeats=200):
+        """Drive requests only at one node's keys."""
+        hot = sorted(cluster.active_members)[0]
+        hot_keys = [
+            key
+            for key in [f"key-{i:05d}" for i in range(400)]
+            if cluster.route(key) == hot
+        ]
+        for _ in range(repeats):
+            rebalancer.observe_many(hot_keys[:10])
+        return hot, hot_keys
+
+    def test_parameter_validation(self):
+        cluster = warmed_cluster()
+        with pytest.raises(ConfigurationError):
+            LoadRebalancer(cluster, imbalance_threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            LoadRebalancer(cluster, batch_items=0)
+
+    def test_balanced_traffic_triggers_nothing(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster)
+        for i in range(400):
+            rebalancer.observe(f"key-{i % 400:05d}")
+        assert rebalancer.maybe_rebalance(now=1.0) is None
+
+    def test_small_window_is_ignored(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster, min_window_requests=10_000)
+        self.hot_node_traffic(cluster, rebalancer)
+        assert rebalancer.maybe_rebalance(now=1.0) is None
+
+    def test_imbalance_metric(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster)
+        self.hot_node_traffic(cluster, rebalancer)
+        assert rebalancer.imbalance() > 2.0
+
+    def test_hot_spot_triggers_move(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster)
+        hot, _ = self.hot_node_traffic(cluster, rebalancer)
+        action = rebalancer.maybe_rebalance(now=5.0)
+        assert action is not None
+        assert action.source == hot
+        assert action.items_moved > 0
+        assert action.duration_s > 0
+        assert rebalancer.actions == [action]
+
+    def test_moved_keys_follow_routing(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster)
+        self.hot_node_traffic(cluster, rebalancer)
+        action = rebalancer.maybe_rebalance(now=5.0)
+        target_node = cluster.nodes[action.target]
+        # Remapped keys are now served by the target node.
+        served = 0
+        for key in [f"key-{i:05d}" for i in range(400)]:
+            if cluster.route(key) == action.target and target_node.contains(
+                key
+            ):
+                served += 1
+        assert served >= action.items_moved
+
+    def test_window_resets_after_action(self):
+        cluster = warmed_cluster()
+        rebalancer = self.make(cluster)
+        self.hot_node_traffic(cluster, rebalancer)
+        rebalancer.maybe_rebalance(now=5.0)
+        assert rebalancer.window.total == 0
+        assert rebalancer.maybe_rebalance(now=6.0) is None
+
+    def test_single_node_cluster_never_rebalances(self):
+        cluster = warmed_cluster(nodes=1)
+        rebalancer = self.make(cluster)
+        for _ in range(300):
+            rebalancer.observe("key-00001")
+        assert rebalancer.maybe_rebalance(now=1.0) is None

@@ -1,0 +1,66 @@
+"""Tests for the paper-vs-measured report assembler."""
+
+from repro.analysis.report import (
+    ABLATIONS,
+    ARTIFACTS,
+    ArtifactReport,
+    load_reports,
+    render_digest,
+)
+
+
+class TestArtifactsTable:
+    def test_every_paper_artifact_listed(self):
+        titles = " ".join(ARTIFACTS)
+        for figure in ("Fig. 2", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"):
+            assert figure in titles
+        for section in ("IV-B", "V-B2", "II-B", "II-C", "III-B"):
+            assert section in titles
+
+    def test_ablations_listed(self):
+        assert len(ABLATIONS) >= 4
+
+
+class TestLoading:
+    def test_missing_reports_marked_unavailable(self, tmp_path):
+        reports = load_reports(tmp_path)
+        assert len(reports) == len(ARTIFACTS)
+        assert all(not report.available for report in reports)
+
+    def test_present_reports_loaded(self, tmp_path):
+        (tmp_path / "fig2_postscaling.txt").write_text("row one\nrow two\n")
+        reports = {r.title: r for r in load_reports(tmp_path)}
+        fig2 = reports["Fig. 2 (post-scaling degradation)"]
+        assert fig2.available
+        assert "row one" in fig2.measured
+
+    def test_report_dataclass(self):
+        report = ArtifactReport("t", "claim", None)
+        assert not report.available
+
+
+class TestRendering:
+    def test_digest_includes_paper_claims(self, tmp_path):
+        digest = render_digest(tmp_path)
+        assert "paper vs measured" in digest
+        assert "88-97%" in digest
+        assert "not yet run" in digest
+
+    def test_digest_includes_measured_rows(self, tmp_path):
+        (tmp_path / "cost_energy.txt").write_text("web 204 W\n")
+        digest = render_digest(tmp_path)
+        assert "web 204 W" in digest
+
+    def test_digest_includes_ablations_when_present(self, tmp_path):
+        (tmp_path / "ablation_hashing.txt").write_text("ketama row\n")
+        digest = render_digest(tmp_path)
+        assert "Ablations" in digest
+        assert "ketama row" in digest
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "fig5_traces.txt").write_text("trace row\n")
+        assert main(["report", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace row" in out

@@ -1,0 +1,75 @@
+"""Tests for the calibrated paper scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scenarios import (
+    PAPER_SCENARIOS,
+    paper_config,
+    scale_action_times,
+)
+
+
+class TestScenarioTable:
+    def test_all_five_traces_present(self):
+        assert set(PAPER_SCENARIOS) == {
+            "sys",
+            "etc",
+            "sap",
+            "nlanr",
+            "microsoft",
+        }
+
+    def test_sys_scales_ten_to_seven(self):
+        scenario = PAPER_SCENARIOS["sys"]
+        assert scenario.initial_nodes == 10
+        assert scenario.actions == ((0.375, 7),)
+
+    def test_etc_has_in_then_out(self):
+        scenario = PAPER_SCENARIOS["etc"]
+        targets = [target for _, target in scenario.actions]
+        assert targets == [9, 10]
+
+    def test_nlanr_starts_at_eight(self):
+        assert PAPER_SCENARIOS["nlanr"].initial_nodes == 8
+
+    def test_action_fractions_ordered(self):
+        for scenario in PAPER_SCENARIOS.values():
+            fractions = [fraction for fraction, _ in scenario.actions]
+            assert fractions == sorted(fractions)
+            assert all(0.0 < f < 1.0 for f in fractions)
+
+
+class TestPaperConfig:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_config("bogus", "elmem")
+
+    def test_schedule_scales_with_duration(self):
+        short = paper_config("sys", "baseline", duration_s=400)
+        long = paper_config("sys", "baseline", duration_s=1600)
+        assert short.schedule[0][0] * 4 == long.schedule[0][0]
+        assert short.schedule[0][1] == long.schedule[0][1] == 7
+
+    def test_overrides_applied(self):
+        config = paper_config(
+            "etc", "elmem", duration_s=300, num_keys=999, seed=42
+        )
+        assert config.num_keys == 999
+        assert config.seed == 42
+        assert config.trace_object().duration_s == 300
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_config("etc", "elmem", bogus_field=1)
+
+    def test_scale_action_times(self):
+        times = scale_action_times("sap", duration_s=1000)
+        assert times == [420.0, 720.0]
+
+    def test_policy_passthrough(self):
+        from repro.core.policies import CacheScalePolicy
+
+        policy = CacheScalePolicy(discard_after_s=33.0)
+        config = paper_config("sys", policy)
+        assert config.policy is policy

@@ -1,0 +1,94 @@
+"""Tests for the SHARDS sampling profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cache_analysis.mrc import HitRateCurve
+from repro.cache_analysis.shards import ShardsProfiler
+from repro.cache_analysis.stack_distance import stack_distances
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardsProfiler(0.0, 100)
+        with pytest.raises(ConfigurationError):
+            ShardsProfiler(1.5, 100)
+
+    def test_full_rate_matches_exact(self):
+        trace = [f"k{i % 7}" for i in range(50)]
+        shards = ShardsProfiler(1.0, len(trace))
+        results = [shards.record(key) for key in trace]
+        exact = list(stack_distances(trace))
+        for got, want in zip(results, exact):
+            if want < 0:
+                assert got == float("inf")
+            else:
+                assert got == want
+
+    def test_unsampled_keys_return_none(self):
+        shards = ShardsProfiler(0.01, 1000)
+        results = [shards.record(f"key{i}") for i in range(500)]
+        assert results.count(None) > 400
+
+    def test_sampling_is_by_key_not_by_request(self):
+        shards = ShardsProfiler(0.3, 1000)
+        key = "some-key"
+        first = shards.record(key) is None
+        for _ in range(5):
+            assert (shards.record(key) is None) == first
+
+    def test_effective_rate_near_nominal(self):
+        shards = ShardsProfiler(0.2, 20_000)
+        for i in range(10_000):
+            shards.record(f"key{i}")
+        assert shards.effective_rate == pytest.approx(0.2, abs=0.05)
+
+    def test_counters(self):
+        shards = ShardsProfiler(1.0, 10)
+        shards.record("a")
+        shards.record("a")
+        assert shards.requests_seen == 2
+        assert shards.sampled_requests == 2
+
+
+class TestAccuracy:
+    def test_curve_close_to_exact_on_zipf(self):
+        rng = np.random.default_rng(11)
+        ranks = np.arange(1, 2001)
+        probabilities = 1.0 / ranks
+        probabilities /= probabilities.sum()
+        trace = [
+            f"key{i}"
+            for i in rng.choice(2000, size=40_000, p=probabilities)
+        ]
+
+        exact_curve = HitRateCurve.from_distances(
+            float(d) if d >= 0 else float("inf")
+            for d in stack_distances(trace)
+        )
+        shards = ShardsProfiler(0.1, 10_000)
+        for key in trace:
+            shards.record(key)
+        approx_curve = HitRateCurve(*shards.histogram())
+
+        for capacity in (50, 200, 800, 2000):
+            exact = exact_curve.hit_rate(capacity)
+            approx = approx_curve.hit_rate(capacity)
+            assert abs(exact - approx) < 0.08, (
+                f"capacity {capacity}: {exact:.3f} vs {approx:.3f}"
+            )
+
+    def test_distance_scaling(self):
+        """A reuse over k sampled distinct keys estimates ~k/R distance."""
+        shards = ShardsProfiler(0.5, 10_000)
+        # Find sampled keys deterministically.
+        sampled = [
+            f"key{i}" for i in range(4000) if shards.is_sampled(f"key{i}")
+        ][:50]
+        for key in sampled:
+            shards.record(key)
+        distance = shards.record(sampled[0])
+        # 49 sampled distinct keys between the reuses -> ~98 estimated.
+        assert distance == pytest.approx(49 / 0.5)

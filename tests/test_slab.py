@@ -1,0 +1,118 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.memcached.items import Item
+from repro.memcached.slab import (
+    PAGE_SIZE,
+    SlabAllocator,
+    size_class_table,
+)
+
+
+class TestSizeClassTable:
+    def test_default_table_properties(self):
+        sizes = size_class_table()
+        assert sizes == sorted(sizes)
+        assert len(sizes) == len(set(sizes))
+        assert sizes[0] >= 96
+        assert sizes[-1] == PAGE_SIZE
+
+    def test_growth_factor_respected(self):
+        sizes = size_class_table(min_chunk=100, growth_factor=2.0)
+        for small, large in zip(sizes, sizes[1:-1]):
+            assert large <= 2 * small + 8
+
+    def test_alignment(self):
+        for size in size_class_table():
+            assert size % 8 == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            size_class_table(min_chunk=0)
+        with pytest.raises(ConfigurationError):
+            size_class_table(growth_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            size_class_table(max_chunk=PAGE_SIZE * 2)
+
+
+class TestSlabAllocator:
+    def test_requires_one_page(self):
+        with pytest.raises(ConfigurationError):
+            SlabAllocator(PAGE_SIZE - 1)
+
+    def test_class_for_size_picks_smallest_fit(self):
+        allocator = SlabAllocator(4 * PAGE_SIZE)
+        slab_class = allocator.class_for_size(100)
+        assert slab_class.chunk_size >= 100
+        index = slab_class.class_id
+        if index > 0:
+            assert allocator.classes[index - 1].chunk_size < 100
+
+    def test_oversized_item_rejected(self):
+        allocator = SlabAllocator(4 * PAGE_SIZE)
+        with pytest.raises(CapacityError):
+            allocator.class_for_size(PAGE_SIZE + 1)
+
+    def test_page_assignment_on_demand(self):
+        allocator = SlabAllocator(2 * PAGE_SIZE)
+        slab_class = allocator.class_for_size(1000)
+        assert slab_class.pages == 0
+        assert allocator.try_allocate(slab_class)
+        assert slab_class.pages == 1
+        assert allocator.assigned_pages == 1
+        assert allocator.free_pages == 1
+
+    def test_allocation_fails_when_exhausted(self):
+        allocator = SlabAllocator(PAGE_SIZE)
+        slab_class = allocator.class_for_size(PAGE_SIZE // 2)
+        # One page holds exactly chunks_per_page chunks.
+        for _ in range(slab_class.chunks_per_page):
+            assert allocator.try_allocate(slab_class)
+        assert not allocator.try_allocate(slab_class)
+
+    def test_release_returns_chunk(self):
+        allocator = SlabAllocator(PAGE_SIZE)
+        slab_class = allocator.class_for_size(PAGE_SIZE // 2)
+        for _ in range(slab_class.chunks_per_page):
+            allocator.try_allocate(slab_class)
+        allocator.release(slab_class)
+        assert allocator.try_allocate(slab_class)
+
+    def test_release_on_empty_class_rejected(self):
+        allocator = SlabAllocator(PAGE_SIZE)
+        slab_class = allocator.classes[0]
+        with pytest.raises(CapacityError):
+            allocator.release(slab_class)
+
+    def test_link_and_unlink_item(self):
+        allocator = SlabAllocator(2 * PAGE_SIZE)
+        item = Item("key", None, 200, 0.0)
+        slab_class = allocator.link_item(item)
+        assert slab_class is not None
+        assert item.slab_class_id == slab_class.class_id
+        assert len(slab_class.mru) == 1
+        allocator.unlink_item(item)
+        assert len(slab_class.mru) == 0
+        assert slab_class.used_chunks == 0
+
+    def test_page_fractions_sum_to_one(self):
+        allocator = SlabAllocator(8 * PAGE_SIZE)
+        for size in (100, 100, 5000, 60000):
+            item = Item(f"k{size}", None, size, 0.0)
+            assert allocator.link_item(item) is not None
+        fractions = allocator.page_fractions()
+        assert fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_page_fractions_empty(self):
+        allocator = SlabAllocator(PAGE_SIZE)
+        assert allocator.page_fractions() == {}
+
+    def test_used_bytes_counts_chunk_rounding(self):
+        allocator = SlabAllocator(2 * PAGE_SIZE)
+        item = Item("key", None, 100, 0.0)
+        slab_class = allocator.link_item(item)
+        assert allocator.used_bytes() == slab_class.chunk_size
+        assert allocator.item_count() == 1

@@ -1,0 +1,113 @@
+"""Tests for exact stack-distance computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache_analysis.stack_distance import (
+    INFINITE,
+    StackDistanceProfiler,
+    distance_histogram,
+    naive_stack_distances,
+    stack_distances,
+)
+
+
+class TestExactDistances:
+    def test_first_access_is_infinite(self):
+        assert list(stack_distances(["a"])) == [INFINITE]
+
+    def test_immediate_reuse_is_zero(self):
+        assert list(stack_distances(["a", "a"])) == [INFINITE, 0]
+
+    def test_classic_sequence(self):
+        trace = ["a", "b", "c", "a"]
+        # 'a' is re-touched after distinct keys b, c -> distance 2.
+        assert list(stack_distances(trace)) == [
+            INFINITE,
+            INFINITE,
+            INFINITE,
+            2,
+        ]
+
+    def test_repeated_interleaving(self):
+        trace = ["a", "b", "a", "b"]
+        assert list(stack_distances(trace)) == [INFINITE, INFINITE, 1, 1]
+
+    def test_duplicates_between_do_not_count(self):
+        trace = ["a", "b", "b", "b", "a"]
+        # Only one distinct key (b) between the two accesses of a.
+        assert list(stack_distances(trace))[-1] == 1
+
+    def test_profiler_capacity_enforced(self):
+        profiler = StackDistanceProfiler(2)
+        profiler.record("a")
+        profiler.record("b")
+        with pytest.raises(OverflowError):
+            profiler.record("c")
+
+    def test_profiler_counters(self):
+        profiler = StackDistanceProfiler(10)
+        for key in ["a", "b", "a"]:
+            profiler.record(key)
+        assert profiler.requests_seen == 3
+        assert profiler.unique_keys == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StackDistanceProfiler(0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=12), max_size=120)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_reference(self, indices):
+        trace = [f"k{i}" for i in indices]
+        fast = list(stack_distances(trace))
+        slow = list(naive_stack_distances(trace))
+        assert fast == slow
+
+
+class TestHistogram:
+    def test_histogram_and_cold(self):
+        distances = [INFINITE, 0, 0, 2, INFINITE]
+        histogram, cold = distance_histogram(distances)
+        assert cold == 2
+        assert histogram == [2, 0, 1]
+
+    def test_histogram_clamps_to_max(self):
+        histogram, cold = distance_histogram([5, 9], max_distance=6)
+        assert cold == 0
+        assert histogram[5] == 1
+        assert histogram[6] == 1
+
+    def test_empty_histogram(self):
+        histogram, cold = distance_histogram([])
+        assert histogram == []
+        assert cold == 0
+
+
+class TestHitRateSemantics:
+    def test_distances_predict_lru_hits(self):
+        """Stack distance < C iff an LRU cache of size C hits -- checked
+        against a direct LRU simulation."""
+        import random
+
+        rng = random.Random(42)
+        trace = [f"k{rng.randint(0, 20)}" for _ in range(500)]
+        distances = list(stack_distances(trace))
+        for capacity in (1, 3, 8):
+            # Direct LRU simulation.
+            stack: list[str] = []
+            hits = 0
+            for key in trace:
+                if key in stack:
+                    position = stack.index(key)
+                    if position < capacity:
+                        hits += 1
+                    stack.remove(key)
+                stack.insert(0, key)
+            predicted = sum(
+                1 for d in distances if d != INFINITE and d < capacity
+            )
+            assert predicted == hits

@@ -1,0 +1,79 @@
+"""Tests for trace CSV I/O and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import RateTrace, make_trace
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace("sys", duration_s=120)
+        path = tmp_path / "sys.csv"
+        trace.to_csv(path)
+        loaded = RateTrace.from_csv(path)
+        assert loaded.name == "sys"
+        assert np.allclose(loaded.values, trace.values, atol=1e-9)
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("second,rate\n0,1.5\n1,2.5\n")
+        loaded = RateTrace.from_csv(path, name="custom")
+        assert loaded.name == "custom"
+        assert list(loaded.values) == [1.5, 2.5]
+
+    def test_single_column(self, tmp_path):
+        path = tmp_path / "flat.csv"
+        path.write_text("1.0\n2.0\n3.0\n")
+        loaded = RateTrace.from_csv(path)
+        assert list(loaded.values) == [1.0, 2.0, 3.0]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("rate\n")
+        with pytest.raises(ConfigurationError):
+            RateTrace.from_csv(path)
+
+
+class TestResampling:
+    def test_upsample_preserves_endpoints(self):
+        trace = RateTrace("t", np.array([1.0, 3.0]))
+        resampled = trace.resampled(5)
+        assert resampled.duration_s == 5
+        assert resampled.values[0] == pytest.approx(1.0)
+        assert resampled.values[-1] == pytest.approx(3.0)
+
+    def test_downsample(self):
+        trace = make_trace("etc", duration_s=1000)
+        short = trace.resampled(100)
+        assert short.duration_s == 100
+        # The overall shape (mean) is preserved.
+        assert short.values.mean() == pytest.approx(
+            trace.values.mean(), rel=0.05
+        )
+
+    def test_invalid_duration(self):
+        trace = RateTrace("t", np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            trace.resampled(0)
+
+    def test_loaded_trace_drives_experiment(self, tmp_path):
+        """End to end: a user-provided CSV trace runs the simulator."""
+        from repro.sim.experiment import ExperimentConfig, run_experiment
+
+        path = tmp_path / "mine.csv"
+        RateTrace("mine", np.full(30, 1.0)).to_csv(path)
+        config = ExperimentConfig(
+            trace=RateTrace.from_csv(path),
+            policy="baseline",
+            num_keys=2000,
+            initial_nodes=2,
+            memory_per_node=4 * (1 << 20),
+            peak_request_rate=20.0,
+            max_value_size=800,
+            warmup_seconds=2,
+            seed=1,
+        )
+        result = run_experiment(config)
+        assert len(result.metrics) == 30

@@ -1,0 +1,90 @@
+"""Tests for write traffic in the web application."""
+
+import pytest
+
+from repro.sim.experiment import (
+    ExperimentConfig,
+    build_stack,
+    prefill_cluster,
+)
+from repro.sim.webapp import WebApplication
+
+
+def make_app(write_fraction: float):
+    config = ExperimentConfig(
+        policy="baseline",
+        num_keys=3000,
+        initial_nodes=3,
+        memory_per_node=4 * (1 << 20),
+        max_value_size=1200,
+        seed=4,
+    )
+    dataset, generator, cluster, database, master, policy = build_stack(
+        config
+    )
+    prefill_cluster(cluster, dataset, generator.popularity)
+    app = WebApplication(
+        generator,
+        policy,
+        database,
+        seed=4,
+        write_fraction=write_fraction,
+    )
+    return app, cluster, database
+
+
+class TestWrites:
+    def test_invalid_fraction_rejected(self):
+        app, *_ = make_app(0.0)
+        with pytest.raises(ValueError):
+            WebApplication(
+                app.generator,
+                app.policy,
+                app.database,
+                write_fraction=1.5,
+            )
+
+    def test_read_only_by_default(self):
+        app, _, database = make_app(0.0)
+        record = app.run_second(0.0, 50.0)
+        assert record.writes == 0
+        assert database.store.writes == 0
+
+    def test_writes_happen_at_requested_rate(self):
+        app, _, database = make_app(0.3)
+        total_writes = 0
+        total_ops = 0
+        for t in range(20):
+            record = app.run_second(float(t), 50.0)
+            total_writes += record.writes
+            total_ops += record.kv_gets + record.writes
+        assert total_writes > 0
+        assert total_writes / total_ops == pytest.approx(0.3, abs=0.08)
+        assert database.store.writes == total_writes
+
+    def test_written_value_lands_in_cache_and_store(self):
+        app, cluster, database = make_app(1.0)
+        app.run_second(5.0, 30.0)
+        # All operations were writes; pick any written key and check.
+        written_keys = [
+            key
+            for key in database.store.keys()
+            if str(database.store.get(key)[0]).startswith("w@")
+        ]
+        assert written_keys
+        key = written_keys[0]
+        assert cluster.get(key, 6.0) == database.store.get(key)[0]
+
+    def test_writes_load_the_database(self):
+        app, _, database = make_app(1.0)
+        record = app.run_second(0.0, 100.0)
+        # 100 req/s x 4 keys, all writes, capacity 45/s -> overload.
+        assert record.writes > 100
+        assert database.backlog_requests > 0
+
+    def test_kv_gets_exclude_writes(self):
+        app, *_ = make_app(0.5)
+        record = app.run_second(0.0, 50.0)
+        assert record.kv_gets + record.writes == pytest.approx(
+            record.requests * app.generator.items_per_request, abs=0
+        )

@@ -1,0 +1,260 @@
+"""Tests for popularity, value sizes, key space, traces, and generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import RequestGenerator
+from repro.workloads.keyspace import Dataset, KeySpace, build_dataset
+from repro.workloads.popularity import UniformPopularity, ZipfPopularity
+from repro.workloads.traces import RateTrace, TRACE_FACTORIES, make_trace
+from repro.workloads.valuesize import (
+    FACEBOOK_ETC_SCALE,
+    FACEBOOK_ETC_SHAPE,
+    KEY_LENGTH,
+    GeneralizedParetoSizes,
+)
+
+
+class TestPopularity:
+    def test_samples_in_range(self):
+        pop = ZipfPopularity(100, seed=1)
+        samples = pop.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_probabilities_normalised(self):
+        pop = ZipfPopularity(50, alpha=1.2)
+        assert pop.probabilities.sum() == pytest.approx(1.0)
+
+    def test_zipf_is_skewed(self):
+        pop = ZipfPopularity(1000, alpha=1.0, seed=3)
+        samples = pop.sample(20_000)
+        counts = np.bincount(samples, minlength=1000)
+        top_share = np.sort(counts)[::-1][:100].sum() / counts.sum()
+        assert top_share > 0.5  # top 10% of keys draw most traffic
+
+    def test_uniform_is_flat(self):
+        pop = UniformPopularity(10, seed=2)
+        samples = pop.sample(20_000)
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 0.7 * counts.mean()
+
+    def test_shuffle_decorrelates_index_and_rank(self):
+        pop = ZipfPopularity(1000, alpha=1.0, seed=5, shuffle=True)
+        # Without shuffling, probability would be monotone in index.
+        probabilities = pop.probabilities
+        assert not np.all(np.diff(probabilities) <= 0)
+
+    def test_rank_order(self):
+        pop = ZipfPopularity(100, seed=7)
+        ranked = pop.rank_order()
+        probs = pop.probabilities[ranked]
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(0)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(10, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity(10).sample(-1)
+
+    def test_reseed_reproduces_stream(self):
+        pop = ZipfPopularity(100, seed=9)
+        first = pop.sample(50)
+        pop.reseed(9)
+        second = pop.sample(50)
+        assert np.array_equal(first, second)
+
+
+class TestValueSizes:
+    def test_paper_parameters(self):
+        assert FACEBOOK_ETC_SCALE == pytest.approx(214.476)
+        assert FACEBOOK_ETC_SHAPE == pytest.approx(0.348148)
+        assert KEY_LENGTH == 11
+
+    def test_truncation_bounds(self):
+        sampler = GeneralizedParetoSizes(min_size=10, max_size=500, seed=1)
+        sizes = sampler.sample(5000)
+        assert sizes.min() >= 10
+        assert sizes.max() <= 500
+
+    def test_theoretical_mean(self):
+        sampler = GeneralizedParetoSizes()
+        expected = FACEBOOK_ETC_SCALE / (1 - FACEBOOK_ETC_SHAPE)
+        assert sampler.theoretical_mean() == pytest.approx(expected)
+
+    def test_sample_mean_near_theory(self):
+        sampler = GeneralizedParetoSizes(seed=2)
+        sizes = sampler.sample(50_000)
+        # Truncation at 1 MB barely matters; allow generous tolerance.
+        assert sizes.mean() == pytest.approx(
+            sampler.theoretical_mean(), rel=0.25
+        )
+
+    def test_quantile_monotone(self):
+        sampler = GeneralizedParetoSizes()
+        assert sampler.quantile(0.9) > sampler.quantile(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GeneralizedParetoSizes(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            GeneralizedParetoSizes(min_size=0)
+        with pytest.raises(ConfigurationError):
+            GeneralizedParetoSizes().quantile(1.5)
+
+
+class TestKeySpace:
+    def test_keys_are_fixed_width(self):
+        keyspace = KeySpace(1000)
+        assert len(keyspace.key(0)) == KEY_LENGTH
+        assert len(keyspace.key(999)) == KEY_LENGTH
+
+    def test_roundtrip(self):
+        keyspace = KeySpace(500)
+        for index in (0, 17, 499):
+            assert keyspace.index(keyspace.key(index)) == index
+
+    def test_out_of_range(self):
+        keyspace = KeySpace(10)
+        with pytest.raises(IndexError):
+            keyspace.key(10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            KeySpace(0)
+
+
+class TestDataset:
+    def test_build_dataset(self):
+        dataset = build_dataset(200, seed=1)
+        assert dataset.num_keys == 200
+        assert len(dataset.store) == 200
+        assert dataset.value_size(0) >= 1
+
+    def test_average_item_bytes_includes_overhead(self):
+        dataset = build_dataset(100, seed=1)
+        assert (
+            dataset.average_item_bytes()
+            > dataset.average_value_bytes() + KEY_LENGTH
+        )
+
+    def test_max_value_size_cap(self):
+        dataset = build_dataset(500, seed=1, max_value_size=256)
+        assert dataset.value_sizes.max() <= 256
+
+    def test_total_bytes(self):
+        dataset = build_dataset(50, seed=1)
+        expected = int(dataset.value_sizes.sum()) + 50 * KEY_LENGTH
+        assert dataset.total_bytes() == expected
+
+
+class TestTraces:
+    def test_registry_has_all_five(self):
+        assert set(TRACE_FACTORIES) == {
+            "sys",
+            "etc",
+            "sap",
+            "nlanr",
+            "microsoft",
+        }
+
+    @pytest.mark.parametrize("name", sorted(TRACE_FACTORIES))
+    def test_trace_shape(self, name):
+        trace = make_trace(name, duration_s=600)
+        assert trace.duration_s == 600
+        normalised = trace.normalised()
+        assert normalised.values.max() == pytest.approx(1.0)
+        assert normalised.values.min() >= 0.0
+
+    def test_sys_has_sharp_drop(self):
+        trace = make_trace("sys", duration_s=1000).normalised()
+        early = trace.values[:300].mean()
+        late = trace.values[500:].mean()
+        assert late < 0.55 * early
+
+    def test_etc_recovers(self):
+        trace = make_trace("etc", duration_s=1000).normalised()
+        middle = trace.values[400:550].mean()
+        late = trace.values[850:].mean()
+        assert middle < 0.7
+        assert late > 0.85
+
+    def test_nlanr_peaks_in_middle(self):
+        trace = make_trace("nlanr", duration_s=1000).normalised()
+        assert trace.values[450:550].mean() > trace.values[:100].mean()
+        assert trace.values[450:550].mean() > trace.values[-100:].mean()
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace("bogus")
+
+    def test_scaled_peak(self):
+        trace = make_trace("etc", duration_s=300)
+        scaled = trace.scaled(500.0)
+        assert scaled.max() == pytest.approx(500.0)
+
+    def test_rate_at_clamps(self):
+        trace = RateTrace("t", np.array([1.0, 2.0]))
+        assert trace.rate_at(-5) == 1.0
+        assert trace.rate_at(99) == 2.0
+
+    def test_invalid_trace(self):
+        with pytest.raises(ConfigurationError):
+            RateTrace("t", np.array([]))
+        with pytest.raises(ConfigurationError):
+            RateTrace("t", np.array([-1.0]))
+
+
+class TestRequestGenerator:
+    def make_generator(self, items_per_request=3):
+        dataset = build_dataset(100, seed=1)
+        popularity = ZipfPopularity(100, seed=2)
+        return RequestGenerator(
+            dataset, popularity, items_per_request=items_per_request, seed=3
+        )
+
+    def test_request_batch_shape(self):
+        generator = self.make_generator(items_per_request=3)
+        batches = generator.requests_for_second(50.0)
+        assert all(len(batch) == 3 for batch in batches)
+
+    def test_poisson_mean(self):
+        generator = self.make_generator()
+        counts = [
+            len(generator.requests_for_second(40.0)) for _ in range(200)
+        ]
+        assert np.mean(counts) == pytest.approx(40.0, rel=0.1)
+
+    def test_zero_rate(self):
+        generator = self.make_generator()
+        assert generator.requests_for_second(0.0) == []
+
+    def test_negative_rate_rejected(self):
+        generator = self.make_generator()
+        with pytest.raises(ConfigurationError):
+            generator.requests_for_second(-1.0)
+
+    def test_keys_exist_in_dataset(self):
+        generator = self.make_generator()
+        for batch in generator.requests_for_second(30.0):
+            for key in batch:
+                assert key in generator.dataset.store
+
+    def test_key_stream_length(self):
+        generator = self.make_generator()
+        assert len(generator.key_stream(123)) == 123
+
+    def test_mismatched_popularity_rejected(self):
+        dataset = build_dataset(100, seed=1)
+        popularity = ZipfPopularity(50, seed=2)
+        with pytest.raises(ConfigurationError):
+            RequestGenerator(dataset, popularity)
+
+    def test_invalid_items_per_request(self):
+        dataset = build_dataset(10, seed=1)
+        popularity = ZipfPopularity(10, seed=2)
+        with pytest.raises(ConfigurationError):
+            RequestGenerator(dataset, popularity, items_per_request=0)
