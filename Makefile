@@ -24,7 +24,8 @@ examples:
 	$(PYTHON) examples/fusecache_demo.py
 	$(PYTHON) examples/migration_comparison.py
 	$(PYTHON) examples/diurnal_autoscaling.py
-	$(PYTHON) examples/protocol_server.py
+	$(PYTHON) examples/rebalance_hotspot.py
+	$(PYTHON) examples/protocol_server.py --smoke
 
 clean:
 	rm -rf .pytest_cache benchmarks/out build *.egg-info src/*.egg-info

@@ -6,24 +6,38 @@ port, then talks to it with a raw socket client -- the same bytes
 ``telnet`` or ``libmemcached`` would exchange with real Memcached.
 
 Run with:  python examples/protocol_server.py
+(``--smoke`` runs the same exchange with tight socket timeouts and no
+inter-command sleeps, so CI and `make examples` can never hang on it.)
 """
 
 import socket
+import sys
 import threading
 import time
 
 from repro.memcached.node import MemcachedNode
 from repro.memcached.protocol import TextProtocolServer
 
+SMOKE = "--smoke" in sys.argv
+SOCKET_TIMEOUT_S = 5.0
+COMMAND_PAUSE_S = 0.001 if SMOKE else 0.02
+
 
 def serve_one_connection(listener: socket.socket) -> None:
     """Accept a single client and pump it through the protocol handler."""
     node = MemcachedNode("tcp-node", 16 << 20)
     handler = TextProtocolServer(node, clock=time.monotonic)
-    connection, _ = listener.accept()
+    try:
+        connection, _ = listener.accept()
+    except TimeoutError:
+        return
+    connection.settimeout(SOCKET_TIMEOUT_S)
     with connection:
         while True:
-            data = connection.recv(4096)
+            try:
+                data = connection.recv(4096)
+            except (TimeoutError, OSError):
+                break
             if not data:
                 break
             response = handler.feed(data)
@@ -33,6 +47,7 @@ def serve_one_connection(listener: socket.socket) -> None:
 
 def main() -> None:
     listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(SOCKET_TIMEOUT_S)
     port = listener.getsockname()[1]
     print(f"memcached-model listening on 127.0.0.1:{port}")
     server = threading.Thread(
@@ -40,14 +55,16 @@ def main() -> None:
     )
     server.start()
 
-    client = socket.create_connection(("127.0.0.1", port))
+    client = socket.create_connection(
+        ("127.0.0.1", port), timeout=SOCKET_TIMEOUT_S
+    )
 
     def command(text: str, payload: bytes | None = None) -> bytes:
         wire = text.encode() + b"\r\n"
         if payload is not None:
             wire += payload + b"\r\n"
         client.sendall(wire)
-        time.sleep(0.02)
+        time.sleep(COMMAND_PAUSE_S)
         return client.recv(65536)
 
     print(">> set greeting 0 0 13 / 'Hello, world!'")
@@ -65,6 +82,8 @@ def main() -> None:
     for line in stats.splitlines()[:6]:
         print("<<", line)
     client.close()
+    server.join(timeout=SOCKET_TIMEOUT_S)
+    listener.close()
     print("done.")
 
 

@@ -17,12 +17,18 @@ The package is organised as one subpackage per subsystem:
 - :mod:`repro.core` -- the paper's contribution: the FuseCache algorithm, the
   AutoScaler, node scoring, the Master/Agent migration protocol, and the
   migration policies (ElMem, Naive, CacheScale, no-migration baseline).
+- :mod:`repro.faults` -- seeded, clock-driven fault injection (node
+  crashes, throughput stalls, flow failures) used by the robustness
+  experiments.
 - :mod:`repro.analysis` -- degradation metrics, cost/energy model, and the
   elasticity-potential analysis.
 """
 
 from repro.core.elmem import ElMemController
 from repro.core.fusecache import fuse_cache
+from repro.core.retry import RetryPolicy
+from repro.errors import FaultError, FlowTimeoutError, MigrationAbortedError
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec
 from repro.memcached.cluster import MemcachedCluster
 from repro.memcached.node import MemcachedNode
 
@@ -30,8 +36,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ElMemController",
+    "FaultError",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FlowTimeoutError",
     "MemcachedCluster",
     "MemcachedNode",
+    "MigrationAbortedError",
+    "RetryPolicy",
     "fuse_cache",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from repro.core.fusecache import (
     sort_merge_top_n,
 )
 from repro.core.master import Master, MigrationReport
+from repro.core.retry import RetryPolicy
 from repro.core.scoring import score_nodes
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "FuseCacheResult",
     "Master",
     "MigrationReport",
+    "RetryPolicy",
     "ScalingDecision",
     "fuse_cache",
     "fuse_cache_detailed",

@@ -100,6 +100,31 @@ class Agent:
         return self.node.batch_import(migrated, mode=mode, now=now)
 
     # ------------------------------------------------------------------
+    # Modeled local costs (fault-aware)
+    # ------------------------------------------------------------------
+
+    MIN_RATE_FACTOR = 1e-3
+    """Floor for stall factors: a fully stalled node still crawls at
+    0.1% throughput, which blows any reasonable migration deadline
+    without dividing by zero."""
+
+    def dump_seconds(
+        self, item_count: int, rate_items_s: float, stall_factor: float = 1.0
+    ) -> float:
+        """Modeled seconds to dump+hash ``item_count`` items locally,
+        slowed by an injected ``stall_factor`` (1.0 = healthy)."""
+        factor = max(stall_factor, self.MIN_RATE_FACTOR)
+        return item_count / (rate_items_s * factor)
+
+    def import_seconds(
+        self, item_count: int, rate_items_s: float, stall_factor: float = 1.0
+    ) -> float:
+        """Modeled seconds to batch-import ``item_count`` items locally,
+        slowed by an injected ``stall_factor`` (1.0 = healthy)."""
+        factor = max(stall_factor, self.MIN_RATE_FACTOR)
+        return item_count / (rate_items_s * factor)
+
+    # ------------------------------------------------------------------
     # Scoring support (Section III-C)
     # ------------------------------------------------------------------
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 import random
 
 from repro.core.autoscaler import AutoScaler, AutoScalerConfig, ScalingDecision
-from repro.core.master import Master
+from repro.core.master import Master, MigrationReport
 from repro.core.policies import ElMemPolicy, MigrationPolicy, MultigetResult
+from repro.core.retry import RetryPolicy
+from repro.faults.injector import FaultInjector
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import NetworkModel
 
@@ -36,6 +38,14 @@ class ElMemController:
         one of the evaluation baselines.
     evaluation_interval_s:
         Minimum seconds between autoscaling evaluations (paper: 60 s).
+    fault_injector:
+        Optional seeded fault campaign; the controller advances it on
+        every :meth:`tick`/:meth:`evaluate` and plans scaling actions
+        against whatever membership survived.
+    retry_policy / migration_deadline_s:
+        Resilience knobs forwarded to the :class:`Master` (bounded
+        retries with backoff; warm-up budget before degrading to cold
+        scaling).
     """
 
     def __init__(
@@ -46,16 +56,32 @@ class ElMemController:
         policy: MigrationPolicy | None = None,
         evaluation_interval_s: float = 60.0,
         seed: int = 0,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        migration_deadline_s: float | None = None,
     ) -> None:
         self.cluster = cluster
         self.autoscaler = AutoScaler(autoscaler_config)
-        self.master = Master(cluster, network=network)
+        self.master = Master(
+            cluster,
+            network=network,
+            retry_policy=retry_policy,
+            deadline_s=migration_deadline_s,
+        )
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach(self.master)
         self.policy = policy or ElMemPolicy()
         self.policy.bind(cluster, self.master, random.Random(seed))
         self.evaluation_interval_s = evaluation_interval_s
         self._last_evaluation: float | None = None
         self.decisions: list[ScalingDecision] = []
         self._window_requests = 0
+
+    @property
+    def reports(self) -> list[MigrationReport]:
+        """Migration reports produced by the active policy."""
+        return self.policy.reports
 
     # ------------------------------------------------------------------
     # Request path
@@ -80,16 +106,25 @@ class ElMemController:
     # ------------------------------------------------------------------
 
     def tick(self, now: float) -> None:
-        """Advance in-flight migrations; call once per simulated second."""
+        """Advance faults and in-flight migrations; call once per second."""
+        if self.fault_injector is not None:
+            self.fault_injector.advance(now)
         self.policy.tick(now)
 
     def evaluate(self, request_rate: float, now: float) -> ScalingDecision | None:
         """Run one autoscaling evaluation if the interval has elapsed.
 
+        Faults due by ``now`` are applied first, so the decision -- and
+        any migration planned from it -- sees the post-crash membership
+        rather than planning transfers to nodes that no longer exist
+        (re-planning around later deaths happens in the policy's tick).
+
         Returns the decision when one was made (even if it required no
         resize), or ``None`` when throttled by the evaluation interval or
         an in-flight migration.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.advance(now)
         if (
             self._last_evaluation is not None
             and now - self._last_evaluation < self.evaluation_interval_s

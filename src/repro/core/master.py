@@ -25,18 +25,28 @@ baseline would have.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.agent import Agent
 from repro.core.fusecache import fuse_cache_detailed
+from repro.core.retry import RetryPolicy
 from repro.core.scoring import choose_nodes_to_retire
-from repro.errors import MigrationError
+from repro.errors import ConfigurationError, MigrationAbortedError, MigrationError
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import Flow, NetworkModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
 class PhaseTimings:
-    """Modeled wall-clock seconds per migration phase (paper V-B2)."""
+    """Modeled wall-clock seconds per migration phase (paper V-B2).
+
+    ``retry_s`` is filled in at *execution* time: backoff waits and the
+    duration of failed flow attempts, which the paper's fault-free
+    testbed never pays.
+    """
 
     scoring_s: float = 0.0
     dump_s: float = 0.0
@@ -44,6 +54,7 @@ class PhaseTimings:
     fusecache_s: float = 0.0
     data_transfer_s: float = 0.0
     import_s: float = 0.0
+    retry_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -55,6 +66,7 @@ class PhaseTimings:
             + self.fusecache_s
             + self.data_transfer_s
             + self.import_s
+            + self.retry_s
         )
 
     def breakdown(self) -> dict[str, float]:
@@ -66,6 +78,7 @@ class PhaseTimings:
             "fusecache": self.fusecache_s,
             "data_migration": self.data_transfer_s,
             "import": self.import_s,
+            "retries": self.retry_s,
             "total": self.total_s,
         }
 
@@ -99,9 +112,22 @@ class MigrationPlan:
         return self.timings.total_s
 
 
+OUTCOME_WARM = "warm"
+OUTCOME_PARTIAL = "partial"
+OUTCOME_COLD = "cold"
+
+
 @dataclass
 class MigrationReport:
-    """What actually happened when a plan was executed."""
+    """What actually happened when a plan was executed.
+
+    Under fault injection the report is the primary experimental output:
+    it records every retry, every flow that failed for good, every pair
+    skipped because a node died, and whether the scaling action completed
+    ``"warm"`` (every planned pair moved), ``"partial"`` (some data
+    arrived), or ``"cold"`` (the warm-up was lost but membership still
+    switched -- the paper's baseline behaviour, correctness preserved).
+    """
 
     plan: MigrationPlan
     items_exported: int = 0
@@ -110,6 +136,36 @@ class MigrationReport:
     # (src, dst) pairs whose transfer was skipped because a node died
     # between planning and execution.
     skipped_pairs: list[tuple[str, str]] = field(default_factory=list)
+    # (src, dst) pairs whose flow kept failing until retries ran out.
+    failed_flows: list[tuple[str, str]] = field(default_factory=list)
+    # (src, dst) pairs never attempted because the deadline fired first.
+    unattempted_pairs: list[tuple[str, str]] = field(default_factory=list)
+    completed_pairs: int = 0
+    retries: int = 0
+    retry_time_s: float = 0.0
+    outcome: str = OUTCOME_WARM
+    abort_reason: str | None = None
+    executed_at: float = 0.0
+    # Simulated seconds phase 3 actually took, retries and stalls included.
+    actual_duration_s: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True unless every planned pair migrated cleanly."""
+        return self.outcome != OUTCOME_WARM
+
+    def classify(self) -> str:
+        """Derive :attr:`outcome` from the recorded pair bookkeeping."""
+        lost = (
+            len(self.skipped_pairs)
+            + len(self.failed_flows)
+            + len(self.unattempted_pairs)
+        )
+        if lost == 0:
+            return OUTCOME_WARM
+        if self.completed_pairs == 0:
+            return OUTCOME_COLD
+        return OUTCOME_PARTIAL
 
 
 class Master:
@@ -131,6 +187,20 @@ class Master:
         Modeled cost of collecting median reports from one node.
     comparison_time_s:
         Modeled cost per FuseCache timestamp comparison.
+    retry_policy:
+        Backoff schedule for failed data flows (phase 3).
+    deadline_s:
+        Budget for phase 3, measured from the moment :meth:`execute`
+        starts.  Once retries, stalls, and timeouts push the modeled
+        clock past it, the remaining warm-up is abandoned and the
+        migration degrades to cold scaling (``on_deadline="degrade"``,
+        the default) or raises
+        :class:`~repro.errors.MigrationAbortedError`
+        (``on_deadline="raise"``).  ``None`` disables the deadline.
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; consulted
+        for node stalls and advanced as execution's modeled clock moves,
+        so faults scheduled mid-migration land mid-migration.
     """
 
     def __init__(
@@ -142,7 +212,17 @@ class Master:
         import_rate_items_s: float = 500_000.0,
         scoring_time_per_node_s: float = 0.2,
         comparison_time_s: float = 2e-6,
+        retry_policy: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        on_deadline: str = "degrade",
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
+        if on_deadline not in ("degrade", "raise"):
+            raise ConfigurationError(
+                f"on_deadline must be 'degrade' or 'raise', got {on_deadline!r}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
         self.cluster = cluster
         self.network = network or NetworkModel()
         self.import_mode = import_mode
@@ -150,6 +230,10 @@ class Master:
         self.import_rate_items_s = import_rate_items_s
         self.scoring_time_per_node_s = scoring_time_per_node_s
         self.comparison_time_s = comparison_time_s
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.deadline_s = deadline_s
+        self.on_deadline = on_deadline
+        self.fault_injector = fault_injector
 
     def agent(self, name: str) -> Agent:
         """The Agent on node ``name``."""
@@ -412,22 +496,40 @@ class Master:
     # ------------------------------------------------------------------
 
     def execute(self, plan: MigrationPlan, now: float = 0.0) -> MigrationReport:
-        """Run phase 3 and switch membership.
+        """Run phase 3 resiliently and switch membership.
 
         Keys evicted since planning are skipped (the protocol tolerates
-        drift between the metadata snapshot and the data move).  For
-        scale-in, retiring nodes are destroyed after the switch; for
-        scale-out, the new nodes are activated after their import.
+        drift between the metadata snapshot and the data move).  Each
+        (src, dst) pair's data flow runs under the fault model: failed
+        flows are retried per :attr:`retry_policy` with modeled backoff,
+        node stalls stretch dump/import time, and everything is charged
+        against :attr:`deadline_s`.  When the deadline fires, remaining
+        pairs are abandoned and the scaling action completes cold --
+        membership still switches, because a late warm-up must never
+        block the resize itself.  For scale-in, retiring nodes are
+        destroyed after the switch; for scale-out, the new nodes are
+        activated after their import.
         """
         mode = plan.import_mode or self.import_mode
-        report = MigrationReport(plan=plan)
+        report = MigrationReport(plan=plan, executed_at=now)
+        injector = self.fault_injector
+        clock = now
+        deadline = None if self.deadline_s is None else now + self.deadline_s
+        if injector is not None:
+            injector.advance(clock)
         for node_name, keys in plan.pre_deletes.items():
             node = self.cluster.nodes.get(node_name)
             if node is None:
                 continue
             for key in keys:
                 node.delete(key)
+        aborted = False
         for (src, dst), keys in plan.transfers.items():
+            if aborted:
+                report.unattempted_pairs.append((src, dst))
+                continue
+            if injector is not None:
+                injector.advance(clock)
             # A node lost between planning and execution degrades the
             # migration to a partial warm-up rather than failing it: the
             # scaling action must still complete (Section III-D's
@@ -435,11 +537,20 @@ class Master:
             if src not in self.cluster.nodes or dst not in self.cluster.nodes:
                 report.skipped_pairs.append((src, dst))
                 continue
-            migrated = self.agent(src).export_items(keys)
-            report.items_exported += len(migrated)
-            report.items_imported += self.agent(dst).import_items(
-                migrated, mode=mode, now=now
+            clock = self._migrate_pair(
+                plan, report, src, dst, keys, mode, clock
             )
+            if deadline is not None and clock >= deadline:
+                aborted = True
+                report.abort_reason = (
+                    f"deadline of {self.deadline_s:.1f}s exceeded "
+                    f"{clock - now:.1f}s into phase 3 (pair {src} -> {dst})"
+                )
+        report.actual_duration_s = clock - now
+        plan.timings.retry_s += report.retry_time_s
+        report.outcome = report.classify()
+        if aborted and self.on_deadline == "raise":
+            raise MigrationAbortedError(report.abort_reason or "aborted")
         if plan.kind == "scale_in":
             retained = [
                 name
@@ -468,8 +579,162 @@ class Master:
                 self.cluster.destroy(name)
 
     # ------------------------------------------------------------------
+    # Re-planning around dead nodes
+    # ------------------------------------------------------------------
+
+    def replan(self, plan: MigrationPlan) -> MigrationPlan | None:
+        """Adapt ``plan`` to nodes that died since it was computed.
+
+        Returns the plan unchanged when every referenced node is still
+        alive.  When a *retained* (or, for scale-out, existing) node died,
+        the migration is re-planned from scratch against the surviving
+        membership so its data flows target live nodes; dead *retiring*
+        nodes are simply dropped (their data is gone either way).
+        Returns ``None`` when nothing is left to do -- e.g. every node
+        being added by a scale-out died before activation.
+        """
+        live = set(self.cluster.nodes)
+        if plan.kind == "scale_in":
+            referenced = set(plan.retained) | set(plan.retiring)
+            if referenced <= live:
+                return plan
+            retiring = [
+                name
+                for name in plan.retiring
+                if name in self.cluster.active_members
+            ]
+            retained = set(self.cluster.active_members) - set(retiring)
+            if not retained:
+                return None
+            if not retiring:
+                return None
+            fresh = self.plan_scale_in(retiring, include_scoring=False)
+            fresh.import_mode = plan.import_mode
+            return fresh
+        surviving_new = [
+            name for name in plan.new_nodes if name in live
+        ]
+        if set(plan.retained) | set(plan.new_nodes) <= live:
+            return plan
+        if not surviving_new:
+            return None
+        # Re-plan the metadata/fusecache phases against the survivors:
+        # tear down nothing (surviving new nodes stay provisioned) and
+        # rebuild the transfer map from live existing nodes.
+        replanned = self._replan_scale_out(surviving_new)
+        replanned.import_mode = plan.import_mode
+        return replanned
+
+    def _replan_scale_out(self, new_names: list[str]) -> MigrationPlan:
+        """Re-run scale-out planning for already-provisioned new nodes."""
+        existing = sorted(self.cluster.active_members)
+        members_after = existing + sorted(new_names)
+        target_ring = self.cluster.ring_for(members_after)
+        plan = MigrationPlan(
+            kind="scale_out",
+            retiring=[],
+            retained=existing,
+            new_nodes=sorted(new_names),
+            transfers={},
+            timings=PhaseTimings(),
+        )
+        new_set = set(new_names)
+        import_load: dict[str, int] = {name: 0 for name in new_names}
+        for src in existing:
+            agent = self.agent(src)
+            grouped = agent.dump_and_hash(target_ring)
+            for dst, per_class in grouped.items():
+                if dst not in new_set:
+                    continue
+                for class_id, entries in per_class.items():
+                    keys = [key for key, _ in entries]
+                    if keys:
+                        plan.transfers.setdefault((src, dst), []).extend(
+                            keys
+                        )
+                        import_load[dst] += len(keys)
+        self._price_data_phase(plan, import_load)
+        return plan
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _migrate_pair(
+        self,
+        plan: MigrationPlan,
+        report: MigrationReport,
+        src: str,
+        dst: str,
+        keys: list[str],
+        mode: str,
+        clock: float,
+    ) -> float:
+        """Move one (src, dst) pair under the fault model; returns the
+        modeled clock after the attempt(s)."""
+        injector = self.fault_injector
+        size = self._pair_bytes(src, keys)
+        flow = Flow(src, dst, size) if size > 0 else None
+        failures = 0
+        while True:
+            if flow is not None:
+                result = self.network.attempt_flow(flow, now=clock)
+            else:
+                result = None
+            if result is None or result.ok:
+                break
+            failures += 1
+            clock += result.duration_s
+            report.retry_time_s += result.duration_s
+            if failures >= self.retry_policy.max_attempts:
+                report.failed_flows.append((src, dst))
+                return clock
+            backoff = self.retry_policy.backoff_s(failures)
+            report.retries += 1
+            report.retry_time_s += backoff
+            clock += backoff
+            if injector is not None:
+                # Let faults scheduled during the backoff window land
+                # before the retry (a crashed endpoint fails the pair).
+                injector.advance(clock)
+                if (
+                    src not in self.cluster.nodes
+                    or dst not in self.cluster.nodes
+                ):
+                    report.skipped_pairs.append((src, dst))
+                    return clock
+        # Dump, transfer, and import succeed; node stalls stretch the
+        # modeled durations.
+        dump_factor = import_factor = 1.0
+        if injector is not None:
+            dump_factor = injector.rate_factor(src, clock)
+            import_factor = injector.rate_factor(dst, clock)
+        src_agent = self.agent(src)
+        dst_agent = self.agent(dst)
+        clock += src_agent.dump_seconds(
+            len(keys), self.dump_rate_items_s, dump_factor
+        )
+        if result is not None:
+            clock += result.duration_s
+        migrated = src_agent.export_items(keys)
+        report.items_exported += len(migrated)
+        imported = dst_agent.import_items(migrated, mode=mode, now=clock)
+        report.items_imported += imported
+        clock += dst_agent.import_seconds(
+            imported, self.import_rate_items_s, import_factor
+        )
+        report.completed_pairs += 1
+        return clock
+
+    def _pair_bytes(self, src: str, keys: list[str]) -> int:
+        """Current wire size of one pair's keys (evicted keys excluded)."""
+        node = self.cluster.nodes[src]
+        size = 0
+        for key in keys:
+            item = node.peek(key)
+            if item is not None:
+                size += len(key) + item.value_size
+        return size
 
     def _price_data_phase(
         self, plan: MigrationPlan, import_load: dict[str, int]

@@ -211,15 +211,46 @@ class ElMemPolicy(MigrationPolicy):
         if now < due:
             return
         assert self.master is not None
+        # Nodes may have died between the decision and now; re-plan the
+        # migration around the survivors rather than shipping data to
+        # (or from) ghosts.
+        adapted = self.master.replan(plan)
+        if adapted is None:
+            self._pending = None
+            if plan.kind == "scale_out":
+                self.master.abort_scale_out(plan)
+            self._log(
+                now,
+                "replan_dropped",
+                f"{plan.kind} obsolete: referenced nodes died; "
+                f"membership {sorted(self.cluster.active_members)}",  # type: ignore[union-attr]
+            )
+            return
+        if adapted is not plan:
+            self._log(
+                now,
+                "replanned",
+                f"{plan.kind} re-planned around dead nodes: "
+                f"{adapted.items_to_migrate} items remain",
+            )
+            plan = adapted
         report = self.master.execute(plan, now=now)
         self.reports.append(report)
         self._pending = None
-        self._log(
-            now,
-            "executed",
-            f"{plan.kind}: imported {report.items_imported} items, "
-            f"membership {report.membership_after}",
+        detail = (
+            f"{plan.kind} [{report.outcome}]: imported "
+            f"{report.items_imported} items, "
+            f"membership {report.membership_after}"
         )
+        if report.retries:
+            detail += f", {report.retries} retries"
+        if report.failed_flows:
+            detail += f", {len(report.failed_flows)} failed flows"
+        if report.skipped_pairs:
+            detail += f", {len(report.skipped_pairs)} skipped pairs"
+        if report.abort_reason:
+            detail += f", aborted: {report.abort_reason}"
+        self._log(now, "executed", detail)
 
 
 class NaivePolicy(MigrationPolicy):

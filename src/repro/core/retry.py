@@ -1,0 +1,66 @@
+"""Bounded exponential-backoff retry policy for migration flows.
+
+The Master retries each failed data flow a bounded number of times with
+exponentially growing (capped) backoff.  All delays are *modeled*
+simulated seconds -- they are charged against the migration deadline and
+recorded in :class:`~repro.core.master.PhaseTimings` and the
+:class:`~repro.core.master.MigrationReport`, never slept for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed flow, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per flow including the first (1 = never retry).
+    base_backoff_s:
+        Modeled wait before the first retry.
+    backoff_multiplier:
+        Growth factor between consecutive backoffs.
+    max_backoff_s:
+        Cap on any single backoff.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0:
+            raise ConfigurationError("base_backoff_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigurationError(
+                "max_backoff_s must be >= base_backoff_s"
+            )
+
+    def backoff_s(self, failures: int) -> float:
+        """Modeled wait after the ``failures``-th consecutive failure."""
+        if failures < 1:
+            raise ConfigurationError("failures must be >= 1")
+        delay = self.base_backoff_s * self.backoff_multiplier ** (failures - 1)
+        return min(delay, self.max_backoff_s)
+
+    def total_backoff_s(self) -> float:
+        """Worst-case modeled wait if every attempt fails."""
+        return sum(
+            self.backoff_s(failure)
+            for failure in range(1, self.max_attempts)
+        )
+
+
+NO_RETRY = RetryPolicy(max_attempts=1)
+"""A policy that gives up on the first failure."""

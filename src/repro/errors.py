@@ -19,3 +19,20 @@ class MembershipError(ReproError):
 
 class MigrationError(ReproError):
     """A data-migration step could not be completed."""
+
+
+class MigrationAbortedError(MigrationError):
+    """A migration hit its deadline and the warm-up was abandoned.
+
+    Raised only when the Master is configured with ``on_deadline="raise"``;
+    the default behaviour degrades to cold scaling instead, because the
+    scaling action itself must still complete.
+    """
+
+
+class FaultError(ReproError):
+    """An injected fault made an operation fail (node crash, flow loss)."""
+
+
+class FlowTimeoutError(FaultError):
+    """A network flow exceeded its configured timeout."""

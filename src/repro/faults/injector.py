@@ -1,0 +1,145 @@
+"""Clock-driven application of a :class:`FaultSchedule` to a live cluster.
+
+The :class:`FaultInjector` sits between the simulator clock and the
+cluster/network: :meth:`FaultInjector.advance` applies every fault whose
+time has come (crashing nodes, opening stall and flow-fault windows), and
+the query side -- :meth:`rate_factor` and :meth:`flow_disposition` -- is
+consulted by the Master and the :class:`~repro.netsim.transfer.NetworkModel`
+while a migration executes, so injected faults translate into retries,
+failed flows, and blown deadlines rather than silent success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.spec import FaultSchedule, FaultSpec
+from repro.memcached.cluster import MemcachedCluster
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """Audit-trail entry: one spec the injector acted on."""
+
+    spec: FaultSpec
+    applied_at: float
+    detail: str
+
+
+class FaultInjector:
+    """Applies a fault schedule to a cluster as simulated time advances.
+
+    The injector is deliberately conservative about one thing: it never
+    crashes the last node still on the hash ring.  A fault campaign is
+    meant to stress the migration protocol, not to model total cluster
+    loss (which no migration policy could survive); such crashes are
+    recorded as suppressed in :attr:`applied`.
+    """
+
+    def __init__(
+        self, cluster: MemcachedCluster, schedule: FaultSchedule
+    ) -> None:
+        self.cluster = cluster
+        self.schedule = schedule
+        self.applied: list[AppliedFault] = []
+        self.killed: list[str] = []
+        self._cursor = 0
+        self._stalls: list[FaultSpec] = []
+        self._flow_faults: list[FaultSpec] = []
+
+    # ------------------------------------------------------------------
+    # Clock side
+    # ------------------------------------------------------------------
+
+    def advance(self, now: float) -> list[AppliedFault]:
+        """Apply every scheduled fault with ``at_s <= now``; return them."""
+        fired: list[AppliedFault] = []
+        specs = self.schedule.specs
+        while self._cursor < len(specs) and specs[self._cursor].at_s <= now:
+            spec = specs[self._cursor]
+            self._cursor += 1
+            fired.append(self._apply(spec, now))
+        return fired
+
+    def _apply(self, spec: FaultSpec, now: float) -> AppliedFault:
+        if spec.kind == "node_crash":
+            detail = self._crash(spec.node or "", now)
+        elif spec.kind == "node_stall":
+            self._stalls.append(spec)
+            detail = f"stalled {spec.node} to {spec.factor:.2f}x"
+        elif spec.kind == "flow_fail":
+            self._flow_faults.append(spec)
+            detail = f"failing flows {spec.src or '*'} -> {spec.dst or '*'}"
+        else:  # flow_throttle
+            self._flow_faults.append(spec)
+            detail = (
+                f"throttling flows {spec.src or '*'} -> {spec.dst or '*'} "
+                f"to {spec.factor:.2f}x"
+            )
+        record = AppliedFault(spec=spec, applied_at=now, detail=detail)
+        self.applied.append(record)
+        return record
+
+    def _crash(self, name: str, now: float) -> str:
+        if name not in self.cluster.nodes:
+            return f"crash of {name} was a no-op (already gone)"
+        active = self.cluster.active_members
+        if name in active and len(active) <= 1:
+            return f"crash of {name} suppressed (last active node)"
+        self.cluster.destroy(name)
+        self.killed.append(name)
+        return f"crashed {name}"
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+
+    def alive(self, name: str) -> bool:
+        """True while ``name`` is still provisioned on the cluster."""
+        return name in self.cluster.nodes
+
+    def rate_factor(self, node: str, now: float) -> float:
+        """Combined dump/import throughput multiplier for ``node``.
+
+        Overlapping stalls multiply (two 0.5x stalls make 0.25x); a node
+        with no active stall runs at 1.0.
+        """
+        factor = 1.0
+        for spec in self._stalls:
+            if spec.node == node and spec.active(now):
+                factor *= spec.factor
+        return factor
+
+    def flow_disposition(self, src: str, dst: str, now: float):
+        """How the network should treat one ``src -> dst`` flow at ``now``.
+
+        Returns the string ``"fail"`` when an active ``flow_fail`` spec
+        matches, otherwise the combined throttle factor (1.0 = clean).
+        This is the callable wired into
+        :attr:`NetworkModel.fault_hook <repro.netsim.transfer.NetworkModel>`.
+        """
+        factor = 1.0
+        for spec in self._flow_faults:
+            if not spec.active(now) or not spec.matches_flow(src, dst):
+                continue
+            if spec.kind == "flow_fail":
+                return "fail"
+            factor *= spec.factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, master) -> None:
+        """Hook this injector into a Master and its network model."""
+        master.fault_injector = self
+        master.network.fault_hook = self.flow_disposition
+
+    def summary(self) -> dict[str, int]:
+        """Counts of what the campaign actually did."""
+        kinds: dict[str, int] = {}
+        for record in self.applied:
+            kinds[record.spec.kind] = kinds.get(record.spec.kind, 0) + 1
+        kinds["crashed_nodes"] = len(self.killed)
+        return kinds

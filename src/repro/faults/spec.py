@@ -1,0 +1,186 @@
+"""Declarative fault descriptions and seeded fault schedules.
+
+A :class:`FaultSpec` names one planned misbehaviour at one point in
+simulated time: a node crash, a node whose dump/import throughput stalls,
+or a network flow that fails outright or is throttled.  A
+:class:`FaultSchedule` is a time-ordered list of specs; the seeded
+:meth:`FaultSchedule.random` generator makes whole fault campaigns
+reproducible from a single integer, which is what lets the fault-sweep
+benchmark (and the acceptance tests) replay the exact same failure story
+twice and demand identical migration reports.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+FAULT_KINDS = frozenset(
+    {"node_crash", "node_stall", "flow_fail", "flow_throttle"}
+)
+"""The misbehaviours the injector knows how to apply."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault at ``at_s`` seconds of simulated time.
+
+    Parameters
+    ----------
+    at_s:
+        Simulated time at which the fault begins.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    node:
+        Target of ``node_crash`` / ``node_stall``.
+    src / dst:
+        Endpoint filters for flow faults; ``None`` matches any endpoint,
+        so ``FaultSpec(10, "flow_fail", src="node-002")`` fails every
+        flow leaving ``node-002``.
+    factor:
+        Throughput multiplier for ``node_stall`` / ``flow_throttle``
+        (0 < factor < 1 slows; 0 is a dead stop that times flows out).
+    duration_s:
+        How long a stall/throttle/flow fault stays active; ``None``
+        means it never clears.  Ignored for ``node_crash`` (crashes are
+        permanent).
+    """
+
+    at_s: float
+    kind: str
+    node: str | None = None
+    src: str | None = None
+    dst: str | None = None
+    factor: float = 0.5
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(FAULT_KINDS)}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError("fault at_s must be non-negative")
+        if self.kind in ("node_crash", "node_stall") and not self.node:
+            raise ConfigurationError(f"{self.kind} requires a target node")
+        if self.factor < 0:
+            raise ConfigurationError("fault factor must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigurationError("fault duration_s must be positive")
+
+    @property
+    def expires_at(self) -> float:
+        """Simulated time the fault clears (``inf`` when permanent)."""
+        if self.kind == "node_crash" or self.duration_s is None:
+            return math.inf
+        return self.at_s + self.duration_s
+
+    def active(self, now: float) -> bool:
+        """True while the fault is in effect at ``now``."""
+        return self.at_s <= now < self.expires_at
+
+    def matches_flow(self, src: str, dst: str) -> bool:
+        """True if this (flow) fault applies to a ``src -> dst`` flow."""
+        if self.kind not in ("flow_fail", "flow_throttle"):
+            return False
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """A time-ordered fault campaign for one simulation run."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.specs = sorted(self.specs, key=lambda spec: spec.at_s)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def add(self, spec: FaultSpec) -> None:
+        """Insert one spec, keeping the schedule time-ordered."""
+        self.specs.append(spec)
+        self.specs.sort(key=lambda item: item.at_s)
+
+    def pending(self, now: float) -> list[FaultSpec]:
+        """Specs that have not yet fired at ``now``."""
+        return [spec for spec in self.specs if spec.at_s > now]
+
+    @classmethod
+    def random(
+        cls,
+        nodes: list[str],
+        duration_s: float,
+        seed: int = 0,
+        intensity: float = 0.5,
+        max_crash_fraction: float = 0.5,
+    ) -> "FaultSchedule":
+        """Generate a seeded campaign over ``nodes`` for ``duration_s``.
+
+        ``intensity`` scales the expected fault count (roughly
+        ``intensity * len(nodes)`` faults, spread uniformly over the
+        middle 80% of the run so faults land while migrations are in
+        flight, not at t=0).  Crashes are capped at
+        ``max_crash_fraction`` of the fleet so a hot sweep cannot kill
+        the whole tier.  The same ``(nodes, duration_s, seed,
+        intensity)`` tuple always yields the identical schedule.
+        """
+        if intensity < 0:
+            raise ConfigurationError("intensity must be >= 0")
+        if not nodes or duration_s <= 0 or intensity == 0:
+            return cls([])
+        rng = random.Random(seed)
+        count = max(1, round(intensity * len(nodes)))
+        crash_budget = max(1, int(len(nodes) * max_crash_fraction))
+        crashed: set[str] = set()
+        specs: list[FaultSpec] = []
+        kinds = ["node_crash", "node_stall", "flow_fail", "flow_throttle"]
+        for _ in range(count):
+            at_s = rng.uniform(0.1 * duration_s, 0.9 * duration_s)
+            kind = rng.choice(kinds)
+            if kind == "node_crash" and len(crashed) >= crash_budget:
+                kind = "node_stall"
+            node = rng.choice(nodes)
+            if kind == "node_crash":
+                crashed.add(node)
+                specs.append(FaultSpec(at_s, kind, node=node))
+            elif kind == "node_stall":
+                specs.append(
+                    FaultSpec(
+                        at_s,
+                        kind,
+                        node=node,
+                        factor=rng.uniform(0.05, 0.5),
+                        duration_s=rng.uniform(30.0, 180.0),
+                    )
+                )
+            elif kind == "flow_fail":
+                specs.append(
+                    FaultSpec(
+                        at_s,
+                        kind,
+                        src=node,
+                        duration_s=rng.uniform(10.0, 120.0),
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        at_s,
+                        kind,
+                        src=node,
+                        factor=rng.uniform(0.05, 0.5),
+                        duration_s=rng.uniform(30.0, 180.0),
+                    )
+                )
+        return cls(specs)

@@ -10,9 +10,9 @@ Agents pipe tarballs between nodes in parallel during migration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError, FlowTimeoutError
 
 GBIT = 125_000_000
 """Bytes per second of one gigabit."""
@@ -33,6 +33,21 @@ class Flow:
             raise ConfigurationError("flow endpoints must differ")
 
 
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of attempting one flow under the current fault state.
+
+    ``duration_s`` is always the simulated time the attempt consumed:
+    the transfer time on success, the setup cost of a connection that was
+    refused, or the full timeout spent waiting on a flow that never
+    finished.
+    """
+
+    ok: bool
+    duration_s: float
+    error: str | None = None  # None | "failed" | "timeout"
+
+
 class NetworkModel:
     """Cluster network with homogeneous per-node NIC bandwidth.
 
@@ -43,25 +58,93 @@ class NetworkModel:
         The paper's OpenStack VMs are on a shared 1 Gbit fabric.
     connection_setup_s:
         Per-flow overhead (ssh handshake, tar spawn).
+    flow_timeout_s:
+        Per-flow deadline: an attempt whose modeled duration would exceed
+        this fails with a timeout after exactly ``flow_timeout_s`` of
+        simulated waiting.  ``None`` (the default) disables timeouts.
+    fault_hook:
+        Optional callable ``(src, dst, now) -> "fail" | factor`` consulted
+        per attempt -- typically
+        :meth:`FaultInjector.flow_disposition
+        <repro.faults.injector.FaultInjector.flow_disposition>`.
+        ``"fail"`` refuses the connection; a numeric factor scales the
+        flow's bandwidth (0 stalls it into a timeout).
     """
 
     def __init__(
         self,
         nic_bandwidth_bps: float = 1.0 * GBIT,
         connection_setup_s: float = 0.5,
+        flow_timeout_s: float | None = None,
+        fault_hook: Callable[[str, str, float], object] | None = None,
     ) -> None:
         if nic_bandwidth_bps <= 0:
             raise ConfigurationError("nic_bandwidth_bps must be positive")
         if connection_setup_s < 0:
             raise ConfigurationError("connection_setup_s must be >= 0")
+        if flow_timeout_s is not None and flow_timeout_s <= 0:
+            raise ConfigurationError("flow_timeout_s must be positive")
         self.nic_bandwidth_bps = nic_bandwidth_bps
         self.connection_setup_s = connection_setup_s
+        self.flow_timeout_s = flow_timeout_s
+        self.fault_hook = fault_hook
 
     def flow_time(self, size_bytes: int) -> float:
         """Seconds for one flow with the NIC to itself."""
         if size_bytes < 0:
             raise ConfigurationError("size_bytes must be non-negative")
         return self.connection_setup_s + size_bytes / self.nic_bandwidth_bps
+
+    def attempt_flow(self, flow: Flow, now: float = 0.0) -> FlowResult:
+        """Try one flow under the current fault state (non-raising).
+
+        The happy path returns ``FlowResult(ok=True)`` with the usual
+        setup-plus-bandwidth duration.  An active ``fault_hook`` can
+        refuse the connection (the attempt burns the setup cost) or
+        throttle it; a throttled or stalled flow that cannot finish
+        within :attr:`flow_timeout_s` burns the full timeout instead.
+        """
+        disposition: object = 1.0
+        if self.fault_hook is not None:
+            disposition = self.fault_hook(flow.src, flow.dst, now)
+        if disposition == "fail":
+            return FlowResult(
+                ok=False, duration_s=self.connection_setup_s, error="failed"
+            )
+        factor = float(disposition)  # type: ignore[arg-type]
+        if factor <= 0.0:
+            # A dead-stopped flow can only end by timing out; with no
+            # timeout configured, charge the setup cost and fail.
+            stalled = self.flow_timeout_s or self.connection_setup_s
+            return FlowResult(ok=False, duration_s=stalled, error="timeout")
+        duration = (
+            self.connection_setup_s
+            + flow.size_bytes / (self.nic_bandwidth_bps * factor)
+        )
+        if self.flow_timeout_s is not None and duration > self.flow_timeout_s:
+            return FlowResult(
+                ok=False, duration_s=self.flow_timeout_s, error="timeout"
+            )
+        return FlowResult(ok=True, duration_s=duration)
+
+    def transfer(self, flow: Flow, now: float = 0.0) -> float:
+        """Raising variant of :meth:`attempt_flow`.
+
+        Returns the flow duration on success; raises
+        :class:`~repro.errors.FlowTimeoutError` on timeout and
+        :class:`~repro.errors.FaultError` on a refused connection.
+        """
+        result = self.attempt_flow(flow, now=now)
+        if result.ok:
+            return result.duration_s
+        if result.error == "timeout":
+            raise FlowTimeoutError(
+                f"flow {flow.src} -> {flow.dst} ({flow.size_bytes} B) "
+                f"timed out after {result.duration_s:.1f}s"
+            )
+        raise FaultError(
+            f"flow {flow.src} -> {flow.dst} failed (connection refused)"
+        )
 
     def phase_time(self, flows: Iterable[Flow]) -> float:
         """Completion time of a set of concurrent flows.

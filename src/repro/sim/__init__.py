@@ -12,7 +12,7 @@ from repro.sim.experiment import (
     ExperimentResult,
     run_experiment,
 )
-from repro.sim.metrics import MetricsCollector, SecondRecord
+from repro.sim.metrics import MetricsCollector, MigrationOutcome, SecondRecord
 from repro.sim.webapp import LatencyModel, WebApplication
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "ExperimentResult",
     "LatencyModel",
     "MetricsCollector",
+    "MigrationOutcome",
     "SecondRecord",
     "SimulationClock",
     "WebApplication",

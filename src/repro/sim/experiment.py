@@ -20,8 +20,10 @@ from repro.core.autoscaler import (
 )
 from repro.core.master import Master, MigrationReport
 from repro.core.policies import MigrationPolicy, make_policy
+from repro.core.retry import RetryPolicy
 from repro.database.latency import DatabaseTier
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultSchedule
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import GBIT, NetworkModel
 from repro.sim.metrics import MetricsCollector
@@ -87,6 +89,12 @@ class ExperimentConfig:
     nic_bandwidth_bps: float = 0.25 * GBIT
     latency: LatencyModel = field(default_factory=LatencyModel)
     seed: int = 0
+    # Robustness: an optional seeded fault campaign applied while the
+    # trace replays, plus the Master's resilience knobs.
+    fault_schedule: FaultSchedule | None = None
+    retry_policy: RetryPolicy | None = None
+    migration_deadline_s: float | None = None
+    flow_timeout_s: float | None = None
 
     def trace_object(self) -> RateTrace:
         """The demand trace, resolved from a registry name if needed."""
@@ -106,11 +114,17 @@ class ExperimentResult:
     decisions: list[ScalingDecision]
     dataset: Dataset
     cluster: MemcachedCluster
+    master: Master | None = None
 
     @property
     def reports(self) -> list[MigrationReport]:
         """Migration reports produced by the policy, if any."""
         return self.policy.reports
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The run's fault injector, when a schedule was configured."""
+        return self.master.fault_injector if self.master else None
 
     def summary(self) -> dict[str, float]:
         """Headline metrics over the measured window."""
@@ -160,8 +174,19 @@ def build_stack(config: ExperimentConfig):
         capacity_rps=config.db_capacity_rps,
         service_time_s=config.db_service_time_s,
     )
-    network = NetworkModel(nic_bandwidth_bps=config.nic_bandwidth_bps)
-    master = Master(cluster, network=network, import_mode=config.import_mode)
+    network = NetworkModel(
+        nic_bandwidth_bps=config.nic_bandwidth_bps,
+        flow_timeout_s=config.flow_timeout_s,
+    )
+    master = Master(
+        cluster,
+        network=network,
+        import_mode=config.import_mode,
+        retry_policy=config.retry_policy,
+        deadline_s=config.migration_deadline_s,
+    )
+    if config.fault_schedule is not None:
+        FaultInjector(cluster, config.fault_schedule).attach(master)
     if isinstance(config.policy, MigrationPolicy):
         policy = config.policy
     else:
@@ -260,6 +285,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     recent_kv_rate = initial_rate * config.items_per_request
     for tick in range(duration):
         now = float(tick)
+        if master.fault_injector is not None:
+            master.fault_injector.advance(now)
         policy.tick(now)
 
         pending_action = schedule.pending_action(
@@ -294,6 +321,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if record.kv_gets:
             recent_kv_rate = 0.8 * recent_kv_rate + 0.2 * record.kv_gets
 
+    for report in policy.reports:
+        metrics.record_migration(report)
+
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -302,6 +332,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         decisions=decisions,
         dataset=dataset,
         cluster=cluster,
+        master=master,
     )
 
 

@@ -4,6 +4,11 @@ Every simulated second yields one :class:`SecondRecord` with the cache
 hit rate and the 95th-percentile web-request response time -- the two
 series of Fig. 2/6/8 -- plus supporting detail (node count, database
 latency and backlog) used by the analysis module.
+
+Robustness experiments additionally record one
+:class:`MigrationOutcome` per executed migration: how many retries and
+failed flows the fault campaign caused, and whether the warm-up
+completed warm, partially warm, or degraded to cold scaling.
 """
 
 from __future__ import annotations
@@ -11,6 +16,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """Robustness bookkeeping for one executed migration."""
+
+    time: float
+    kind: str  # "scale_in" | "scale_out"
+    outcome: str  # "warm" | "partial" | "cold"
+    retries: int
+    failed_flows: int
+    skipped_pairs: int
+    unattempted_pairs: int
+    items_imported: int
+    retry_time_s: float
+    abort_reason: str | None = None
+
+    @classmethod
+    def from_report(cls, report) -> "MigrationOutcome":
+        """Build from a :class:`~repro.core.master.MigrationReport`."""
+        return cls(
+            time=report.executed_at,
+            kind=report.plan.kind,
+            outcome=report.outcome,
+            retries=report.retries,
+            failed_flows=len(report.failed_flows),
+            skipped_pairs=len(report.skipped_pairs),
+            unattempted_pairs=len(report.unattempted_pairs),
+            items_imported=report.items_imported,
+            retry_time_s=report.retry_time_s,
+            abort_reason=report.abort_reason,
+        )
 
 
 @dataclass
@@ -45,10 +82,17 @@ class MetricsCollector:
     """Time-ordered sequence of per-second records with array accessors."""
 
     records: list[SecondRecord] = field(default_factory=list)
+    migrations: list[MigrationOutcome] = field(default_factory=list)
 
     def add(self, record: SecondRecord) -> None:
         """Append one second of measurements."""
         self.records.append(record)
+
+    def record_migration(self, report) -> MigrationOutcome:
+        """Record the robustness outcome of one executed migration."""
+        outcome = MigrationOutcome.from_report(report)
+        self.migrations.append(outcome)
+        return outcome
 
     def __len__(self) -> int:
         return len(self.records)
@@ -82,10 +126,26 @@ class MetricsCollector:
             return {}
         p95 = self.p95_series_ms()
         finite = p95[np.isfinite(p95)]
-        return {
+        result = {
             "seconds": float(len(self.records)),
             "mean_hit_rate": float(self.hit_rates().mean()),
             "mean_p95_rt_ms": float(finite.mean()) if len(finite) else 0.0,
             "max_p95_rt_ms": float(finite.max()) if len(finite) else 0.0,
             "total_requests": float(self.series("requests").sum()),
         }
+        if self.migrations:
+            result["migrations"] = float(len(self.migrations))
+            for outcome in ("warm", "partial", "cold"):
+                result[f"migrations_{outcome}"] = float(
+                    sum(1 for m in self.migrations if m.outcome == outcome)
+                )
+            result["migration_retries"] = float(
+                sum(m.retries for m in self.migrations)
+            )
+            result["migration_failed_flows"] = float(
+                sum(m.failed_flows for m in self.migrations)
+            )
+            result["migration_skipped_pairs"] = float(
+                sum(m.skipped_pairs for m in self.migrations)
+            )
+        return result

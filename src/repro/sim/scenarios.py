@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.policies import MigrationPolicy
 from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule, FaultSpec
 from repro.sim.experiment import ExperimentConfig
 from repro.workloads.traces import make_trace
 
@@ -117,3 +118,60 @@ def scale_action_times(
         float(round(fraction * duration_s))
         for fraction, _ in scenario.actions
     ]
+
+
+# ----------------------------------------------------------------------
+# Fault sweep (robustness evaluation, beyond the paper's testbed)
+# ----------------------------------------------------------------------
+
+FAULT_SWEEP_INTENSITIES = (0.0, 0.3, 0.6, 1.0)
+"""Default intensities for the fault-degradation sweep (0 = fault-free)."""
+
+
+def fault_sweep_config(
+    intensity: float,
+    scenario_name: str = "sys",
+    policy: str | MigrationPolicy = "elmem",
+    duration_s: int = DEFAULT_DURATION_S,
+    seed: int = 3,
+    migration_deadline_s: float = 300.0,
+    flow_timeout_s: float = 90.0,
+    **overrides,
+) -> ExperimentConfig:
+    """One point of the fault sweep: a paper scenario plus a seeded
+    fault campaign of the given ``intensity``.
+
+    The campaign is generated over the scenario's *initial* node fleet
+    (crashes, stalls, flow faults) with ``FaultSchedule.random``; the
+    Master runs with a migration deadline and per-flow timeouts so a
+    hostile campaign degrades migrations to partial/cold instead of
+    letting them run forever.  Because a random campaign rarely lands
+    inside the short phase-3 window, intensities >= 0.5 additionally aim
+    a timed flow-failure window at each scaling action -- the worst case
+    for a warm migration: the network misbehaving exactly while data
+    moves.  The same ``(intensity, seed)`` pair always produces the
+    identical campaign.
+    """
+    config = paper_config(
+        scenario_name, policy, duration_s=duration_s, seed=seed, **overrides
+    )
+    names = [f"node-{i:03d}" for i in range(config.initial_nodes)]
+    schedule = FaultSchedule.random(
+        names,
+        float(duration_s),
+        seed=seed + 1000,
+        intensity=intensity,
+    )
+    if intensity >= 0.5:
+        for action_time in scale_action_times(scenario_name, duration_s):
+            schedule.add(
+                FaultSpec(
+                    action_time + 1.0,
+                    "flow_fail",
+                    duration_s=30.0 + 60.0 * intensity,
+                )
+            )
+    config.fault_schedule = schedule
+    config.migration_deadline_s = migration_deadline_s
+    config.flow_timeout_s = flow_timeout_s
+    return config

@@ -7,7 +7,10 @@ from repro.core.master import MigrationPlan, PhaseTimings
 from repro.errors import (
     CapacityError,
     ConfigurationError,
+    FaultError,
+    FlowTimeoutError,
     MembershipError,
+    MigrationAbortedError,
     MigrationError,
     ReproError,
 )
@@ -22,8 +25,15 @@ class TestPackageSurface:
     def test_top_level_exports(self):
         for name in (
             "ElMemController",
+            "FaultError",
+            "FaultInjector",
+            "FaultSchedule",
+            "FaultSpec",
+            "FlowTimeoutError",
             "MemcachedCluster",
             "MemcachedNode",
+            "MigrationAbortedError",
+            "RetryPolicy",
             "fuse_cache",
         ):
             assert hasattr(repro, name)
@@ -32,11 +42,14 @@ class TestPackageSurface:
         for error in (
             ConfigurationError,
             CapacityError,
+            FaultError,
             MembershipError,
             MigrationError,
         ):
             assert issubclass(error, ReproError)
             assert issubclass(error, Exception)
+        assert issubclass(MigrationAbortedError, MigrationError)
+        assert issubclass(FlowTimeoutError, FaultError)
 
 
 class TestItem:
@@ -94,8 +107,14 @@ class TestPhaseTimings:
             "fusecache",
             "data_migration",
             "import",
+            "retries",
             "total",
         }
+
+    def test_retry_time_counts_toward_total(self):
+        timings = PhaseTimings(data_transfer_s=5.0, retry_s=2.5)
+        assert timings.total_s == pytest.approx(7.5)
+        assert timings.breakdown()["retries"] == pytest.approx(2.5)
 
     def test_plan_duration_delegates(self):
         plan = MigrationPlan(
