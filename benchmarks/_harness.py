@@ -8,7 +8,6 @@ Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import numpy as np

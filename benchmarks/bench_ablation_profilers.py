@@ -52,7 +52,7 @@ def bench_ablation_profilers(benchmark):
     )
     exact = curves["exact"]
     rows = [
-        f"profiler      time(s)   "
+        "profiler      time(s)   "
         + "  ".join(f"hr@{c//1000}k" for c in CAPACITIES)
         + "   max|err|"
     ]

@@ -91,12 +91,12 @@ def bench_fig6_all_traces(benchmark):
             ).append(cut)
             previous_nodes = target
     rows.append(
-        f"mean scale-in reduction:  "
+        "mean scale-in reduction:  "
         f"{np.mean(scale_in_reductions):.1%} (paper: 88-97%)"
     )
     if scale_out_reductions:
         rows.append(
-            f"mean scale-out reduction: "
+            "mean scale-out reduction: "
             f"{np.mean(scale_out_reductions):.1%} (paper: ~81%)"
         )
     write_report("fig6_all_traces", rows)

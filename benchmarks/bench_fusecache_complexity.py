@@ -8,7 +8,6 @@ prints the comparison-count scaling against the theoretical lower bound
 O(k log n).
 """
 
-import math
 
 import pytest
 

@@ -1,0 +1,132 @@
+"""Disabled-telemetry overhead: instrumentation must be near-free.
+
+Every hot path (cache commands, flow attempts, migration phases) now
+carries pre-resolved metric handles and null-span calls.  With telemetry
+disabled these resolve to shared no-op singletons, so the cost per
+operation is one attribute access plus an empty method call.  This
+benchmark measures that cost against a *true* baseline: the same
+``get``/``set`` code with the metric calls stripped (monkeypatched in
+for the baseline runs only), at two scales:
+
+1. micro: raw ``get`` throughput on one node -- reports the per-get tax
+   of the no-op call in ns and percent;
+2. macro: wall-clock of a full scale-in experiment -- the acceptance
+   bound: running with telemetry *disabled* must cost <3% over the
+   uninstrumented baseline.
+
+A third comparison (disabled vs. a live registry) documents what
+*enabling* telemetry costs; that one has no bound.
+"""
+
+import time
+
+from repro.memcached.items import Item
+from repro.memcached.node import MemcachedNode
+from repro.memcached.slab import PAGE_SIZE
+from repro.obs import create_telemetry
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.traces import make_trace
+
+from benchmarks._harness import BENCH_SEED, write_report
+
+MICRO_OPS = 200_000
+
+
+def _uninstrumented_get(self, key, now):
+    """MemcachedNode.get with the metric call stripped (baseline)."""
+    item = self._live_item(key, now)
+    if item is None:
+        self.stats.get_misses += 1
+        return None
+    item.touch(now)
+    self.slabs.classes[item.slab_class_id].mru.move_to_front(item)
+    self.stats.get_hits += 1
+    return item.value
+
+
+def _uninstrumented_set(self, key, value, value_size, now, exptime=0.0):
+    """MemcachedNode.set with the metric call stripped (baseline)."""
+    existing = self._table.get(key)
+    if existing is not None:
+        self._unlink(existing)
+    item = Item(key, value, value_size, now, exptime=exptime)
+    item.cas_id = self._next_cas()
+    if not self._insert(item):
+        return False
+    self.stats.sets += 1
+    return True
+
+
+class _baseline:
+    """Context manager swapping in the uninstrumented command paths."""
+
+    def __enter__(self):
+        self._get, self._set = MemcachedNode.get, MemcachedNode.set
+        MemcachedNode.get = _uninstrumented_get
+        MemcachedNode.set = _uninstrumented_set
+
+    def __exit__(self, *exc):
+        MemcachedNode.get, MemcachedNode.set = self._get, self._set
+
+
+def _micro_get_seconds(metrics=None) -> float:
+    node = MemcachedNode("bench", 8 * PAGE_SIZE, metrics=metrics)
+    for i in range(2_000):
+        node.set(f"key-{i:05d}", i, 120, float(i))
+    start = time.perf_counter()
+    for i in range(MICRO_OPS):
+        node.get(f"key-{i % 2_000:05d}", float(i))
+    return time.perf_counter() - start
+
+
+def _experiment_seconds(telemetry=None) -> float:
+    config = ExperimentConfig(
+        trace=make_trace("sys", duration_s=150),
+        policy="elmem",
+        schedule=[(30.0, 7)],
+        seed=BENCH_SEED,
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    run_experiment(config)
+    return time.perf_counter() - start
+
+
+def test_disabled_overhead_under_three_percent():
+    # Micro: per-get cost, uninstrumented vs. null-registry vs. live.
+    with _baseline():
+        base_get = min(_micro_get_seconds() for _ in range(3))
+    off_get = min(_micro_get_seconds() for _ in range(3))
+    on_get = min(
+        _micro_get_seconds(create_telemetry().metrics) for _ in range(3)
+    )
+    tax_ns = (off_get - base_get) / MICRO_OPS * 1e9
+
+    # Macro: whole experiments.  Warm once so first-run import costs do
+    # not bias the baseline.
+    _experiment_seconds()
+    with _baseline():
+        base_s = min(_experiment_seconds() for _ in range(3))
+    off_s = min(_experiment_seconds() for _ in range(3))
+    on_s = min(_experiment_seconds(create_telemetry()) for _ in range(3))
+    disabled_overhead = (off_s - base_s) / base_s
+
+    lines = [
+        f"micro get        baseline {base_get / MICRO_OPS * 1e9:8.1f} ns",
+        f"micro get        disabled {off_get / MICRO_OPS * 1e9:8.1f} ns "
+        f"(no-op tax {tax_ns:+.1f} ns, "
+        f"{(off_get - base_get) / base_get:+.1%})",
+        f"micro get        enabled  {on_get / MICRO_OPS * 1e9:8.1f} ns",
+        f"experiment wall  baseline {base_s:8.2f}s",
+        f"experiment wall  disabled {off_s:8.2f}s "
+        f"({disabled_overhead:+.1%} vs baseline)",
+        f"experiment wall  enabled  {on_s:8.2f}s "
+        f"({(on_s - base_s) / base_s:+.1%} vs baseline)",
+        "bound: disabled telemetry must cost <3% experiment runtime.",
+    ]
+    write_report("obs_overhead", lines)
+
+    # Acceptance: disabled-mode instrumentation costs <3% of the run.
+    assert disabled_overhead < 0.03
+    # And the null registry must never be slower than a live one.
+    assert off_get <= on_get * 1.10

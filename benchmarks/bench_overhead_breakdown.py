@@ -14,7 +14,6 @@ import math
 
 import pytest
 
-from repro.core.fusecache import fuse_cache_detailed
 from repro.netsim.transfer import GBIT, Flow, NetworkModel
 from repro.sim.experiment import (
     ExperimentConfig,

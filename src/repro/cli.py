@@ -31,12 +31,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for spec in args.scale or []:
         when, target = spec.split(":", 1)
         schedule.append((float(when), int(target)))
+    telemetry = None
+    if args.trace_jsonl or args.prom:
+        from repro.obs import create_telemetry
+
+        telemetry = create_telemetry()
     config = ExperimentConfig(
         trace=make_trace(args.trace, duration_s=args.duration),
         policy=args.policy,
         schedule=schedule,
         autoscale=args.autoscale,
         seed=args.seed,
+        telemetry=telemetry,
     )
     print(
         f"Running {args.trace} x {args.policy} for {args.duration}s "
@@ -75,6 +81,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"metrics -> {write_csv(result.metrics, args.csv)}")
     if args.json:
         print(f"metrics -> {write_json(result.metrics, args.json)}")
+    if telemetry is not None and args.trace_jsonl:
+        from repro.obs.export import write_jsonl
+
+        path = write_jsonl(
+            args.trace_jsonl,
+            tracer=telemetry.tracer,
+            metrics=telemetry.metrics,
+            meta={
+                "trace": args.trace,
+                "policy": args.policy,
+                "duration_s": args.duration,
+                "seed": args.seed,
+            },
+        )
+        print(f"telemetry -> {path}")
+    if telemetry is not None and args.prom:
+        from pathlib import Path
+
+        from repro.obs.export import to_prometheus
+
+        Path(args.prom).write_text(to_prometheus(telemetry.metrics))
+        print(f"prometheus -> {args.prom}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_jsonl
+    from repro.obs.timeline import render_timeline, summary_table
+
+    dump = read_jsonl(args.jsonl)
+    meta = {k: v for k, v in dump.meta.items() if k != "version"}
+    if meta:
+        print("run: " + ", ".join(f"{k}={v}" for k, v in meta.items()))
+    if not dump.spans:
+        print("(no span trees recorded)")
+    for span in dump.spans:
+        print()
+        print(render_timeline(span, width=args.width, clock=args.clock))
+    if dump.spans:
+        print()
+        print(summary_table(dump.spans, clock=args.clock))
+    if dump.events:
+        print()
+        print(f"run-level events ({len(dump.events)}):")
+        for event in dump.events:
+            when = (
+                f"t={event.sim_s:8.1f}s"
+                if event.sim_s is not None
+                else "t=       ?"
+            )
+            attrs = ", ".join(
+                f"{k}={v}"
+                for k, v in event.attributes.items()
+                if k != "reason"
+            )
+            print(f"  [{when}] {event.name}  {attrs}")
+    if dump.metrics:
+        counters = [
+            m for m in dump.metrics if m.get("kind") == "counter"
+        ]
+        if counters:
+            print()
+            print(f"counters ({len(counters)}):")
+            for sample in sorted(
+                counters, key=lambda m: -m.get("value", 0)
+            ):
+                labels = sample.get("labels") or {}
+                label_text = (
+                    "{"
+                    + ",".join(f"{k}={v}" for k, v in labels.items())
+                    + "}"
+                    if labels
+                    else ""
+                )
+                print(
+                    f"  {sample['name']}{label_text} "
+                    f"{sample.get('value', 0):g}"
+                )
     return 0
 
 
@@ -225,7 +309,7 @@ def _cmd_cost(args: argparse.Namespace) -> int:
         f"  web node   (2 sockets, 12 GB): {power_watts(WEB_NODE):6.1f} W"
     )
     print(
-        f"  cache node (1 socket, 72 GB):  "
+        "  cache node (1 socket, 72 GB):  "
         f"{power_watts(MEMCACHED_NODE):6.1f} W  "
         f"(+{power_premium():.0%} power)"
     )
@@ -263,7 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--csv", help="export per-second metrics as CSV")
     run.add_argument("--json", help="export per-second metrics as JSON")
+    run.add_argument(
+        "--trace-jsonl",
+        help="record telemetry and export it as JSON lines",
+    )
+    run.add_argument(
+        "--prom",
+        help="record metrics and export Prometheus text exposition",
+    )
     run.set_defaults(func=_cmd_run)
+
+    obs = sub.add_parser(
+        "obs", help="render a telemetry JSONL file as ASCII timelines"
+    )
+    obs.add_argument("jsonl", help="file written by run --trace-jsonl")
+    obs.add_argument("--width", type=int, default=60)
+    obs.add_argument("--clock", choices=["sim", "wall"], default="sim")
+    obs.set_defaults(func=_cmd_obs)
 
     scenario = sub.add_parser(
         "scenario", help="replay a paper scenario under several policies"

@@ -25,6 +25,7 @@ from repro.cache_analysis.mimir import MimirProfiler
 from repro.cache_analysis.mrc import HitRateCurve, memory_for_hit_rate
 from repro.cache_analysis.stack_distance import StackDistanceProfiler
 from repro.errors import ConfigurationError
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 
 def min_hit_rate(request_rate: float, db_capacity: float) -> float:
@@ -47,6 +48,10 @@ class ScalingDecision:
     p_min: float
     required_bytes: int | None
     request_rate: float
+    # Human-readable account of *why* this target was chosen; recorded
+    # as a telemetry decision event so post-hoc analysis can attribute
+    # every resize to its cause.
+    reason: str = ""
 
     @property
     def delta(self) -> int:
@@ -128,8 +133,13 @@ class AutoScaler:
     decisions to the Master as hints.
     """
 
-    def __init__(self, config: AutoScalerConfig) -> None:
+    def __init__(
+        self,
+        config: AutoScalerConfig,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._profiler = self._new_profiler()
         self.decisions_made = 0
 
@@ -173,13 +183,17 @@ class AutoScaler:
         return HitRateCurve(histogram, cold)
 
     def decide(
-        self, request_rate: float, current_nodes: int
+        self,
+        request_rate: float,
+        current_nodes: int,
+        now: float | None = None,
     ) -> ScalingDecision:
         """Evaluate Eq. (1) + the hit-rate curve into a target node count.
 
         When the target hit rate is unreachable within ``max_nodes`` (too
         many cold misses), the scaler provisions ``max_nodes`` -- more
-        cache cannot help beyond the trace's reuse.
+        cache cannot help beyond the trace's reuse.  ``now`` (sim
+        seconds) timestamps the telemetry decision event.
         """
         config = self.config
         p_min = min(
@@ -202,13 +216,47 @@ class AutoScaler:
             target = max(target, current_nodes)
         target = max(config.min_nodes, min(config.max_nodes, target))
         self.decisions_made += 1
-        return ScalingDecision(
+        reason = (
+            f"rate {request_rate:.0f} rps needs hit rate >= {p_min:.3f}; "
+            f"curve says {required / (1 << 20):.1f} MiB"
+        )
+        if not reachable:
+            reason += " (target unreachable in window; never scale in)"
+        decision = ScalingDecision(
             target_nodes=target,
             current_nodes=current_nodes,
             p_min=p_min,
             required_bytes=required,
             request_rate=request_rate,
+            reason=reason,
         )
+        action = (
+            "scale_in"
+            if decision.is_scale_in
+            else "scale_out" if decision.is_scale_out else "hold"
+        )
+        self.telemetry.tracer.event(
+            "autoscaler.decision",
+            sim_s=now,
+            action=action,
+            target_nodes=target,
+            current_nodes=current_nodes,
+            p_min=round(p_min, 4),
+            request_rate=round(request_rate, 1),
+            reachable=reachable,
+            reason=reason,
+        )
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "autoscaler_decisions_total",
+            "AutoScaler evaluations by resulting action",
+            action=action,
+        ).inc()
+        metrics.gauge(
+            "autoscaler_target_nodes",
+            "Most recent AutoScaler node-count target",
+        ).set(target)
+        return decision
 
 
 @dataclass
@@ -249,5 +297,6 @@ class ScheduledScalingPolicy:
                 p_min=0.0,
                 required_bytes=None,
                 request_rate=0.0,
+                reason=f"scheduled action at t={action.at_time:.0f}s",
             )
         return None

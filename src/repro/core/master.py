@@ -34,6 +34,7 @@ from repro.core.scoring import choose_nodes_to_retire
 from repro.errors import ConfigurationError, MigrationAbortedError, MigrationError
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import Flow, NetworkModel
+from repro.obs import NULL_SPAN, NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
@@ -105,6 +106,9 @@ class MigrationPlan:
     metadata_bytes: int = 0
     fusecache_rounds: int = 0
     fusecache_comparisons: int = 0
+    # Telemetry span tree for this migration; NULL_SPAN when tracing is
+    # off.  Opened at plan time, closed when execution finishes.
+    span: object = field(default=NULL_SPAN, repr=False, compare=False)
 
     @property
     def duration_s(self) -> float:
@@ -201,6 +205,13 @@ class Master:
         Optional :class:`~repro.faults.injector.FaultInjector`; consulted
         for node stalls and advanced as execution's modeled clock moves,
         so faults scheduled mid-migration land mid-migration.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When enabled, every
+        planned migration records a span tree
+        (``migration -> plan -> scoring/dump/fusecache`` at plan time,
+        ``import``/per-pair/``switch`` at execution) plus counters and
+        phase-duration histograms; disabled (the default) it is all
+        no-ops.
     """
 
     def __init__(
@@ -216,6 +227,7 @@ class Master:
         deadline_s: float | None = None,
         on_deadline: str = "degrade",
         fault_injector: "FaultInjector | None" = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if on_deadline not in ("degrade", "raise"):
             raise ConfigurationError(
@@ -234,6 +246,7 @@ class Master:
         self.deadline_s = deadline_s
         self.on_deadline = on_deadline
         self.fault_injector = fault_injector
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def agent(self, name: str) -> Agent:
         """The Agent on node ``name``."""
@@ -252,13 +265,14 @@ class Master:
     # ------------------------------------------------------------------
 
     def plan_scale_in(
-        self, retiring: list[str], include_scoring: bool = True
+        self, retiring: list[str], include_scoring: bool = True, now: float = 0.0
     ) -> MigrationPlan:
         """Compute the three-phase migration for retiring ``retiring``.
 
         Runs phases 1 and 2 for real (metadata grouping + FuseCache) and
         *models* their wall-clock cost; phase 3 (the bulk data move) is
-        deferred to :meth:`execute`.
+        deferred to :meth:`execute`.  ``now`` anchors the migration's
+        telemetry span tree on the sim clock.
         """
         active = set(self.cluster.active_members)
         unknown = [name for name in retiring if name not in active]
@@ -281,9 +295,21 @@ class Master:
             transfers={},
             timings=timings,
         )
+        span = self.telemetry.tracer.root(
+            "migration",
+            sim_s=now,
+            kind="scale_in",
+            retiring=plan.retiring,
+            retained=retained,
+        )
+        plan_span = span.child("plan", sim_s=now)
+        scoring_span = plan_span.child("scoring") if include_scoring else None
+        if scoring_span is not None:
+            scoring_span.end()
 
         # Phase 1: retiring agents dump, hash, and ship metadata.
         # incoming[dst][class_id] = [(src, [(key, ts), ...]), ...]
+        dump_span = plan_span.child("dump")
         incoming: dict[str, dict[int, list[tuple[str, list[tuple[str, float]]]]]]
         incoming = {name: {} for name in retained}
         metadata_flows: list[Flow] = []
@@ -305,8 +331,10 @@ class Master:
                     )
         timings.dump_s = max_dump_s
         timings.metadata_transfer_s = self.network.phase_time(metadata_flows)
+        dump_span.end()
 
         # Phase 2: each retained agent runs FuseCache per slab class.
+        fusecache_span = plan_span.child("fusecache")
         import_load: dict[str, int] = {name: 0 for name in retained}
         for dst in retained:
             dst_agent = self.agent(dst)
@@ -331,15 +359,21 @@ class Master:
         timings.fusecache_s = (
             plan.fusecache_comparisons * self.comparison_time_s
         )
+        fusecache_span.end()
 
         self._price_data_phase(plan, import_load)
+        self._finish_plan_trace(
+            plan, now, span, plan_span, scoring_span, dump_span, fusecache_span
+        )
         return plan
 
     # ------------------------------------------------------------------
     # Scale-out planning
     # ------------------------------------------------------------------
 
-    def plan_scale_out(self, new_names: list[str]) -> MigrationPlan:
+    def plan_scale_out(
+        self, new_names: list[str], now: float = 0.0
+    ) -> MigrationPlan:
         """Compute the migration that warms ``new_names`` before activation.
 
         New nodes are provisioned (cold, off-ring) here.  Existing nodes
@@ -367,6 +401,15 @@ class Master:
             transfers={},
             timings=PhaseTimings(),
         )
+        span = self.telemetry.tracer.root(
+            "migration",
+            sim_s=now,
+            kind="scale_out",
+            new_nodes=plan.new_nodes,
+            retained=existing,
+        )
+        plan_span = span.child("plan", sim_s=now)
+        dump_span = plan_span.child("dump")
 
         new_set = set(new_names)
         incoming: dict[str, dict[int, list[tuple[str, list[tuple[str, float]]]]]]
@@ -388,7 +431,9 @@ class Master:
                         (src, entries)
                     )
         plan.timings.dump_s = max_dump_s
+        dump_span.end()
 
+        fusecache_span = plan_span.child("fusecache")
         import_load: dict[str, int] = {name: 0 for name in new_names}
         for dst in new_names:
             dst_agent = self.agent(dst)
@@ -415,8 +460,12 @@ class Master:
         plan.timings.fusecache_s = (
             plan.fusecache_comparisons * self.comparison_time_s
         )
+        fusecache_span.end()
 
         self._price_data_phase(plan, import_load)
+        self._finish_plan_trace(
+            plan, now, span, plan_span, None, dump_span, fusecache_span
+        )
         return plan
 
     # ------------------------------------------------------------------
@@ -424,7 +473,7 @@ class Master:
     # ------------------------------------------------------------------
 
     def plan_fraction_scale_in(
-        self, retiring: list[str], keep_fraction: float
+        self, retiring: list[str], keep_fraction: float, now: float = 0.0
     ) -> MigrationPlan:
         """Plan the *Naive* migration: hottest ``keep_fraction`` of each
         retiring node's items, regardless of the targets' contents.
@@ -460,6 +509,16 @@ class Master:
             transfers={},
             timings=PhaseTimings(),
         )
+        span = self.telemetry.tracer.root(
+            "migration",
+            sim_s=now,
+            kind="scale_in",
+            strategy="fraction",
+            retiring=plan.retiring,
+            keep_fraction=keep_fraction,
+        )
+        plan_span = span.child("plan", sim_s=now)
+        dump_span = plan_span.child("dump")
         import_load: dict[str, int] = {name: 0 for name in retained}
         max_dump_s = 0.0
         for src in plan.retiring:
@@ -488,8 +547,65 @@ class Master:
             if doomed:
                 plan.pre_deletes[name] = doomed
         plan.timings.dump_s = max_dump_s
+        dump_span.end()
         self._price_data_phase(plan, import_load)
+        self._finish_plan_trace(plan, now, span, plan_span, None, dump_span, None)
         return plan
+
+    def _finish_plan_trace(
+        self,
+        plan: MigrationPlan,
+        now: float,
+        span,
+        plan_span,
+        scoring_span,
+        dump_span,
+        fusecache_span,
+    ) -> None:
+        """Pin the plan-phase spans to the modeled sim timeline.
+
+        Wall clocks were measured live while planning ran; the sim
+        windows come from the calibrated :class:`PhaseTimings`, laid out
+        sequentially from the decision time ``now`` (the paper's
+        scoring -> dump -> fusecache pipeline).
+        """
+        timings = plan.timings
+        cursor = now
+        if scoring_span is not None:
+            scoring_span.sim_window(cursor, cursor + timings.scoring_s)
+        cursor += timings.scoring_s
+        dump_phase_s = timings.dump_s + timings.metadata_transfer_s
+        dump_span.sim_window(cursor, cursor + dump_phase_s)
+        dump_span.set(
+            dump_s=timings.dump_s,
+            metadata_transfer_s=timings.metadata_transfer_s,
+            metadata_bytes=plan.metadata_bytes,
+        )
+        cursor += dump_phase_s
+        if fusecache_span is not None:
+            fusecache_span.sim_window(cursor, cursor + timings.fusecache_s)
+            fusecache_span.set(
+                rounds=plan.fusecache_rounds,
+                comparisons=plan.fusecache_comparisons,
+            )
+        cursor += timings.fusecache_s
+        plan_span.end(sim_s=cursor)
+        span.set(
+            items_to_migrate=plan.items_to_migrate,
+            bytes_to_migrate=plan.bytes_to_migrate,
+            pairs=len(plan.transfers),
+        )
+        plan.span = span
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "migrations_planned_total",
+            "Migration plans computed",
+            kind=plan.kind,
+        ).inc()
+        metrics.counter(
+            "fusecache_comparisons_total",
+            "Timestamp comparisons spent in FuseCache",
+        ).inc(plan.fusecache_comparisons)
 
     # ------------------------------------------------------------------
     # Execution
@@ -513,10 +629,12 @@ class Master:
         mode = plan.import_mode or self.import_mode
         report = MigrationReport(plan=plan, executed_at=now)
         injector = self.fault_injector
+        span = plan.span
         clock = now
         deadline = None if self.deadline_s is None else now + self.deadline_s
+        import_span = span.child("import", sim_s=clock, mode=mode)
         if injector is not None:
-            injector.advance(clock)
+            self._trace_faults(import_span, injector.advance(clock), clock)
         for node_name, keys in plan.pre_deletes.items():
             node = self.cluster.nodes.get(node_name)
             if node is None:
@@ -529,16 +647,22 @@ class Master:
                 report.unattempted_pairs.append((src, dst))
                 continue
             if injector is not None:
-                injector.advance(clock)
+                self._trace_faults(
+                    import_span, injector.advance(clock), clock
+                )
             # A node lost between planning and execution degrades the
             # migration to a partial warm-up rather than failing it: the
             # scaling action must still complete (Section III-D's
             # protocol tolerates snapshot drift).
             if src not in self.cluster.nodes or dst not in self.cluster.nodes:
                 report.skipped_pairs.append((src, dst))
+                import_span.event(
+                    "pair_skipped", sim_s=clock, src=src, dst=dst,
+                    reason="node lost before execution",
+                )
                 continue
             clock = self._migrate_pair(
-                plan, report, src, dst, keys, mode, clock
+                plan, report, src, dst, keys, mode, clock, import_span
             )
             if deadline is not None and clock >= deadline:
                 aborted = True
@@ -546,11 +670,18 @@ class Master:
                     f"deadline of {self.deadline_s:.1f}s exceeded "
                     f"{clock - now:.1f}s into phase 3 (pair {src} -> {dst})"
                 )
+                import_span.event(
+                    "deadline_exceeded", sim_s=clock,
+                    deadline_s=self.deadline_s,
+                )
+        import_span.end(sim_s=clock)
         report.actual_duration_s = clock - now
         plan.timings.retry_s += report.retry_time_s
         report.outcome = report.classify()
         if aborted and self.on_deadline == "raise":
+            self._finish_migration_trace(span, report, clock)
             raise MigrationAbortedError(report.abort_reason or "aborted")
+        switch_span = span.child("switch", sim_s=clock)
         if plan.kind == "scale_in":
             retained = [
                 name
@@ -558,6 +689,8 @@ class Master:
                 if name in self.cluster.nodes
             ]
             if not retained:
+                switch_span.end(sim_s=clock)
+                self._finish_migration_trace(span, report, clock)
                 raise MigrationError(
                     "no retained node survived until execution"
                 )
@@ -570,13 +703,63 @@ class Master:
                 if name in self.cluster.nodes:
                     self.cluster.activate(name)
         report.membership_after = sorted(self.cluster.active_members)
+        switch_span.set(membership=report.membership_after)
+        switch_span.end(sim_s=clock)
+        self._finish_migration_trace(span, report, clock)
         return report
+
+    def _trace_faults(self, span, fired, clock: float) -> None:
+        """Record injector faults that landed mid-migration as span events."""
+        for applied in fired:
+            span.event(
+                "fault",
+                sim_s=clock,
+                kind=applied.spec.kind,
+                detail=applied.detail,
+            )
+
+    def _finish_migration_trace(
+        self, span, report: MigrationReport, clock: float
+    ) -> None:
+        """Close the migration's root span and flush its metrics."""
+        span.set(
+            outcome=report.outcome,
+            items_exported=report.items_exported,
+            items_imported=report.items_imported,
+            completed_pairs=report.completed_pairs,
+            retries=report.retries,
+            failed_flows=len(report.failed_flows),
+            skipped_pairs=len(report.skipped_pairs),
+            unattempted_pairs=len(report.unattempted_pairs),
+        )
+        if report.abort_reason:
+            span.set(abort_reason=report.abort_reason)
+        span.end(sim_s=clock)
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "migrations_executed_total",
+            "Executed migrations by final outcome",
+            kind=report.plan.kind,
+            outcome=report.outcome,
+        ).inc()
+        metrics.counter(
+            "migration_items_imported_total",
+            "Items installed by batch imports during migrations",
+        ).inc(report.items_imported)
+        for phase, seconds in report.plan.timings.breakdown().items():
+            metrics.histogram(
+                "migration_phase_seconds",
+                "Modeled seconds per migration phase",
+                phase=phase,
+            ).observe(seconds)
 
     def abort_scale_out(self, plan: MigrationPlan) -> None:
         """Tear down nodes provisioned by an unexecuted scale-out plan."""
         for name in plan.new_nodes:
             if name in self.cluster.nodes and name not in self.cluster.ring:
                 self.cluster.destroy(name)
+        plan.span.set(outcome="aborted")
+        plan.span.end()
 
     # ------------------------------------------------------------------
     # Re-planning around dead nodes
@@ -610,6 +793,8 @@ class Master:
                 return None
             fresh = self.plan_scale_in(retiring, include_scoring=False)
             fresh.import_mode = plan.import_mode
+            plan.span.set(outcome="replanned")
+            plan.span.end()
             return fresh
         surviving_new = [
             name for name in plan.new_nodes if name in live
@@ -623,6 +808,7 @@ class Master:
         # rebuild the transfer map from live existing nodes.
         replanned = self._replan_scale_out(surviving_new)
         replanned.import_mode = plan.import_mode
+        replanned.span = plan.span  # keep the original decision's trace
         return replanned
 
     def _replan_scale_out(self, new_names: list[str]) -> MigrationPlan:
@@ -669,10 +855,15 @@ class Master:
         keys: list[str],
         mode: str,
         clock: float,
+        parent_span=NULL_SPAN,
     ) -> float:
         """Move one (src, dst) pair under the fault model; returns the
         modeled clock after the attempt(s)."""
         injector = self.fault_injector
+        metrics = self.telemetry.metrics
+        pair_span = parent_span.child(
+            "pair", sim_s=clock, src=src, dst=dst, keys=len(keys)
+        )
         size = self._pair_bytes(src, keys)
         flow = Flow(src, dst, size) if size > 0 else None
         failures = 0
@@ -686,22 +877,39 @@ class Master:
             failures += 1
             clock += result.duration_s
             report.retry_time_s += result.duration_s
+            pair_span.event(
+                "flow_failed",
+                sim_s=clock,
+                error=result.error,
+                attempt=failures,
+            )
             if failures >= self.retry_policy.max_attempts:
                 report.failed_flows.append((src, dst))
+                pair_span.set(outcome="failed", attempts=failures)
+                pair_span.end(sim_s=clock)
                 return clock
             backoff = self.retry_policy.backoff_s(failures)
             report.retries += 1
             report.retry_time_s += backoff
             clock += backoff
+            pair_span.event("retry", sim_s=clock, backoff_s=backoff)
+            metrics.counter(
+                "migration_retries_total",
+                "Data-flow retries during migrations",
+            ).inc()
             if injector is not None:
                 # Let faults scheduled during the backoff window land
                 # before the retry (a crashed endpoint fails the pair).
-                injector.advance(clock)
+                self._trace_faults(
+                    pair_span, injector.advance(clock), clock
+                )
                 if (
                     src not in self.cluster.nodes
                     or dst not in self.cluster.nodes
                 ):
                     report.skipped_pairs.append((src, dst))
+                    pair_span.set(outcome="skipped", attempts=failures)
+                    pair_span.end(sim_s=clock)
                     return clock
         # Dump, transfer, and import succeed; node stalls stretch the
         # modeled durations.
@@ -724,6 +932,8 @@ class Master:
             imported, self.import_rate_items_s, import_factor
         )
         report.completed_pairs += 1
+        pair_span.set(outcome="completed", items=imported, bytes=size)
+        pair_span.end(sim_s=clock)
         return clock
 
     def _pair_bytes(self, src: str, keys: list[str]) -> int:

@@ -186,7 +186,7 @@ class ElMemPolicy(MigrationPolicy):
             return
         if delta < 0:
             retiring = self.master.choose_retiring(-delta)
-            plan = self.master.plan_scale_in(retiring)
+            plan = self.master.plan_scale_in(retiring, now=now)
             self._log(
                 now,
                 "plan_scale_in",
@@ -195,7 +195,7 @@ class ElMemPolicy(MigrationPolicy):
             )
         else:
             names = self._new_node_names(delta)
-            plan = self.master.plan_scale_out(names)
+            plan = self.master.plan_scale_out(names, now=now)
             self._log(
                 now,
                 "plan_scale_out",
@@ -219,6 +219,9 @@ class ElMemPolicy(MigrationPolicy):
             self._pending = None
             if plan.kind == "scale_out":
                 self.master.abort_scale_out(plan)
+            else:
+                plan.span.set(outcome="dropped")
+                plan.span.end(sim_s=now)
             self._log(
                 now,
                 "replan_dropped",
@@ -290,7 +293,9 @@ class NaivePolicy(MigrationPolicy):
         active = sorted(self.cluster.active_members)
         retiring = self.rng.sample(active, -delta)
         keep_fraction = (len(active) + delta) / len(active)
-        plan = self.master.plan_fraction_scale_in(retiring, keep_fraction)
+        plan = self.master.plan_fraction_scale_in(
+            retiring, keep_fraction, now=now
+        )
         # A naive dump-and-set migration does not carry MRU timestamps:
         # imported pairs land with fresh hotness (see batch_import).
         plan.import_mode = "fresh"

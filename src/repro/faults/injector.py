@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.faults.spec import FaultSchedule, FaultSpec
 from repro.memcached.cluster import MemcachedCluster
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -37,10 +38,14 @@ class FaultInjector:
     """
 
     def __init__(
-        self, cluster: MemcachedCluster, schedule: FaultSchedule
+        self,
+        cluster: MemcachedCluster,
+        schedule: FaultSchedule,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.cluster = cluster
         self.schedule = schedule
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.applied: list[AppliedFault] = []
         self.killed: list[str] = []
         self._cursor = 0
@@ -78,6 +83,17 @@ class FaultInjector:
             )
         record = AppliedFault(spec=spec, applied_at=now, detail=detail)
         self.applied.append(record)
+        self.telemetry.tracer.event(
+            "fault.injected",
+            sim_s=now,
+            kind=spec.kind,
+            detail=detail,
+        )
+        self.telemetry.metrics.counter(
+            "faults_injected_total",
+            "Faults the campaign actually applied",
+            kind=spec.kind,
+        ).inc()
         return record
 
     def _crash(self, name: str, now: float) -> str:
@@ -132,9 +148,16 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def attach(self, master) -> None:
-        """Hook this injector into a Master and its network model."""
+        """Hook this injector into a Master and its network model.
+
+        An injector constructed without telemetry adopts the Master's,
+        so injected-fault events land in the same trace as the
+        migrations they disturb.
+        """
         master.fault_injector = self
         master.network.fault_hook = self.flow_disposition
+        if not self.telemetry.enabled:
+            self.telemetry = master.telemetry
 
     def summary(self) -> dict[str, int]:
         """Counts of what the campaign actually did."""

@@ -30,6 +30,10 @@ class MemcachedCluster:
         this down).
     vnodes:
         Virtual points per node on the hash ring.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` handed to
+        every node this cluster provisions, so command/eviction counters
+        aggregate across membership changes.
     """
 
     def __init__(
@@ -39,11 +43,13 @@ class MemcachedCluster:
         vnodes: int = DEFAULT_VNODES,
         min_chunk: int = 96,
         growth_factor: float = 1.25,
+        metrics=None,
     ) -> None:
         self.memory_per_node = memory_per_node
         self.vnodes = vnodes
         self._min_chunk = min_chunk
         self._growth_factor = growth_factor
+        self._metrics = metrics
         self.nodes: dict[str, MemcachedNode] = {}
         self.ring = ConsistentHashRing(vnodes=vnodes)
         # Per-key routing overrides installed by the load rebalancer;
@@ -77,6 +83,7 @@ class MemcachedCluster:
             self.memory_per_node,
             min_chunk=self._min_chunk,
             growth_factor=self._growth_factor,
+            metrics=self._metrics,
         )
         self.nodes[name] = node
         return node

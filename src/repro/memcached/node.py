@@ -18,6 +18,7 @@ from typing import Any, Iterable
 from repro.errors import CapacityError
 from repro.memcached.items import Item
 from repro.memcached.slab import SlabAllocator, SlabClass
+from repro.obs.metrics import NULL_METRICS
 
 
 @dataclass
@@ -69,6 +70,12 @@ class MemcachedNode:
         Node identifier used by the hash ring and the Master.
     memory_bytes:
         Cache memory; carved into 1 MB pages by the slab allocator.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Commands
+        and evictions also bump cluster-wide counters
+        (``node_commands_total{op=...}``, ``node_evictions_total``,
+        ``node_items_imported_total``); the counters are resolved once
+        here, so the disabled-mode hot-path cost is one no-op call.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class MemcachedNode:
         memory_bytes: int,
         min_chunk: int = 96,
         growth_factor: float = 1.25,
+        metrics=None,
     ) -> None:
         self.name = name
         self.memory_bytes = memory_bytes
@@ -84,6 +92,21 @@ class MemcachedNode:
         self.stats = NodeStats()
         self._table: dict[str, Item] = {}
         self._cas_counter = 0
+        metrics = metrics or NULL_METRICS
+        self._m_gets = metrics.counter(
+            "node_commands_total", "Cache commands served", op="get"
+        )
+        self._m_sets = metrics.counter("node_commands_total", op="set")
+        self._m_deletes = metrics.counter(
+            "node_commands_total", op="delete"
+        )
+        self._m_evictions = metrics.counter(
+            "node_evictions_total", "Items evicted to make room"
+        )
+        self._m_imported = metrics.counter(
+            "node_items_imported_total",
+            "Items installed by migration batch imports",
+        )
 
     # ------------------------------------------------------------------
     # Client operations
@@ -95,6 +118,7 @@ class MemcachedNode:
         Returns the cached value, or ``None`` on a miss.  Expired items
         are reclaimed lazily here, as in Memcached.
         """
+        self._m_gets.inc()
         item = self._live_item(key, now)
         if item is None:
             self.stats.get_misses += 1
@@ -141,6 +165,7 @@ class MemcachedNode:
         if not self._insert(item):
             return False
         self.stats.sets += 1
+        self._m_sets.inc()
         return True
 
     def add(
@@ -246,6 +271,7 @@ class MemcachedNode:
             return False
         self._unlink(item)
         self.stats.deletes += 1
+        self._m_deletes.inc()
         return True
 
     def flush_all(self) -> None:
@@ -374,6 +400,7 @@ class MemcachedNode:
             if inserted:
                 count += 1
                 self.stats.imported += 1
+        self._m_imported.inc(count)
         return count
 
     def median_timestamp(self, class_id: int) -> float | None:
@@ -486,6 +513,7 @@ class MemcachedNode:
             del self._table[victim.key]
             self.slabs.release(slab_class)
             self.stats.evictions += 1
+            self._m_evictions.inc()
         return slab_class
 
     def _unlink(self, item: Item) -> None:

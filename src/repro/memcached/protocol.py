@@ -299,7 +299,7 @@ class TextProtocolServer:
                 for name, value in rows
             )
         chunks.append(
-            f"STAT active_slabs "
+            "STAT active_slabs "
             f"{sum(1 for c in self.node.slabs.classes if c.pages)}".encode()
             + CRLF
         )

@@ -13,9 +13,13 @@ from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
 from repro.errors import ConfigurationError, FaultError, FlowTimeoutError
+from repro.obs.metrics import NULL_METRICS
 
 GBIT = 125_000_000
 """Bytes per second of one gigabit."""
+
+FLOW_SECONDS_BUCKETS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+"""Histogram edges for per-flow attempt durations."""
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,12 @@ class NetworkModel:
         <repro.faults.injector.FaultInjector.flow_disposition>`.
         ``"fail"`` refuses the connection; a numeric factor scales the
         flow's bandwidth (0 stalls it into a timeout).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Each
+        :meth:`attempt_flow` call updates ``flows_attempted_total``,
+        ``flows_failed_total{error=...}``, and the
+        ``flow_attempt_seconds`` histogram; counters are resolved once
+        here so the per-attempt cost is a single ``inc``.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class NetworkModel:
         connection_setup_s: float = 0.5,
         flow_timeout_s: float | None = None,
         fault_hook: Callable[[str, str, float], object] | None = None,
+        metrics=None,
     ) -> None:
         if nic_bandwidth_bps <= 0:
             raise ConfigurationError("nic_bandwidth_bps must be positive")
@@ -88,6 +99,25 @@ class NetworkModel:
         self.connection_setup_s = connection_setup_s
         self.flow_timeout_s = flow_timeout_s
         self.fault_hook = fault_hook
+        metrics = metrics or NULL_METRICS
+        self._m_attempts = metrics.counter(
+            "flows_attempted_total", "Point-to-point flow attempts"
+        )
+        self._m_failed = {
+            "failed": metrics.counter(
+                "flows_failed_total",
+                "Flow attempts that did not complete",
+                error="failed",
+            ),
+            "timeout": metrics.counter(
+                "flows_failed_total", error="timeout"
+            ),
+        }
+        self._m_seconds = metrics.histogram(
+            "flow_attempt_seconds",
+            "Simulated duration of each flow attempt",
+            buckets=FLOW_SECONDS_BUCKETS,
+        )
 
     def flow_time(self, size_bytes: int) -> float:
         """Seconds for one flow with the NIC to itself."""
@@ -104,6 +134,14 @@ class NetworkModel:
         throttle it; a throttled or stalled flow that cannot finish
         within :attr:`flow_timeout_s` burns the full timeout instead.
         """
+        result = self._attempt(flow, now)
+        self._m_attempts.inc()
+        self._m_seconds.observe(result.duration_s)
+        if not result.ok:
+            self._m_failed[result.error or "failed"].inc()
+        return result
+
+    def _attempt(self, flow: Flow, now: float) -> FlowResult:
         disposition: object = 1.0
         if self.fault_hook is not None:
             disposition = self.fault_hook(flow.src, flow.dst, now)

@@ -1,0 +1,77 @@
+"""Observability for the ElMem reproduction.
+
+The package bundles three layers:
+
+- :mod:`repro.obs.trace` -- nested spans with wall- and sim-clock
+  durations, recording each migration as a tree;
+- :mod:`repro.obs.metrics` -- named counters/gauges/histograms with a
+  no-op disabled mode;
+- :mod:`repro.obs.export` / :mod:`repro.obs.timeline` -- JSONL and
+  Prometheus exporters plus an ASCII span-timeline renderer (the
+  ``repro obs`` CLI subcommand).
+
+Components take a :class:`Telemetry` handle (tracer + registry pair).
+The default is :data:`NULL_TELEMETRY`, whose members absorb every call,
+so instrumentation costs almost nothing unless a run opts in via
+:func:`create_telemetry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_METRICS,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """A tracer + metrics registry pair threaded through the stack."""
+
+    tracer: object = NULL_TRACER
+    metrics: object = NULL_METRICS
+
+    @property
+    def enabled(self) -> bool:
+        """True when either layer actually records."""
+        return bool(self.tracer.enabled or self.metrics.enabled)
+
+
+NULL_TELEMETRY = Telemetry()
+"""Disabled telemetry: every recording call is a no-op."""
+
+
+def create_telemetry() -> Telemetry:
+    """A fresh enabled tracer + registry for one run."""
+    return Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "Tracer",
+    "create_telemetry",
+]

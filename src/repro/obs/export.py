@@ -1,0 +1,158 @@
+"""Telemetry exporters: JSONL structured events and Prometheus text.
+
+One JSONL file captures a whole run: a ``meta`` line, one ``span`` line
+per root span tree (children embedded), one ``event`` line per run-level
+event, and one ``metric`` line per registered metric sample.  The format
+round-trips through :func:`read_jsonl`, which is what the ``repro obs``
+CLI subcommand renders.
+
+:func:`to_prometheus` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in the text exposition format (``# HELP`` / ``# TYPE`` / samples), with
+the spec's escaping rules for help text and label values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, SpanEvent, Tracer
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ObsDump:
+    """Parsed contents of one telemetry JSONL file."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    events: list[SpanEvent] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+
+
+def write_jsonl(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write one run's telemetry as JSON lines; returns the path."""
+    path = Path(path)
+    lines: list[str] = [
+        json.dumps(
+            {"type": "meta", "version": FORMAT_VERSION, **(meta or {})}
+        )
+    ]
+    if tracer is not None:
+        for event in tracer.events:
+            lines.append(
+                json.dumps({"type": "event", **event.to_dict()})
+            )
+        for span in tracer.roots:
+            lines.append(
+                json.dumps({"type": "span", "tree": span.to_dict()})
+            )
+    if metrics is not None:
+        for sample in metrics.snapshot():
+            lines.append(json.dumps({"type": "metric", **sample}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> ObsDump:
+    """Parse a file written by :func:`write_jsonl`."""
+    dump = ObsDump()
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                dump.meta = {
+                    k: v for k, v in record.items() if k != "type"
+                }
+            elif kind == "span":
+                dump.spans.append(Span.from_dict(record["tree"]))
+            elif kind == "event":
+                dump.events.append(SpanEvent.from_dict(record))
+            elif kind == "metric":
+                dump.metrics.append(
+                    {k: v for k, v in record.items() if k != "type"}
+                )
+    return dump
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(metrics: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for metric in metrics.collect():
+        if metric.name not in seen:
+            seen.add(metric.name)
+            help_text = metrics.help_for(metric.name)
+            if help_text:
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(help_text)}"
+                )
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for le, count in metric.cumulative():
+                labels = _format_labels(
+                    metric.labels, f'le="{_format_value(le)}"'
+                )
+                lines.append(f"{metric.name}_bucket{labels} {count}")
+            plain = _format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}_sum{plain} {_format_value(metric.sum)}"
+            )
+            lines.append(f"{metric.name}_count{plain} {metric.count}")
+        else:
+            labels = _format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}{labels} {_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

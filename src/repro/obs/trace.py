@@ -1,0 +1,320 @@
+"""Nested span tracing with wall-clock *and* sim-clock durations.
+
+ElMem's interesting behaviour lives inside a migration: where the
+dump -> fusecache -> import -> switch pipeline spent its time, which
+(src, dst) pairs retried, and which faults landed mid-flight.  A
+:class:`Tracer` records each migration as a tree of :class:`Span` s
+carrying two clocks:
+
+- **wall** time (``time.perf_counter`` relative to the tracer's epoch):
+  how long the *simulator* actually computed, for profiling the
+  reproduction itself;
+- **sim** time (the experiment's modeled seconds): where the phase sits
+  on the experiment timeline, which is what the paper's figures plot.
+
+Spans hold attributes, point-in-time :class:`SpanEvent` s (retries,
+faults, flow failures), and children.  When tracing is disabled the
+module-level :data:`NULL_TRACER` / :data:`NULL_SPAN` singletons absorb
+every call as a no-op, so instrumented code pays one attribute lookup
+and an empty method call per span operation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, fault, failure)."""
+
+    name: str
+    wall_s: float
+    sim_s: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "sim_s": self.sim_s,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            wall_s=data.get("wall_s", 0.0),
+            sim_s=data.get("sim_s"),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class Span:
+    """One timed operation, possibly containing child spans."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "events",
+        "children",
+        "start_wall_s",
+        "end_wall_s",
+        "start_sim_s",
+        "end_sim_s",
+        "_epoch",
+    )
+
+    enabled = True
+
+    def __init__(
+        self,
+        name: str,
+        epoch: float = 0.0,
+        sim_s: float | None = None,
+        **attributes: Any,
+    ) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes)
+        self.events: list[SpanEvent] = []
+        self.children: list[Span] = []
+        self._epoch = epoch
+        self.start_wall_s = time.perf_counter() - epoch
+        self.end_wall_s: float | None = None
+        self.start_sim_s = sim_s
+        self.end_sim_s: float | None = None
+
+    # -- recording -------------------------------------------------------
+
+    def child(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> "Span":
+        """Open a child span; the caller must :meth:`end` it."""
+        span = Span(name, epoch=self._epoch, sim_s=sim_s, **attributes)
+        self.children.append(span)
+        return span
+
+    def event(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> SpanEvent:
+        """Record a point-in-time event on this span."""
+        record = SpanEvent(
+            name=name,
+            wall_s=time.perf_counter() - self._epoch,
+            sim_s=sim_s,
+            attributes=dict(attributes),
+        )
+        self.events.append(record)
+        return record
+
+    def set(self, **attributes: Any) -> None:
+        """Merge attributes into the span."""
+        self.attributes.update(attributes)
+
+    def sim_window(self, start: float, end: float) -> None:
+        """Pin the span to an explicit sim-clock interval.
+
+        Planning computes modeled phase durations *after* doing the real
+        work, so phase spans get their sim window assigned post hoc while
+        their wall clock measured the actual computation.
+        """
+        self.start_sim_s = start
+        self.end_sim_s = end
+
+    def end(self, sim_s: float | None = None) -> None:
+        """Close the span (idempotent for the wall clock)."""
+        if self.end_wall_s is None:
+            self.end_wall_s = time.perf_counter() - self._epoch
+        if sim_s is not None:
+            self.end_sim_s = sim_s
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def ended(self) -> bool:
+        """True once :meth:`end` has been called."""
+        return self.end_wall_s is not None
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration (up to now while still open)."""
+        end = (
+            self.end_wall_s
+            if self.end_wall_s is not None
+            else time.perf_counter() - self._epoch
+        )
+        return end - self.start_wall_s
+
+    @property
+    def sim_s(self) -> float | None:
+        """Sim-clock duration, when both endpoints were recorded."""
+        if self.start_sim_s is None or self.end_sim_s is None:
+            return None
+        return self.end_sim_s - self.start_sim_s
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with ``name``, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every descendant (or self) with ``name``, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable nested form (children embedded)."""
+        return {
+            "name": self.name,
+            "start_wall_s": self.start_wall_s,
+            "end_wall_s": self.end_wall_s,
+            "start_sim_s": self.start_sim_s,
+            "end_sim_s": self.end_sim_s,
+            "attributes": self.attributes,
+            "events": [event.to_dict() for event in self.events],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span tree written by :meth:`to_dict`."""
+        span = cls.__new__(cls)
+        span.name = data["name"]
+        span.attributes = dict(data.get("attributes", {}))
+        span.events = [
+            SpanEvent.from_dict(event) for event in data.get("events", [])
+        ]
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", [])
+        ]
+        span._epoch = 0.0
+        span.start_wall_s = data.get("start_wall_s", 0.0)
+        span.end_wall_s = data.get("end_wall_s")
+        span.start_sim_s = data.get("start_sim_s")
+        span.end_sim_s = data.get("end_sim_s")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, children={len(self.children)}, "
+            f"events={len(self.events)})"
+        )
+
+
+class _NullSpan:
+    """Absorbs every span operation when tracing is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    attributes: dict[str, Any] = {}
+    events: tuple = ()
+    children: tuple = ()
+    start_sim_s = None
+    end_sim_s = None
+    sim_s = None
+    wall_s = 0.0
+    ended = True
+
+    def child(self, name: str, sim_s=None, **attributes) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, sim_s=None, **attributes) -> None:
+        return None
+
+    def set(self, **attributes) -> None:
+        return None
+
+    def sim_window(self, start: float, end: float) -> None:
+        return None
+
+    def end(self, sim_s=None) -> None:
+        return None
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> list:
+        return []
+
+
+NULL_SPAN = _NullSpan()
+"""Shared no-op span; safe to use as a default everywhere."""
+
+
+class Tracer:
+    """Collects root spans and run-level events for one experiment."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.roots: list[Span] = []
+        self.events: list[SpanEvent] = []
+
+    def root(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> Span:
+        """Open a new top-level span (e.g. one migration)."""
+        span = Span(name, epoch=self._epoch, sim_s=sim_s, **attributes)
+        self.roots.append(span)
+        return span
+
+    def event(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> SpanEvent:
+        """Record a run-level event not tied to any span (e.g. an
+        autoscaler decision or an injected fault)."""
+        record = SpanEvent(
+            name=name,
+            wall_s=time.perf_counter() - self._epoch,
+            sim_s=sim_s,
+            attributes=dict(attributes),
+        )
+        self.events.append(record)
+        return record
+
+    def find_roots(self, name: str) -> list[Span]:
+        """Root spans with the given name, in recording order."""
+        return [span for span in self.roots if span.name == name]
+
+
+class _NullTracer:
+    """Absorbs every tracer operation when tracing is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    roots: tuple = ()
+    events: tuple = ()
+
+    def root(self, name: str, sim_s=None, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, sim_s=None, **attributes) -> None:
+        return None
+
+    def find_roots(self, name: str) -> list:
+        return []
+
+
+NULL_TRACER = _NullTracer()
+"""Shared no-op tracer; the default wired into every component."""

@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultSchedule
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import GBIT, NetworkModel
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.metrics import MetricsCollector
 from repro.sim.webapp import LatencyModel, WebApplication
 from repro.workloads.generator import RequestGenerator
@@ -95,6 +96,10 @@ class ExperimentConfig:
     retry_policy: RetryPolicy | None = None
     migration_deadline_s: float | None = None
     flow_timeout_s: float | None = None
+    # Observability: pass ``create_telemetry()`` to record migration
+    # span trees and metrics for the whole stack; the default no-op
+    # telemetry keeps the hot path unmeasured and near-free.
+    telemetry: Telemetry | None = None
 
     def trace_object(self) -> RateTrace:
         """The demand trace, resolved from a registry name if needed."""
@@ -115,11 +120,20 @@ class ExperimentResult:
     dataset: Dataset
     cluster: MemcachedCluster
     master: Master | None = None
+    telemetry: Telemetry = NULL_TELEMETRY
 
     @property
     def reports(self) -> list[MigrationReport]:
         """Migration reports produced by the policy, if any."""
         return self.policy.reports
+
+    @property
+    def trace(self):
+        """Root migration spans recorded by the run's tracer.
+
+        Empty when the experiment ran without telemetry.
+        """
+        return self.telemetry.tracer.roots
 
     @property
     def fault_injector(self) -> FaultInjector | None:
@@ -137,6 +151,7 @@ def build_stack(config: ExperimentConfig):
     Exposed separately so benchmarks and examples can assemble partial
     stacks (e.g. Fig. 7 needs a warmed cluster but no traffic replay).
     """
+    telemetry = config.telemetry or NULL_TELEMETRY
     dataset = build_dataset(
         config.num_keys,
         seed=config.seed,
@@ -148,6 +163,7 @@ def build_stack(config: ExperimentConfig):
         config.memory_per_node,
         min_chunk=config.min_chunk,
         growth_factor=config.growth_factor,
+        metrics=telemetry.metrics if telemetry.enabled else None,
     )
     popularity = ZipfPopularity(
         config.num_keys, alpha=config.zipf_alpha, seed=config.seed + 1
@@ -177,6 +193,7 @@ def build_stack(config: ExperimentConfig):
     network = NetworkModel(
         nic_bandwidth_bps=config.nic_bandwidth_bps,
         flow_timeout_s=config.flow_timeout_s,
+        metrics=telemetry.metrics if telemetry.enabled else None,
     )
     master = Master(
         cluster,
@@ -184,9 +201,12 @@ def build_stack(config: ExperimentConfig):
         import_mode=config.import_mode,
         retry_policy=config.retry_policy,
         deadline_s=config.migration_deadline_s,
+        telemetry=telemetry,
     )
     if config.fault_schedule is not None:
-        FaultInjector(cluster, config.fault_schedule).attach(master)
+        FaultInjector(
+            cluster, config.fault_schedule, telemetry=telemetry
+        ).attach(master)
     if isinstance(config.policy, MigrationPolicy):
         policy = config.policy
     else:
@@ -252,7 +272,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                 bytes_per_item=1.4 * chunk_bytes,
                 hit_rate_margin=0.02,
                 max_nodes=max(4, config.initial_nodes * 2),
-            )
+            ),
+            telemetry=config.telemetry,
         )
 
         def observer(keys: list[str]) -> None:
@@ -271,6 +292,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     metrics = MetricsCollector()
     scaling_times: list[float] = []
     decisions: list[ScalingDecision] = []
+    telemetry = config.telemetry or NULL_TELEMETRY
+    obs = telemetry.metrics
+    g_backlog = obs.gauge(
+        "db_backlog", "Database backlog (queued requests)"
+    )
+    g_nodes = obs.gauge("active_nodes", "Nodes on the hash ring")
 
     # Warm-up traffic at the trace's initial rate (negative times).
     initial_rate = trace.rate_at(0) * config.peak_request_rate
@@ -305,7 +332,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         ):
             last_evaluation = now
             decision = autoscaler.decide(
-                recent_kv_rate, len(cluster.active_members)
+                recent_kv_rate, len(cluster.active_members), now=now
             )
             decisions.append(decision)
             if decision.delta != 0:
@@ -318,6 +345,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         rate = float(rates[min(tick, len(rates) - 1)])
         record = app.run_second(now, rate)
         metrics.add(record)
+        g_backlog.set(database.backlog_requests)
+        g_nodes.set(len(cluster.active_members))
         if record.kv_gets:
             recent_kv_rate = 0.8 * recent_kv_rate + 0.2 * record.kv_gets
 
@@ -333,6 +362,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         dataset=dataset,
         cluster=cluster,
         master=master,
+        telemetry=telemetry,
     )
 
 

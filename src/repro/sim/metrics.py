@@ -116,9 +116,12 @@ class MetricsCollector:
         return self.series("p95_rt_ms")
 
     def between(self, start: float, end: float) -> "MetricsCollector":
-        """Records with ``start <= time < end``."""
+        """Records and migrations with ``start <= time < end``."""
         subset = [r for r in self.records if start <= r.time < end]
-        return MetricsCollector(subset)
+        migrations = [
+            m for m in self.migrations if start <= m.time < end
+        ]
+        return MetricsCollector(subset, migrations)
 
     def summary(self) -> dict[str, float]:
         """Headline aggregates over the collected window."""

@@ -1,6 +1,5 @@
 """Tests for the terminal chart renderer."""
 
-import math
 
 import pytest
 

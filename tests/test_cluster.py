@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import MembershipError
-from repro.memcached.cluster import MemcachedCluster
 from repro.memcached.slab import PAGE_SIZE
 
 

@@ -1,6 +1,5 @@
 """Tests for post-scaling degradation metrics."""
 
-import math
 
 import numpy as np
 import pytest

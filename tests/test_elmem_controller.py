@@ -1,6 +1,5 @@
 """Tests for the ElMemController facade."""
 
-import pytest
 
 from repro.core.autoscaler import AutoScalerConfig
 from repro.core.elmem import ElMemController

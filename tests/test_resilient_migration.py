@@ -2,7 +2,6 @@
 degradation, per-pair partial failure, re-planning around dead nodes, and
 seeded end-to-end reproducibility under fault injection."""
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.generator import RequestGenerator
-from repro.workloads.keyspace import Dataset, KeySpace, build_dataset
+from repro.workloads.keyspace import KeySpace, build_dataset
 from repro.workloads.popularity import UniformPopularity, ZipfPopularity
 from repro.workloads.traces import RateTrace, TRACE_FACTORIES, make_trace
 from repro.workloads.valuesize import (
