@@ -1,0 +1,57 @@
+"""Correctness tooling: custom lint rules + runtime invariant checking.
+
+The reproduction rests on invariants the paper assumes silently -- MRU
+lists are truly recency-ordered (FuseCache's pruning is only correct on
+sorted lists), slab accounting never leaks pages, the ketama ring remaps
+~1/(k+1) keys on a membership change, and experiments are bit-reproducible
+from a seed.  This package *checks* them, from two sides:
+
+- :mod:`repro.check.lint` + :mod:`repro.check.rules` -- an AST-based lint
+  framework with repo-specific rules (no wall-clock in simulated code, no
+  unseeded RNG, no private cache-state mutation from outside
+  ``repro.memcached``, ...) run by ``repro check [paths]``;
+- :mod:`repro.check.invariants` / :mod:`repro.check.oracle` -- runtime
+  validators over live data structures (LRU list integrity, slab
+  accounting, ring mapping, a brute-force FuseCache reference) that raise
+  :class:`~repro.errors.InvariantViolation` with a structured diff;
+- :mod:`repro.check.strict` -- the ``strict_mode`` hook the
+  :class:`~repro.core.master.Master` calls after each migration phase.
+"""
+
+from __future__ import annotations
+
+from repro.check.invariants import (
+    check_lru,
+    check_ring,
+    check_ring_remap,
+    check_slabs,
+)
+from repro.check.lint import (
+    LintRule,
+    Linter,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.check.oracle import check_fusecache, fusecache_oracle
+from repro.check.rules import DEFAULT_RULES, rule_catalogue
+from repro.check.strict import StrictChecker
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "DEFAULT_RULES",
+    "InvariantViolation",
+    "LintRule",
+    "Linter",
+    "StrictChecker",
+    "Violation",
+    "check_fusecache",
+    "check_lru",
+    "check_ring",
+    "check_ring_remap",
+    "check_slabs",
+    "fusecache_oracle",
+    "lint_paths",
+    "lint_source",
+    "rule_catalogue",
+]

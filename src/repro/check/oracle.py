@@ -1,0 +1,105 @@
+"""Brute-force FuseCache reference ("the oracle").
+
+FuseCache's median-of-medians pruning (Section IV) is the subtlest piece
+of the reproduction: a silent off-by-one in its boundary handling would
+migrate slightly-wrong item sets and quietly distort every hit-ratio
+figure.  The oracle is the dumbest possible implementation of the same
+specification -- merge everything, sort, take the top ``n`` -- and
+:func:`check_fusecache` asserts the fast algorithm selects exactly the
+same *multiset* of timestamps (ties may resolve to different lists, which
+is allowed; hotness totals may not differ).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.fusecache import (
+    FuseCacheResult,
+    fuse_cache_detailed,
+    selected_multiset,
+)
+from repro.errors import InvariantViolation
+
+Timestamps = Sequence[float]
+
+
+def fusecache_oracle(lists: Sequence[Timestamps], n: int) -> list[float]:
+    """The reference answer: hottest ``min(n, total)`` timestamps, sorted
+    hottest-first, computed by full merge-and-sort."""
+    merged = sorted(
+        (value for lst in lists for value in lst), reverse=True
+    )
+    if n < 0:
+        raise InvariantViolation(
+            "fusecache", "oracle", f"n must be non-negative, got {n}"
+        )
+    return merged[: min(n, len(merged))]
+
+
+def check_fusecache(
+    lists: Sequence[Timestamps], n: int, validate: bool = True
+) -> FuseCacheResult:
+    """Run FuseCache and assert it matches the brute-force oracle.
+
+    Verifies the pick counts are in range, their sum equals
+    ``min(n, total)``, and the selected multiset of timestamps equals the
+    oracle's.  Returns the (trusted) :class:`FuseCacheResult` so callers
+    can use the checked answer directly.
+    """
+    result = fuse_cache_detailed(lists, n, validate=validate)
+    for index, (picked, lst) in enumerate(zip(result.topick, lists)):
+        if not 0 <= picked <= len(lst):
+            raise InvariantViolation(
+                "fusecache",
+                f"list {index}",
+                "pick count out of range",
+                diff={
+                    "topick": {
+                        "expected": f"0..{len(lst)}",
+                        "actual": picked,
+                    }
+                },
+            )
+    total = sum(len(lst) for lst in lists)
+    expected_selected = min(n, total)
+    if result.selected != expected_selected:
+        raise InvariantViolation(
+            "fusecache",
+            f"k={len(lists)}, n={n}",
+            "selected-count mismatch",
+            diff={
+                "selected": {
+                    "expected": expected_selected,
+                    "actual": result.selected,
+                }
+            },
+        )
+    chosen = selected_multiset(lists, result.topick)
+    reference = fusecache_oracle(lists, n)
+    if chosen != reference:
+        divergence = next(
+            (
+                index
+                for index, (got, want) in enumerate(zip(chosen, reference))
+                if got != want
+            ),
+            min(len(chosen), len(reference)),
+        )
+        raise InvariantViolation(
+            "fusecache",
+            f"k={len(lists)}, n={n}",
+            f"selected multiset diverges from the oracle at rank "
+            f"{divergence}",
+            diff={
+                "timestamp_at_rank": {
+                    "expected": reference[divergence]
+                    if divergence < len(reference)
+                    else None,
+                    "actual": chosen[divergence]
+                    if divergence < len(chosen)
+                    else None,
+                }
+            },
+        )
+    return result

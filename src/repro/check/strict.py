@@ -1,0 +1,172 @@
+"""Strict mode: run the invariant validators inside the Master.
+
+:class:`StrictChecker` is the hook the
+:class:`~repro.core.master.Master` calls after each migration phase when
+constructed with ``strict_mode=True`` (or when an experiment sets
+``ExperimentConfig.strict_checks``).  Every check either passes silently
+-- bumping the ``invariant_checks_total`` counter -- or raises
+:class:`~repro.errors.InvariantViolation` with a structured diff, turning
+a silent cache-accounting bug into a loud failure at the phase that
+introduced it.
+
+The module also hosts the invariant *smoke runs* behind the
+``repro check`` CLI: short strict-mode experiments (one plain, one over
+the fault-sweep scenario) that drive real migrations through the
+validators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.check.invariants import check_lru, check_ring, check_slabs
+from repro.hashing.ketama import ConsistentHashRing
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memcached.cluster import MemcachedCluster
+
+
+class StrictChecker:
+    """Runs cheap validators over a cluster after migration phases.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose nodes/ring to validate.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; passing checks bump
+        ``invariant_checks_total{phase=...}``.
+    """
+
+    def __init__(
+        self,
+        cluster: "MemcachedCluster",
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: Total individual validator executions that passed.
+        self.checks_run = 0
+
+    def _record(self, phase: str, count: int) -> None:
+        self.checks_run += count
+        self.telemetry.metrics.counter(
+            "invariant_checks_total",
+            "Strict-mode invariant checks that passed",
+            phase=phase,
+        ).inc(count)
+
+    def check_nodes(
+        self,
+        phase: str,
+        names: Iterable[str],
+        require_sorted: bool = True,
+    ) -> int:
+        """Validate LRU structure and slab accounting on ``names``.
+
+        Nodes that no longer exist (destroyed mid-migration by a fault)
+        are skipped -- their state is gone either way.  Returns the
+        number of nodes validated; raises
+        :class:`~repro.errors.InvariantViolation` on the first failure.
+        """
+        checked = 0
+        for name in names:
+            node = self.cluster.nodes.get(name)
+            if node is None:
+                continue
+            check_lru(node, require_sorted_timestamps=require_sorted)
+            check_slabs(node)
+            checked += 1
+        self._record(phase, 2 * checked)
+        return checked
+
+    def check_target_ring(
+        self, phase: str, ring: ConsistentHashRing
+    ) -> None:
+        """Validate a hypothetical (planning-time) ring's structure."""
+        check_ring(ring)
+        self._record(phase, 1)
+
+    def check_cluster_ring(self, phase: str) -> None:
+        """Validate the live ring maps only onto provisioned nodes."""
+        check_ring(self.cluster.ring, nodes=self.cluster.nodes)
+        self._record(phase, 1)
+
+
+# ----------------------------------------------------------------------
+# Invariant smoke runs (the `repro check` CLI's runtime side)
+# ----------------------------------------------------------------------
+
+
+def strict_smoke_report(
+    duration_s: int = 120, seed: int = 3
+) -> dict[str, Any]:
+    """Run a small strict-mode experiment with one scale-in migration.
+
+    Every migration phase passes through the invariant validators;
+    an :class:`~repro.errors.InvariantViolation` propagates to the
+    caller.  Returns a summary dict for the CLI to render.
+    """
+    from repro.sim.experiment import ExperimentConfig, run_experiment
+    from repro.workloads.traces import make_trace
+
+    config = ExperimentConfig(
+        trace=make_trace("sys", duration_s=duration_s),
+        policy="elmem",
+        duration_s=duration_s,
+        num_keys=25_000,
+        initial_nodes=5,
+        schedule=[(round(duration_s * 0.4), 4)],
+        seed=seed,
+        strict_checks=True,
+    )
+    result = run_experiment(config)
+    return _summarise(result, label="strict smoke (sys, 5 -> 4 nodes)")
+
+
+def strict_fault_sweep_report(
+    intensity: float = 0.6,
+    duration_s: int = 400,
+    seed: int = 3,
+) -> dict[str, Any]:
+    """Run the fault-sweep scenario in strict mode.
+
+    The hostile case: flow failures and node faults land mid-migration
+    while every phase's output is validated.  Completing without an
+    :class:`~repro.errors.InvariantViolation` is the acceptance bar for
+    the resilient-migration paths.
+    """
+    from repro.sim.experiment import run_experiment
+    from repro.sim.scenarios import fault_sweep_config
+
+    config = fault_sweep_config(
+        intensity,
+        scenario_name="sys",
+        duration_s=duration_s,
+        seed=seed,
+        num_keys=40_000,
+        initial_nodes=6,
+    )
+    config.strict_checks = True
+    result = run_experiment(config)
+    return _summarise(
+        result,
+        label=(
+            f"strict fault sweep (sys, intensity {intensity:g}, "
+            f"{duration_s}s)"
+        ),
+    )
+
+
+def _summarise(result: Any, label: str) -> dict[str, Any]:
+    checker = getattr(result.master, "strict_checker", None)
+    outcomes = [report.outcome for report in result.reports]
+    return {
+        "label": label,
+        "checks_run": checker.checks_run if checker is not None else 0,
+        "migrations": len(outcomes),
+        "outcomes": outcomes,
+        "hit_rate": result.summary().get("mean_hit_rate", 0.0),
+        "violations": 0,
+    }

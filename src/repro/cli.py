@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``):
     python -m repro fusecache --items 65536 --lists 8
     python -m repro mrc --requests 100000 --profiler mimir
     python -m repro cost
+    python -m repro check src/repro
 
 Every subcommand prints a human-readable report to stdout; ``run`` can
 additionally export the per-second metrics as CSV/JSON.
@@ -293,6 +294,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import lint_paths, rule_catalogue
+    from repro.check.strict import (
+        strict_fault_sweep_report,
+        strict_smoke_report,
+    )
+
+    paths = args.paths or ["src/repro"]
+    if args.list_rules:
+        for code, name, description in rule_catalogue():
+            print(f"  {code}  {name:24s} {description}")
+        return 0
+
+    failed = False
+    print(f"lint: checking {', '.join(paths)}")
+    violations = lint_paths(paths)
+    for violation in violations:
+        print("  " + violation.render())
+    if violations:
+        print(f"lint: {len(violations)} violation(s)")
+        failed = True
+    else:
+        print("lint: clean")
+
+    if not args.no_sim:
+        reports = [strict_smoke_report()]
+        if args.strict_sim:
+            reports.append(strict_fault_sweep_report())
+        for report in reports:
+            print(
+                f"invariants: {report['label']}: "
+                f"{report['checks_run']} checks over "
+                f"{report['migrations']} migration(s), "
+                f"{report['violations']} violation(s) "
+                f"(hit rate {report['hit_rate']:.3f})"
+            )
+    return 1 if failed else 0
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     from repro.analysis.cost import (
         MEMCACHED_NODE,
@@ -401,6 +441,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     cost = sub.add_parser("cost", help="Section II-B cost/energy model")
     cost.set_defaults(func=_cmd_cost)
+
+    check = sub.add_parser(
+        "check",
+        help="repo-specific lint rules + invariant smoke run",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    check.add_argument(
+        "--no-sim",
+        action="store_true",
+        help="lint only; skip the strict-mode invariant smoke run",
+    )
+    check.add_argument(
+        "--strict-sim",
+        action="store_true",
+        help="also run the fault-sweep scenario under strict mode",
+    )
+    check.set_defaults(func=_cmd_check)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured digest from benchmark outputs"

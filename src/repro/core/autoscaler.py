@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cache_analysis.mimir import MimirProfiler
 from repro.cache_analysis.mrc import HitRateCurve, memory_for_hit_rate
@@ -162,7 +163,7 @@ class AutoScaler:
             self.reset_window()
         self._profiler.record(key)
 
-    def observe_many(self, keys) -> None:
+    def observe_many(self, keys: Iterable[str]) -> None:
         """Feed a batch of requested keys."""
         for key in keys:
             self.observe(key)

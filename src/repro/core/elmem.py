@@ -10,6 +10,7 @@ scaling action.
 from __future__ import annotations
 
 import random
+from typing import Iterable
 
 from repro.core.autoscaler import AutoScaler, AutoScalerConfig, ScalingDecision
 from repro.core.master import Master, MigrationReport
@@ -87,17 +88,17 @@ class ElMemController:
     # Request path
     # ------------------------------------------------------------------
 
-    def observe_keys(self, keys, now: float) -> None:
+    def observe_keys(self, keys: Iterable[str], now: float) -> None:
         """Feed requested keys to the AutoScaler's profiling window."""
         for key in keys:
             self.autoscaler.observe(key)
             self._window_requests += 1
 
-    def multiget(self, keys, now: float) -> MultigetResult:
+    def multiget(self, keys: list[str], now: float) -> MultigetResult:
         """Cache-tier lookup through the active policy."""
         return self.policy.multiget(keys, now)
 
-    def fill(self, key: str, value, value_size: int, now: float) -> None:
+    def fill(self, key: str, value: object, value_size: int, now: float) -> None:
         """Read-through fill after a database fetch."""
         self.policy.fill(key, value, value_size, now)
 

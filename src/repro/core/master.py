@@ -212,6 +212,17 @@ class Master:
         ``import``/per-pair/``switch`` at execution) plus counters and
         phase-duration histograms; disabled (the default) it is all
         no-ops.
+    strict_mode:
+        When true, a :class:`~repro.check.strict.StrictChecker` runs the
+        cheap invariant validators after each migration phase: LRU-list
+        integrity and slab accounting on every node a plan touches
+        (plan and import phases), target-ring structure at plan time,
+        and live-ring consistency after the membership switch.  A
+        failing check raises
+        :class:`~repro.errors.InvariantViolation` with a structured
+        diff.  MRU timestamp-monotonicity is only enforced while every
+        executed import has used ``merge`` mode -- ``prepend`` (the
+        paper's head insertion) deliberately gives that ordering up.
     """
 
     def __init__(
@@ -228,6 +239,7 @@ class Master:
         on_deadline: str = "degrade",
         fault_injector: "FaultInjector | None" = None,
         telemetry: Telemetry | None = None,
+        strict_mode: bool = False,
     ) -> None:
         if on_deadline not in ("degrade", "raise"):
             raise ConfigurationError(
@@ -247,6 +259,18 @@ class Master:
         self.on_deadline = on_deadline
         self.fault_injector = fault_injector
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.strict_mode = strict_mode
+        self.strict_checker = None
+        if strict_mode:
+            from repro.check.strict import StrictChecker
+
+            self.strict_checker = StrictChecker(
+                cluster, telemetry=self.telemetry
+            )
+        # Whether every MRU list is still timestamp-sorted: true until a
+        # non-merge import lands, after which the sortedness invariant is
+        # no longer checkable (the paper's prepend import gives it up).
+        self._mru_sorted = True
 
     def agent(self, name: str) -> Agent:
         """The Agent on node ``name``."""
@@ -365,6 +389,7 @@ class Master:
         self._finish_plan_trace(
             plan, now, span, plan_span, scoring_span, dump_span, fusecache_span
         )
+        self._strict_plan_check(plan, target_ring)
         return plan
 
     # ------------------------------------------------------------------
@@ -466,6 +491,7 @@ class Master:
         self._finish_plan_trace(
             plan, now, span, plan_span, None, dump_span, fusecache_span
         )
+        self._strict_plan_check(plan, target_ring)
         return plan
 
     # ------------------------------------------------------------------
@@ -550,7 +576,21 @@ class Master:
         dump_span.end()
         self._price_data_phase(plan, import_load)
         self._finish_plan_trace(plan, now, span, plan_span, None, dump_span, None)
+        self._strict_plan_check(plan, target_ring)
         return plan
+
+    def _strict_plan_check(
+        self, plan: MigrationPlan, target_ring
+    ) -> None:
+        """Strict mode: validate planning left every structure intact."""
+        checker = self.strict_checker
+        if checker is None:
+            return
+        names = plan.retiring + plan.retained + plan.new_nodes
+        checker.check_nodes(
+            "plan", names, require_sorted=self._mru_sorted
+        )
+        checker.check_target_ring("plan", target_ring)
 
     def _finish_plan_trace(
         self,
@@ -678,6 +718,14 @@ class Master:
         report.actual_duration_s = clock - now
         plan.timings.retry_s += report.retry_time_s
         report.outcome = report.classify()
+        if mode != "merge" and report.items_imported > 0:
+            self._mru_sorted = False
+        if self.strict_checker is not None:
+            targets = {dst for (_, dst) in plan.transfers}
+            targets.update(plan.pre_deletes)
+            self.strict_checker.check_nodes(
+                "import", sorted(targets), require_sorted=self._mru_sorted
+            )
         if aborted and self.on_deadline == "raise":
             self._finish_migration_trace(span, report, clock)
             raise MigrationAbortedError(report.abort_reason or "aborted")
@@ -706,6 +754,8 @@ class Master:
         switch_span.set(membership=report.membership_after)
         switch_span.end(sim_s=clock)
         self._finish_migration_trace(span, report, clock)
+        if self.strict_checker is not None:
+            self.strict_checker.check_cluster_ring("switch")
         return report
 
     def _trace_faults(self, span, fired, clock: float) -> None:

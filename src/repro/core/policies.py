@@ -441,7 +441,7 @@ POLICY_REGISTRY = {
 }
 
 
-def make_policy(name: str, **kwargs) -> MigrationPolicy:
+def make_policy(name: str, **kwargs: Any) -> MigrationPolicy:
     """Instantiate a policy by registry name."""
     try:
         factory = POLICY_REGISTRY[name]

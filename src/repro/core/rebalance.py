@@ -19,6 +19,7 @@ keeps seeing honest hotness on every node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.memcached.cluster import MemcachedCluster
@@ -101,7 +102,7 @@ class LoadRebalancer:
         """Attribute one request to the node currently serving ``key``."""
         self.window.bump(self.cluster.route(key))
 
-    def observe_many(self, keys) -> None:
+    def observe_many(self, keys: Iterable[str]) -> None:
         """Attribute a batch of requests."""
         for key in keys:
             self.observe(key)

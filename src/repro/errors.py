@@ -30,6 +30,44 @@ class MigrationAbortedError(MigrationError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant check found corrupted state.
+
+    Raised by the :mod:`repro.check.invariants` validators (and by the
+    Master's ``strict_mode`` hooks).  Carries structured context so a
+    failing check can be diagnosed without re-running:
+
+    ``invariant``
+        Which validator fired (``"lru"``, ``"slabs"``, ``"ring"``,
+        ``"fusecache"``).
+    ``subject``
+        The checked object (node name, ring description, ...).
+    ``diff``
+        A mapping of field -> ``{"expected": ..., "actual": ...}`` for
+        every mismatching quantity.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        subject: str,
+        message: str,
+        diff: dict | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.subject = subject
+        self.diff = dict(diff or {})
+        detail = f"[{invariant}] {subject}: {message}"
+        if self.diff:
+            parts = ", ".join(
+                f"{field}: expected {entry['expected']!r}, "
+                f"got {entry['actual']!r}"
+                for field, entry in self.diff.items()
+            )
+            detail = f"{detail} ({parts})"
+        super().__init__(detail)
+
+
 class FaultError(ReproError):
     """An injected fault made an operation fail (node crash, flow loss)."""
 

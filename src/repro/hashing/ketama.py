@@ -10,7 +10,7 @@ nodes -- the property ElMem's scale-out path relies on (Section III-D4).
 from __future__ import annotations
 
 import bisect
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ConfigurationError, MembershipError
 from repro.hashing.hashutil import hash32, points_for_vnode
@@ -88,6 +88,22 @@ class ConsistentHashRing:
             self.remove_node(node)
         for node in sorted(target - self._members):
             self.add_node(node)
+
+    def iter_points(self) -> Iterator[tuple[int, str]]:
+        """Yield ``(point, owner)`` pairs in ring order.
+
+        Read-only introspection for balance analysis and the
+        :func:`repro.check.invariants.check_ring` validator; the pairs
+        are yielded ascending by point.
+        """
+        yield from zip(self._points, self._owners)
+
+    def vnode_counts(self) -> dict[str, int]:
+        """Virtual points currently owned by each member."""
+        counts: dict[str, int] = {name: 0 for name in self._members}
+        for owner in self._owners:
+            counts[owner] = counts.get(owner, 0) + 1
+        return counts
 
     def node_for_key(self, key: str) -> str:
         """Return the node owning ``key``; raises if the ring is empty."""

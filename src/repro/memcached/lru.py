@@ -134,18 +134,49 @@ class MRUList:
         """Dump ``last_access`` for every item in MRU order."""
         return [item.last_access for item in self]
 
+    def is_sorted_desc(self) -> bool:
+        """True when ``last_access`` is non-increasing head to tail.
+
+        This is the precondition FuseCache's binary searches rely on; it
+        holds under ``merge``-mode batch imports and is deliberately
+        given up by ``prepend`` mode (the paper's implementation).
+        """
+        previous: float | None = None
+        for item in self:
+            if previous is not None and item.last_access > previous:
+                return False
+            previous = item.last_access
+        return True
+
     def check_invariants(self) -> None:
-        """Validate pointer structure; used by tests and debug builds."""
+        """Validate pointer structure; used by tests and debug builds.
+
+        Raises :class:`~repro.errors.InvariantViolation` on corruption.
+        The deeper per-node validation (hash-table agreement, slab
+        accounting, timestamp order) lives in
+        :mod:`repro.check.invariants`.
+        """
+        from repro.errors import InvariantViolation
+
         count = 0
         prev: Item | None = None
         node = self._head
         while node is not None:
             if node.prev is not prev:
-                raise AssertionError("broken prev pointer")
+                raise InvariantViolation(
+                    "lru", "mru-list", "broken prev pointer"
+                )
             prev = node
             node = node.next
             count += 1
         if prev is not self._tail:
-            raise AssertionError("tail does not match last node")
+            raise InvariantViolation(
+                "lru", "mru-list", "tail does not match last node"
+            )
         if count != self._size:
-            raise AssertionError(f"size {self._size} != walked {count}")
+            raise InvariantViolation(
+                "lru",
+                "mru-list",
+                "size counter disagrees with the walk",
+                diff={"size": {"expected": self._size, "actual": count}},
+            )

@@ -205,3 +205,20 @@ class SlabAllocator:
     def item_count(self) -> int:
         """Number of stored items across all classes."""
         return sum(len(slab_class.mru) for slab_class in self.classes)
+
+    def accounting(self) -> dict[str, int]:
+        """Aggregate accounting snapshot.
+
+        The strict-mode validators (:mod:`repro.check.invariants`) use
+        this to report page/chunk bookkeeping in their structured diffs;
+        the per-class page counts must sum to ``assigned_pages`` and the
+        item count must match the chunks in use.
+        """
+        return {
+            "total_pages": self.total_pages,
+            "assigned_pages": self.assigned_pages,
+            "summed_class_pages": sum(c.pages for c in self.classes),
+            "used_chunks": sum(c.used_chunks for c in self.classes),
+            "items": self.item_count(),
+            "used_bytes": self.used_bytes(),
+        }

@@ -100,6 +100,11 @@ class ExperimentConfig:
     # span trees and metrics for the whole stack; the default no-op
     # telemetry keeps the hot path unmeasured and near-free.
     telemetry: Telemetry | None = None
+    # Correctness: run the repro.check invariant validators after every
+    # migration phase (`repro check`'s smoke runs and CI set this).  A
+    # corrupted LRU list / slab count / ring raises InvariantViolation
+    # instead of silently distorting the results.
+    strict_checks: bool = False
 
     def trace_object(self) -> RateTrace:
         """The demand trace, resolved from a registry name if needed."""
@@ -202,6 +207,7 @@ def build_stack(config: ExperimentConfig):
         retry_policy=config.retry_policy,
         deadline_s=config.migration_deadline_s,
         telemetry=telemetry,
+        strict_mode=config.strict_checks,
     )
     if config.fault_schedule is not None:
         FaultInjector(

@@ -1,0 +1,61 @@
+"""The ``repro check`` subcommand and the strict-mode smoke runs."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.strict import (
+    strict_fault_sweep_report,
+    strict_smoke_report,
+)
+from repro.cli import main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src" / "repro")
+
+
+def test_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for index in range(1, 9):
+        assert f"REP00{index}" in out
+
+
+def test_check_lint_only_passes_on_source_tree(capsys):
+    assert main(["check", "--no-sim", SRC]) == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+def test_check_fails_on_a_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def collect(into=[]):\n"
+        "    try:\n"
+        "        return into\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    assert main(["check", "--no-sim", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out and "REP004" in out
+
+
+def test_check_full_run_includes_invariant_smoke(capsys):
+    assert main(["check", SRC]) == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+    assert "invariants:" in out and "0 violation(s)" in out
+
+
+def test_strict_smoke_runs_checks_and_migrations():
+    report = strict_smoke_report()
+    assert report["violations"] == 0
+    assert report["migrations"] >= 1
+    assert report["checks_run"] > 0
+
+
+@pytest.mark.slow
+def test_strict_fault_sweep_completes_without_violations():
+    report = strict_fault_sweep_report()
+    assert report["violations"] == 0
+    assert report["checks_run"] > 0
+    assert report["migrations"] >= 1

@@ -1,0 +1,100 @@
+"""Property test: FuseCache equals the brute-force oracle.
+
+~200 randomized seeded configurations, weighted toward the nasty
+regions: duplicate timestamps shared across lists (tie-breaking), empty
+lists, k=1, n=0, and n past the total item count.
+"""
+
+import random
+
+import pytest
+
+from repro.check import check_fusecache, fusecache_oracle
+from repro.core.fusecache import selected_multiset
+from repro.errors import InvariantViolation
+
+
+def random_case(seed: int):
+    rng = random.Random(seed)
+    k = rng.randint(1, 8)
+    lists = []
+    for _ in range(k):
+        length = rng.choice([0, rng.randint(1, 50), rng.randint(1, 8)])
+        if rng.random() < 0.5:
+            # Integer timestamps from a narrow range: many exact
+            # duplicates within and across lists.
+            values = [float(rng.randint(0, 12)) for _ in range(length)]
+        else:
+            values = [rng.uniform(0.0, 1000.0) for _ in range(length)]
+        lists.append(sorted(values, reverse=True))
+    total = sum(len(lst) for lst in lists)
+    n = rng.choice(
+        [0, rng.randint(0, max(total, 1)), total, total + rng.randint(1, 5)]
+    )
+    return lists, n
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_fusecache_matches_oracle_on_random_config(seed):
+    lists, n = random_case(seed)
+    result = check_fusecache(lists, n)
+    assert result.selected == min(n, sum(len(lst) for lst in lists))
+
+
+def test_oracle_on_known_case():
+    lists = [[9.0, 5.0, 1.0], [8.0, 7.0, 2.0]]
+    assert fusecache_oracle(lists, 4) == [9.0, 8.0, 7.0, 5.0]
+    assert fusecache_oracle(lists, 0) == []
+    assert fusecache_oracle(lists, 99) == [
+        9.0, 8.0, 7.0, 5.0, 2.0, 1.0,
+    ]
+
+
+def test_oracle_handles_all_empty_lists():
+    assert fusecache_oracle([[], [], []], 5) == []
+    result = check_fusecache([[], []], 3)
+    assert result.topick == [0, 0]
+
+
+def test_oracle_rejects_negative_n():
+    with pytest.raises(InvariantViolation):
+        fusecache_oracle([[1.0]], -1)
+
+
+def test_duplicate_timestamps_compare_as_multisets():
+    # Every item identical: any split of picks is a valid answer, and
+    # the checker must accept whichever FuseCache chose.
+    lists = [[3.0] * 10, [3.0] * 10, [3.0] * 10]
+    result = check_fusecache(lists, 17)
+    assert result.selected == 17
+    assert selected_multiset(lists, result.topick) == [3.0] * 17
+
+
+def test_check_fusecache_detects_a_wrong_selection(monkeypatch):
+    """A deliberately corrupted FuseCache answer must be rejected."""
+    from repro.check import oracle as oracle_module
+    from repro.core.fusecache import FuseCacheResult
+
+    lists = [[9.0, 5.0, 1.0], [8.0, 7.0, 2.0]]
+
+    def broken(lists, n, validate=False):
+        # Right count, but takes cold 5.0 instead of hot 7.0.
+        return FuseCacheResult(topick=[2, 1])
+
+    monkeypatch.setattr(oracle_module, "fuse_cache_detailed", broken)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check_fusecache(lists, 3)
+    assert excinfo.value.invariant == "fusecache"
+
+
+def test_check_fusecache_detects_a_wrong_count(monkeypatch):
+    from repro.check import oracle as oracle_module
+    from repro.core.fusecache import FuseCacheResult
+
+    def broken(lists, n, validate=False):
+        return FuseCacheResult(topick=[1, 0])
+
+    monkeypatch.setattr(oracle_module, "fuse_cache_detailed", broken)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check_fusecache([[9.0, 5.0], [8.0]], 2)
+    assert "selected" in excinfo.value.diff

@@ -1,0 +1,95 @@
+"""Determinism regression: one seed, two runs, identical results.
+
+Runs the same strict-mode experiment twice and asserts the headline
+metrics, the per-second series, the migration outcomes, and the exported
+telemetry JSONL are bit-identical -- modulo the wall-clock span fields
+(``start_wall_s``/``end_wall_s``/``wall_s``), which measure the host
+machine and are the only sanctioned nondeterminism.
+"""
+
+import json
+
+from repro.obs import create_telemetry
+from repro.obs.export import write_jsonl
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.traces import make_trace
+
+WALL_FIELDS = {"start_wall_s", "end_wall_s", "wall_s"}
+
+
+def scrub(value):
+    """Recursively drop wall-clock fields from a decoded JSON value."""
+    if isinstance(value, dict):
+        return {
+            key: scrub(item)
+            for key, item in value.items()
+            if key not in WALL_FIELDS
+        }
+    if isinstance(value, list):
+        return [scrub(item) for item in value]
+    return value
+
+
+def run_once(tmp_path, tag):
+    telemetry = create_telemetry()
+    config = ExperimentConfig(
+        trace=make_trace("sys", duration_s=150),
+        policy="elmem",
+        duration_s=150,
+        num_keys=20_000,
+        initial_nodes=5,
+        schedule=[(60.0, 4)],
+        seed=11,
+        strict_checks=True,
+        telemetry=telemetry,
+    )
+    result = run_experiment(config)
+    path = write_jsonl(
+        tmp_path / f"{tag}.jsonl",
+        tracer=telemetry.tracer,
+        metrics=telemetry.metrics,
+        meta={"seed": config.seed},
+    )
+    return result, path
+
+
+def test_same_seed_reproduces_everything(tmp_path):
+    first, first_path = run_once(tmp_path, "first")
+    second, second_path = run_once(tmp_path, "second")
+
+    assert first.summary() == second.summary()
+    assert list(first.metrics.hit_rates()) == list(
+        second.metrics.hit_rates()
+    )
+    assert list(first.metrics.p95_series_ms()) == list(
+        second.metrics.p95_series_ms()
+    )
+    assert first.scaling_times == second.scaling_times
+    assert [r.outcome for r in first.reports] == [
+        r.outcome for r in second.reports
+    ]
+
+    first_lines = first_path.read_text().splitlines()
+    second_lines = second_path.read_text().splitlines()
+    assert len(first_lines) == len(second_lines)
+    for left, right in zip(first_lines, second_lines):
+        assert scrub(json.loads(left)) == scrub(json.loads(right))
+
+
+def test_different_seeds_actually_diverge(tmp_path):
+    """Guard against the scrubber (or the sim) flattening everything."""
+    telemetry = None
+    results = []
+    for seed in (11, 12):
+        config = ExperimentConfig(
+            trace=make_trace("sys", duration_s=120),
+            policy="elmem",
+            duration_s=120,
+            num_keys=20_000,
+            initial_nodes=5,
+            schedule=[(50.0, 4)],
+            seed=seed,
+            telemetry=telemetry,
+        )
+        results.append(run_experiment(config).summary())
+    assert results[0] != results[1]
