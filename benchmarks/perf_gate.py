@@ -1,0 +1,44 @@
+"""Runnable wrapper for the hot-path performance regression gate.
+
+Equivalent to ``repro bench``:
+
+    PYTHONPATH=src python benchmarks/perf_gate.py --gate [--quick]
+    PYTHONPATH=src python benchmarks/perf_gate.py --update-baseline
+
+The engine lives in :mod:`repro.analysis.perfgate`; see that module for
+what is measured and how the gate judges it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.perfgate import (
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_OUT_PATH,
+        run_gate,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gate", action="store_true")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default=DEFAULT_OUT_PATH)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+    ok, report = run_gate(
+        quick=args.quick,
+        gate=args.gate,
+        out_path=args.out,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,495 @@
+"""Pinned micro-benchmarks and the performance regression gate.
+
+``repro bench --gate`` (and the ``benchmarks/perf_gate.py`` wrapper) runs
+four micro-benchmarks of the hot-path performance engine:
+
+1. **cache ops** -- single vs batched ``get``/``set`` throughput on a
+   routed cluster (``get_many``/``set_many`` vs per-op calls);
+2. **ring routing** -- cold (``uncached_lookup``) vs cached
+   (``node_for_key``) consistent-hash lookups per second;
+3. **FuseCache** -- comparison count and wall time of the
+   median-of-medians selection, fitted against ``k * (log2 N)^2``;
+4. **end-to-end** -- simulated seconds per wall second on a scaled-down
+   Fig. 2 scenario.
+
+The *gated* metrics are machine-independent ratios: the batched/single
+speedups and the cached/cold speedup must stay above hard floors (the PR
+acceptance bar is >= 2x), and the FuseCache fit constant must not grow
+past its committed baseline by more than its tolerance.  Absolute ops/sec
+numbers are recorded for information but only softly compared, because CI
+machines vary.
+
+Results are written to ``BENCH_PR4.json``; the committed reference lives
+in ``benchmarks/bench_baseline.json`` (refresh with ``--update-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+DEFAULT_BASELINE_PATH = "benchmarks/bench_baseline.json"
+DEFAULT_OUT_PATH = "BENCH_PR4.json"
+
+RESULT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one benchmark metric is judged.
+
+    ``floor`` is an absolute hard gate (value must be >= floor, or
+    <= floor when ``higher_is_better`` is false).  ``baseline_slack`` is
+    a relative gate against the committed baseline: a higher-is-better
+    metric must reach ``baseline * baseline_slack``; a lower-is-better
+    metric must stay under ``baseline * baseline_slack``.  Metrics with
+    neither are informational.
+    """
+
+    name: str
+    description: str
+    higher_is_better: bool = True
+    floor: float | None = None
+    baseline_slack: float | None = None
+
+    @property
+    def gated(self) -> bool:
+        return self.floor is not None or self.baseline_slack is not None
+
+
+SPECS: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "batched_get_speedup",
+        "cluster.get_many vs the pre-change per-op get stack "
+        "(uncached routing, per-op node calls)",
+        floor=2.0,
+        baseline_slack=0.5,
+    ),
+    MetricSpec(
+        "batched_set_speedup",
+        "cluster.set_many vs the pre-change per-op set stack "
+        "(uncached routing, per-op node calls)",
+        floor=2.0,
+        baseline_slack=0.5,
+    ),
+    MetricSpec(
+        "sameline_get_speedup",
+        "cluster.get_many vs per-op cluster.get on the current stack",
+    ),
+    MetricSpec(
+        "sameline_set_speedup",
+        "cluster.set_many vs per-op cluster.set on the current stack",
+    ),
+    MetricSpec(
+        "cached_ring_speedup",
+        "cached vs uncached ring lookup throughput ratio",
+        floor=2.0,
+        baseline_slack=0.5,
+    ),
+    MetricSpec(
+        "fusecache_fit_constant",
+        "FuseCache comparisons / (k * (log2 N)^2)",
+        higher_is_better=False,
+        floor=12.0,
+        baseline_slack=1.5,
+    ),
+    MetricSpec(
+        "legacy_single_get_kops",
+        "pre-change per-op get throughput, uncached routing (kops/s)",
+    ),
+    MetricSpec(
+        "legacy_single_set_kops",
+        "pre-change per-op set throughput, uncached routing (kops/s)",
+    ),
+    MetricSpec(
+        "single_get_kops",
+        "per-op cluster.get throughput (kops/s)",
+    ),
+    MetricSpec(
+        "batched_get_kops",
+        "cluster.get_many throughput (kops/s)",
+    ),
+    MetricSpec(
+        "single_set_kops",
+        "per-op cluster.set throughput (kops/s)",
+    ),
+    MetricSpec(
+        "batched_set_kops",
+        "cluster.set_many throughput (kops/s)",
+    ),
+    MetricSpec(
+        "uncached_ring_klookups",
+        "cold ring lookups (klookups/s)",
+    ),
+    MetricSpec(
+        "cached_ring_klookups",
+        "warm ring lookups (klookups/s)",
+    ),
+    MetricSpec(
+        "fusecache_comparisons",
+        "FuseCache comparisons at the pinned problem size",
+    ),
+    MetricSpec(
+        "fusecache_ms",
+        "FuseCache wall time at the pinned problem size (ms)",
+    ),
+    MetricSpec(
+        "e2e_ticks_per_s",
+        "simulated seconds per wall second, Fig. 2 mini scenario",
+    ),
+)
+
+SPEC_INDEX = {spec.name: spec for spec in SPECS}
+
+
+def _best_seconds(run: Callable[[], Any], repeats: int) -> float:
+    """Wall time of ``run``, best of ``repeats`` (noise suppression)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _chunks(values: list, size: int) -> list[list]:
+    return [values[i : i + size] for i in range(0, len(values), size)]
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_cache_ops(quick: bool) -> dict[str, float]:
+    """Single vs batched get/set throughput on a 4-node cluster.
+
+    The gated speedups compare ``get_many``/``set_many`` against the
+    *pre-change* per-op stack -- per-key routing on a ring without the
+    lookup cache plus per-op node calls, which is what the seed tree
+    executed -- by temporarily swapping in a cache-disabled ring.  The
+    same-stack per-op numbers (cached routing) are also recorded.
+    """
+    import random
+
+    from repro.hashing.ketama import ConsistentHashRing
+    from repro.memcached.cluster import MemcachedCluster
+
+    num_keys = 8_000 if quick else 20_000
+    ops = 16_000 if quick else 48_000
+    repeats = 2 if quick else 3
+    batch = 64
+    names = [f"node-{i:03d}" for i in range(4)]
+    cluster = MemcachedCluster(
+        names,
+        memory_per_node=16 << 20,
+        growth_factor=3.0,
+    )
+    keys = [f"k{i:010d}" for i in range(num_keys)]
+    value_size = 120
+    entries = [(key, f"v{key}", value_size) for key in keys]
+    cluster.set_many(entries, now=0.0)
+
+    rng = random.Random(11)
+    workload = rng.choices(keys, k=ops)
+    batches = _chunks(workload, batch)
+
+    def single_get() -> None:
+        get = cluster.get
+        for key in workload:
+            get(key, 1.0)
+
+    def batched_get() -> None:
+        get_many = cluster.get_many
+        for chunk in batches:
+            get_many(chunk, 1.0)
+
+    set_workload = [(key, "w", value_size) for key in workload]
+    set_batches = _chunks(set_workload, batch)
+
+    def single_set() -> None:
+        set_op = cluster.set
+        for key, value, size in set_workload:
+            set_op(key, value, size, 2.0)
+
+    def batched_set() -> None:
+        set_many = cluster.set_many
+        for chunk in set_batches:
+            set_many(chunk, 2.0)
+
+    # Pre-change reference: same membership, no lookup cache (every
+    # route pays the hash + binary search, as the seed tree did).
+    cached_ring = cluster.ring
+    legacy_ring = ConsistentHashRing(
+        names, vnodes=cluster.vnodes, lookup_cache_size=0
+    )
+    cluster.ring = legacy_ring
+    single_get()  # warm the md5 digest cache
+    legacy_get_rate = ops / _best_seconds(single_get, repeats)
+    legacy_set_rate = ops / _best_seconds(single_set, repeats)
+    cluster.ring = cached_ring
+
+    single_get()  # warm the routing cache before timing
+    single_rate = ops / _best_seconds(single_get, repeats)
+    batched_rate = ops / _best_seconds(batched_get, repeats)
+    single_set_rate = ops / _best_seconds(single_set, repeats)
+    batched_set_rate = ops / _best_seconds(batched_set, repeats)
+    return {
+        "legacy_single_get_kops": legacy_get_rate / 1e3,
+        "legacy_single_set_kops": legacy_set_rate / 1e3,
+        "single_get_kops": single_rate / 1e3,
+        "batched_get_kops": batched_rate / 1e3,
+        "batched_get_speedup": batched_rate / legacy_get_rate,
+        "sameline_get_speedup": batched_rate / single_rate,
+        "single_set_kops": single_set_rate / 1e3,
+        "batched_set_kops": batched_set_rate / 1e3,
+        "batched_set_speedup": batched_set_rate / legacy_set_rate,
+        "sameline_set_speedup": batched_set_rate / single_set_rate,
+    }
+
+
+def bench_ring(quick: bool) -> dict[str, float]:
+    """Cold vs cached consistent-hash lookups per second."""
+    from repro.hashing.ketama import ConsistentHashRing
+
+    num_keys = 8_000 if quick else 25_000
+    repeats = 2 if quick else 3
+    ring = ConsistentHashRing([f"node-{i:03d}" for i in range(10)])
+    keys = [f"k{i:010d}" for i in range(num_keys)]
+
+    def cold() -> None:
+        lookup = ring.uncached_lookup
+        for key in keys:
+            lookup(key)
+
+    def cached() -> None:
+        lookup = ring.node_for_key
+        for key in keys:
+            lookup(key)
+
+    cold()  # warm the md5 digest cache so "cold" isolates the bisect
+    cached()  # populate the per-membership lookup cache
+    cold_rate = num_keys / _best_seconds(cold, repeats)
+    cached_rate = num_keys / _best_seconds(cached, repeats)
+    return {
+        "uncached_ring_klookups": cold_rate / 1e3,
+        "cached_ring_klookups": cached_rate / 1e3,
+        "cached_ring_speedup": cached_rate / cold_rate,
+    }
+
+
+def bench_fusecache(quick: bool) -> dict[str, float]:
+    """FuseCache cost at a pinned problem size, fitted to k*(log2 N)^2."""
+    from repro.core.fusecache import fuse_cache_detailed
+
+    k = 8
+    per_list = 4_096 if quick else 16_384
+    repeats = 2 if quick else 3
+    lists = [
+        [float(per_list * k - (j * k + i)) for j in range(per_list)]
+        for i in range(k)
+    ]
+    total = per_list * k
+    pick = total // 2
+
+    result = fuse_cache_detailed(lists, pick)
+    elapsed = _best_seconds(lambda: fuse_cache_detailed(lists, pick), repeats)
+    fit = result.comparisons / (k * math.log2(total) ** 2)
+    return {
+        "fusecache_comparisons": float(result.comparisons),
+        "fusecache_ms": elapsed * 1e3,
+        "fusecache_fit_constant": fit,
+    }
+
+
+def bench_e2e(quick: bool) -> dict[str, float]:
+    """Simulated seconds per wall second on a mini Fig. 2 scenario."""
+    from repro.sim.experiment import ExperimentConfig, run_experiment
+
+    duration = 20 if quick else 60
+    config = ExperimentConfig(
+        duration_s=duration,
+        num_keys=20_000,
+        initial_nodes=4,
+        peak_request_rate=120.0,
+        schedule=[(float(duration // 3), 3)],
+        policy="elmem",
+        seed=9,
+        warmup_seconds=5,
+    )
+    start = time.perf_counter()
+    run_experiment(config)
+    elapsed = time.perf_counter() - start
+    return {"e2e_ticks_per_s": duration / elapsed}
+
+
+def run_benchmarks(quick: bool = False) -> dict[str, float]:
+    """Run every micro-benchmark and merge the metric dicts."""
+    metrics: dict[str, float] = {}
+    metrics.update(bench_cache_ops(quick))
+    metrics.update(bench_ring(quick))
+    metrics.update(bench_fusecache(quick))
+    metrics.update(bench_e2e(quick))
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Gate
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GateRow:
+    """Verdict for one metric."""
+
+    name: str
+    value: float
+    baseline: float | None
+    gated: bool
+    passed: bool
+    detail: str
+
+
+def evaluate_gate(
+    metrics: dict[str, float],
+    baseline: dict[str, float] | None,
+) -> list[GateRow]:
+    """Judge measured ``metrics`` against the specs and the baseline."""
+    rows: list[GateRow] = []
+    for spec in SPECS:
+        value = metrics.get(spec.name)
+        if value is None:
+            rows.append(
+                GateRow(spec.name, float("nan"), None, spec.gated,
+                        not spec.gated, "metric missing from run")
+            )
+            continue
+        base = baseline.get(spec.name) if baseline else None
+        passed = True
+        reasons: list[str] = []
+        if spec.floor is not None:
+            if spec.higher_is_better:
+                ok = value >= spec.floor
+                reasons.append(f"floor >= {spec.floor:g}")
+            else:
+                ok = value <= spec.floor
+                reasons.append(f"ceiling <= {spec.floor:g}")
+            passed = passed and ok
+        if spec.baseline_slack is not None and base is not None:
+            limit = base * spec.baseline_slack
+            if spec.higher_is_better:
+                ok = value >= limit
+                reasons.append(f"baseline slack >= {limit:.3g}")
+            else:
+                ok = value <= limit
+                reasons.append(f"baseline slack <= {limit:.3g}")
+            passed = passed and ok
+        detail = "; ".join(reasons) if reasons else "informational"
+        rows.append(
+            GateRow(spec.name, value, base, spec.gated, passed, detail)
+        )
+    return rows
+
+
+def load_baseline(path: str | Path) -> dict[str, float] | None:
+    """Committed baseline metrics, or ``None`` when absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    return payload.get("metrics", payload)
+
+
+def write_results(
+    path: str | Path,
+    metrics: dict[str, float],
+    rows: list[GateRow],
+    quick: bool,
+) -> Path:
+    """Persist one run (``BENCH_PR4.json``)."""
+    path = Path(path)
+    payload = {
+        "version": RESULT_VERSION,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": quick,
+        },
+        "metrics": {k: round(v, 4) for k, v in sorted(metrics.items())},
+        "gate": {
+            "passed": all(r.passed for r in rows if r.gated),
+            "failures": [
+                {"name": r.name, "value": round(r.value, 4),
+                 "baseline": r.baseline, "detail": r.detail}
+                for r in rows
+                if r.gated and not r.passed
+            ],
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def write_baseline(path: str | Path, metrics: dict[str, float]) -> Path:
+    """Refresh the committed baseline file."""
+    path = Path(path)
+    payload = {
+        "version": RESULT_VERSION,
+        "metrics": {k: round(v, 4) for k, v in sorted(metrics.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def render_rows(rows: list[GateRow]) -> str:
+    """Human-readable gate table."""
+    lines = [
+        f"{'metric':26s} {'value':>12s} {'baseline':>12s}  verdict",
+    ]
+    for row in rows:
+        base = f"{row.baseline:12.3f}" if row.baseline is not None else (
+            " " * 11 + "-"
+        )
+        verdict = (
+            ("PASS" if row.passed else "FAIL") if row.gated else "info"
+        )
+        lines.append(
+            f"{row.name:26s} {row.value:12.3f} {base}  "
+            f"{verdict}  ({row.detail})"
+        )
+    return "\n".join(lines)
+
+
+def run_gate(
+    quick: bool = False,
+    gate: bool = True,
+    out_path: str | Path = DEFAULT_OUT_PATH,
+    baseline_path: str | Path = DEFAULT_BASELINE_PATH,
+    update_baseline: bool = False,
+) -> tuple[bool, str]:
+    """Full pipeline: benchmark, judge, persist.  Returns (ok, report)."""
+    metrics = run_benchmarks(quick)
+    baseline = load_baseline(baseline_path) if gate else None
+    rows = evaluate_gate(metrics, baseline)
+    written = write_results(out_path, metrics, rows, quick)
+    lines = [render_rows(rows), f"results -> {written}"]
+    if update_baseline:
+        lines.append(
+            f"baseline -> {write_baseline(baseline_path, metrics)}"
+        )
+    ok = all(row.passed for row in rows if row.gated) or not gate
+    if gate:
+        lines.append(
+            "gate: PASS" if ok else "gate: FAIL (see failures above)"
+        )
+        if baseline is None:
+            lines.append(
+                f"note: no baseline at {baseline_path}; only hard floors "
+                "were enforced"
+            )
+    return ok, "\n".join(lines)

@@ -254,6 +254,7 @@ def check_ring(
     ring: ConsistentHashRing,
     nodes: Iterable[str] | Mapping[str, object] | None = None,
     samples: int = 256,
+    cache_audit_limit: int = 2048,
 ) -> None:
     """Validate ``ring`` structure and that keys map to live members.
 
@@ -262,7 +263,10 @@ def check_ring(
     ``samples`` deterministic probe keys all resolve to members.  When
     ``nodes`` is given (e.g. ``cluster.nodes``), the membership must be a
     subset of it -- a ring pointing at a destroyed node is the
-    misrouting bug this check exists for.
+    misrouting bug this check exists for.  Up to ``cache_audit_limit``
+    entries of the ring's lookup cache are additionally audited against
+    the cold path (a stale entry means the per-membership cache missed an
+    invalidation).
     """
     members = ring.members
     if not members:
@@ -310,6 +314,38 @@ def check_ring(
                 "ring",
                 "ring",
                 f"probe key routed to non-member {owner!r}",
+            )
+    # The lookup cache must agree with the cold path under the current
+    # membership: a stale entry (cache not invalidated on add/remove)
+    # silently misroutes every request for that key, which is exactly the
+    # bug class the per-membership cache design must never admit.
+    info = ring.cache_info()
+    if info["max_size"] and info["size"] > info["max_size"]:
+        raise InvariantViolation(
+            "ring",
+            "ring",
+            "lookup cache exceeds its configured capacity",
+            diff=_diff("cache_size", f"<= {info['max_size']}", info["size"]),
+        )
+    audited = 0
+    for key, cached_owner in ring.cached_routes().items():
+        if audited >= cache_audit_limit:
+            break
+        audited += 1
+        fresh = ring.uncached_lookup(key)
+        if cached_owner != fresh:
+            raise InvariantViolation(
+                "ring",
+                "ring",
+                f"lookup cache is stale for key {key!r}",
+                diff=_diff("owner", fresh, cached_owner),
+            )
+        if cached_owner not in members:
+            raise InvariantViolation(
+                "ring",
+                "ring",
+                f"lookup cache routes {key!r} to non-member "
+                f"{cached_owner!r}",
             )
 
 

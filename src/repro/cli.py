@@ -360,6 +360,20 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perfgate import run_gate
+
+    ok, report = run_gate(
+        quick=args.quick,
+        gate=args.gate,
+        out_path=args.out,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    print(report)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -467,6 +481,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the fault-sweep scenario under strict mode",
     )
     check.set_defaults(func=_cmd_check)
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path micro-benchmarks + performance regression gate",
+    )
+    bench.add_argument(
+        "--gate",
+        action="store_true",
+        help="enforce the regression gate (exit 1 on failure)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller problem sizes / fewer repeats (CI mode)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_PR4.json",
+        help="where to write the run's results JSON",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="benchmarks/bench_baseline.json",
+        help="committed baseline metrics to compare against",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with this run's metrics",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured digest from benchmark outputs"

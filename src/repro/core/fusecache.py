@@ -25,6 +25,7 @@ algorithms select the same multiset of timestamps.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from statistics import median_low
 from typing import Sequence
@@ -140,80 +141,106 @@ def fuse_cache_detailed(
 
     # Window of still-undecided items per list: [start[i], end[i]).
     # Items before start[i] are committed to the answer; items at or after
-    # end[i] are discarded.
+    # end[i] are discarded.  Only indices whose window is non-empty are
+    # tracked in ``active`` -- exhausted lists drop out of every later
+    # round instead of being re-skipped k times per round.
     start = [0] * k
     end = [len(lst) for lst in lists]
     remaining = n
+    active = [i for i in range(k) if end[i] > start[i]]
 
     # Each round discards or commits at least a quarter of the remaining
     # search space *provided the lists are sorted*; on unsorted input the
     # binary searches lie and the loop could spin, so fail loudly instead.
-    import math
-
     max_rounds = 64 + 16 * (int(math.log2(total + 1)) + 1)
 
-    while remaining > 0:
+    hotter = [0] * k
+    at_least = [0] * k
+    while remaining > 0 and active:
+        if len(active) == 1:
+            # One undecided window left: it is sorted, so the hottest
+            # ``remaining`` entries are simply its prefix.
+            start[active[0]] += remaining
+            remaining = 0
+            break
         if result.rounds >= max_rounds:
             raise ConfigurationError(
                 "FuseCache failed to converge -- input lists are "
                 "probably not sorted hottest-first"
             )
-        medians = [
-            lists[i][(start[i] + end[i] - 1) // 2]
-            for i in range(k)
-            if end[i] > start[i]
-        ]
-        if not medians:
-            break
         result.rounds += 1
+        medians = [lists[i][(start[i] + end[i] - 1) // 2] for i in active]
         mom = median_low(medians)
         result.comparisons += len(medians)
 
-        hotter = [0] * k
-        at_least = [0] * k
         count_hotter = 0
-        count_at_least = 0
-        for i in range(k):
-            if end[i] <= start[i]:
-                continue
+        for i in active:
             count, probes = _count_greater(lists[i], start[i], end[i], mom)
             hotter[i] = count
             count_hotter += count
             result.comparisons += probes
-            count_ge, probes = _count_greater_equal(
-                lists[i], start[i], end[i], mom
-            )
-            at_least[i] = count_ge
-            count_at_least += count_ge
-            result.comparisons += probes
 
         if count_hotter > remaining:
             # Too many items beat the MOM: the answer lies strictly above
-            # it, so everything at or below the MOM can be discarded.
-            for i in range(k):
+            # it, so everything at or below the MOM can be discarded (and
+            # the MOM-equal run never needs to be measured).
+            for i in active:
                 end[i] = start[i] + hotter[i]
-        elif count_at_least <= remaining:
-            # Everything at or above the MOM is certainly in the answer.
-            # Committing the MOM-equal run together with the hotter items
-            # keeps the per-round progress at >= 1/4 of the window even
-            # under heavy timestamp ties (coarse clocks make ties the
-            # common case, and committing one tie per round would
-            # degenerate to O(n) rounds).
-            for i in range(k):
-                start[i] += at_least[i]
-            remaining -= count_at_least
         else:
-            # The boundary falls inside the MOM-equal run: commit all
-            # hotter items, then MOM-equal items greedily, and finish.
-            for i in range(k):
-                start[i] += hotter[i]
-            remaining -= count_hotter
-            for i in range(k):
-                if remaining == 0:
-                    break
-                take = min(at_least[i] - hotter[i], remaining)
-                start[i] += take
-                remaining -= take
+            # Everything strictly hotter is at most the budget, so size
+            # the MOM-equal run.  The first ``hotter[i]`` window entries
+            # are already known to beat the MOM, so the second binary
+            # search only spans the remainder of the window.
+            count_at_least = count_hotter
+            for i in active:
+                count_ge, probes = _count_greater_equal(
+                    lists[i], start[i] + hotter[i], end[i], mom
+                )
+                at_least[i] = hotter[i] + count_ge
+                count_at_least += count_ge
+                result.comparisons += probes
+            if count_at_least <= remaining:
+                # Everything at or above the MOM is certainly in the
+                # answer.  Committing the MOM-equal run together with the
+                # hotter items keeps the per-round progress at >= 1/4 of
+                # the window even under heavy timestamp ties (coarse
+                # clocks make ties the common case, and committing one
+                # tie per round would degenerate to O(n) rounds).
+                for i in active:
+                    start[i] += at_least[i]
+                remaining -= count_at_least
+            else:
+                # The boundary falls inside the MOM-equal run: commit all
+                # hotter items, then MOM-equal items greedily, and finish.
+                for i in active:
+                    start[i] += hotter[i]
+                remaining -= count_hotter
+                for i in active:
+                    if remaining == 0:
+                        break
+                    take = min(at_least[i] - hotter[i], remaining)
+                    start[i] += take
+                    remaining -= take
+        active = [i for i in active if end[i] > start[i]]
+
+    # Selection soundness (O(k)): on sorted input every committed value
+    # is >= every value left behind, so the coldest committed boundary
+    # must not fall below the hottest rejected boundary.  Unsorted input
+    # makes the binary searches lie; when their window arithmetic is
+    # cross-list inconsistent this catches it even if the loop happened
+    # to terminate (the max_rounds cap only covers the spinning case).
+    committed = [
+        lists[i][start[i] - 1] for i in range(k) if start[i] > 0
+    ]
+    rejected = [
+        lists[i][start[i]] for i in range(k) if start[i] < len(lists[i])
+    ]
+    result.comparisons += len(committed) + len(rejected)
+    if committed and rejected and min(committed) < max(rejected):
+        raise ConfigurationError(
+            "FuseCache selection is inconsistent -- input lists are "
+            "probably not sorted hottest-first"
+        )
 
     result.topick = list(start)
     return result
@@ -382,8 +409,6 @@ def lower_bound_comparisons(n: int, k: int) -> float:
     Any comparison-based algorithm needs ``log2 C(n+k-1, n)`` steps, which
     simplifies to ``O(k log n)``; FuseCache is within a ``log n`` factor.
     """
-    import math
-
     if n < 0 or k < 1:
         raise ConfigurationError("need n >= 0 and k >= 1")
     return math.lgamma(n + k) / math.log(2) - (

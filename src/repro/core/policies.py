@@ -97,7 +97,31 @@ class MigrationPolicy(ABC):
         return False
 
     def multiget(self, keys: Iterable[str], now: float) -> MultigetResult:
-        """Look up a key batch; the default routes via the active ring."""
+        """Look up a key batch; the default routes via the active ring.
+
+        Served through the cluster's batched ``get_many`` fast path.
+        Hit/miss composition, ordering, and duplicate-key accounting are
+        bit-identical to :meth:`multiget_serial`.
+        """
+        assert self.cluster is not None
+        result = MultigetResult()
+        keys = list(keys)
+        for key, value in zip(keys, self.cluster.get_many(keys, now)):
+            if value is None:
+                result.misses.append(key)
+            else:
+                result.hits[key] = value
+                result.hit_count += 1
+        return result
+
+    def multiget_serial(
+        self, keys: Iterable[str], now: float
+    ) -> MultigetResult:
+        """Per-key reference implementation of :meth:`multiget`.
+
+        Kept as the equivalence oracle for the batched fast path (and
+        selectable via ``ExperimentConfig.batched_ops=False``).
+        """
         assert self.cluster is not None
         result = MultigetResult()
         for key in keys:
@@ -113,6 +137,17 @@ class MigrationPolicy(ABC):
         """Insert a DB-fetched pair into the cache (read-through fill)."""
         assert self.cluster is not None
         self.cluster.set(key, value, value_size, now)
+
+    def fill_many(
+        self, entries: Iterable[tuple[str, Any, int]], now: float
+    ) -> None:
+        """Batched read-through fill of ``(key, value, value_size)``.
+
+        Per-node insertion order follows ``entries`` order, so the cache
+        ends up bit-identical to per-pair :meth:`fill` calls.
+        """
+        assert self.cluster is not None
+        self.cluster.set_many(entries, now)
 
     # -- helpers ---------------------------------------------------------
 
@@ -395,6 +430,10 @@ class CacheScalePolicy(MigrationPolicy):
             else:
                 result.misses.append(key)
         return result
+
+    # The lookup path is inherently per-key (secondary probing with
+    # on-hit migration), so the serial and batched paths coincide.
+    multiget_serial = multiget
 
     # -- internals -------------------------------------------------------
 

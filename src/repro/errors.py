@@ -17,6 +17,17 @@ class MembershipError(ReproError):
     """A cluster-membership operation referenced an unknown or duplicate node."""
 
 
+class RingMutationError(MembershipError):
+    """Ring membership changed while a batched lookup or iteration was
+    in flight.
+
+    Raised by :meth:`~repro.hashing.ketama.ConsistentHashRing.lookup_many`
+    (and the rendezvous equivalent) when ``add_node``/``remove_node`` is
+    called mid-stream -- e.g. from a key-producing generator -- because the
+    routes computed so far would mix memberships and silently misroute.
+    """
+
+
 class MigrationError(ReproError):
     """A data-migration step could not be completed."""
 

@@ -176,6 +176,22 @@ class MemcachedCluster:
                 return override
         return self.ring.node_for_key(key)
 
+    def route_many(self, keys: list[str]) -> list[str]:
+        """Owning node per key, in order (batched :meth:`route`).
+
+        Uses the ring's cached batch lookup; rebalancer overrides are
+        honoured per key exactly as :meth:`route` does.
+        """
+        if not self._remap:
+            return self.ring.lookup_many(keys)
+        remap_get = self._remap.get
+        lookup = self.ring.node_for_key
+        owners: list[str] = []
+        for key in keys:
+            override = remap_get(key)
+            owners.append(override if override is not None else lookup(key))
+        return owners
+
     def get(self, key: str, now: float) -> Any | None:
         """Routed ``get``; ``None`` on a miss."""
         return self.nodes[self.route(key)].get(key, now)
@@ -188,14 +204,73 @@ class MemcachedCluster:
         """Routed ``delete``."""
         return self.nodes[self.route(key)].delete(key)
 
+    def get_many(
+        self, keys: Iterable[str], now: float
+    ) -> list[Any | None]:
+        """Batched routed ``get``: one value (or ``None``) per key.
+
+        Keys are routed in one batch and grouped per owning node, so the
+        per-node loop amortizes routing, stats, and metric updates.  Per-
+        node operation order follows request order, which keeps the cache
+        state bit-identical to per-op :meth:`get` calls.
+        """
+        keys = list(keys)
+        owners = self.route_many(keys)
+        groups: dict[str, list[str]] = {}
+        for key, owner in zip(keys, owners):
+            bucket = groups.get(owner)
+            if bucket is None:
+                groups[owner] = [key]
+            else:
+                bucket.append(key)
+        nodes = self.nodes
+        if len(groups) == 1:
+            return nodes[owners[0]].get_many(keys, now)
+        cursors = {
+            owner: iter(nodes[owner].get_many(bucket, now))
+            for owner, bucket in groups.items()
+        }
+        return [next(cursors[owner]) for owner in owners]
+
+    def set_many(
+        self, entries: Iterable[tuple[str, Any, int]], now: float
+    ) -> int:
+        """Batched routed ``set`` of ``(key, value, value_size)`` triples;
+        returns how many stored."""
+        entries = list(entries)
+        owners = self.route_many([entry[0] for entry in entries])
+        groups: dict[str, list[tuple[str, Any, int]]] = {}
+        for entry, owner in zip(entries, owners):
+            groups.setdefault(owner, []).append(entry)
+        return sum(
+            self.nodes[owner].set_many(batch, now)
+            for owner, batch in groups.items()
+        )
+
+    def delete_many(self, keys: Iterable[str]) -> int:
+        """Batched routed ``delete``; returns how many keys existed."""
+        keys = list(keys)
+        owners = self.route_many(keys)
+        groups: dict[str, list[str]] = {}
+        for key, owner in zip(keys, owners):
+            groups.setdefault(owner, []).append(key)
+        return sum(
+            self.nodes[owner].delete_many(batch)
+            for owner, batch in groups.items()
+        )
+
     def multiget(
         self, keys: Iterable[str], now: float
     ) -> tuple[dict[str, Any], list[str]]:
-        """The web tier's multi-get: returns ``(hits, missed_keys)``."""
+        """The web tier's multi-get: returns ``(hits, missed_keys)``.
+
+        Served through the batched :meth:`get_many` fast path; hit/miss
+        composition and ordering match the historical per-key loop.
+        """
+        keys = list(keys)
         hits: dict[str, Any] = {}
         misses: list[str] = []
-        for key in keys:
-            value = self.nodes[self.route(key)].get(key, now)
+        for key, value in zip(keys, self.get_many(keys, now)):
             if value is None:
                 misses.append(key)
             else:

@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import CapacityError
-from repro.memcached.items import Item
-from repro.memcached.slab import SlabAllocator, SlabClass
+from repro.memcached.items import ITEM_OVERHEAD, Item
+from repro.memcached.slab import PAGE_SIZE, SlabAllocator, SlabClass
 from repro.obs.metrics import NULL_METRICS
 
 
@@ -134,6 +134,134 @@ class MemcachedNode:
         if value is None:
             return None
         return value, self._table[key].cas_id
+
+    def get_many(self, keys: Iterable[str], now: float) -> list[Any | None]:
+        """Batched :meth:`get`: one value (or ``None``) per key, in order.
+
+        Behavior-identical to calling :meth:`get` per key -- the same MRU
+        moves, the same lazy expiry reclaim, the same counter totals --
+        but the per-operation Python call chain (``_live_item``,
+        ``touch``, per-op metric increments) is amortized across the
+        batch.  The equivalence tests hold the two paths bit-identical.
+        """
+        table = self._table
+        stats = self.stats
+        mrus = [slab_class.mru for slab_class in self.slabs.classes]
+        values: list[Any | None] = []
+        append = values.append
+        hits = 0
+        misses = 0
+        for key in keys:
+            item = table.get(key)
+            if item is None:
+                misses += 1
+                append(None)
+                continue
+            expires = item.expires_at
+            if expires > 0.0 and now >= expires:
+                self._unlink(item)
+                stats.expired += 1
+                misses += 1
+                append(None)
+                continue
+            item.last_access = now
+            # Inlined MRUList.move_to_front: splice the item out and
+            # re-link it at the head (sizes cancel, so the counter is
+            # untouched).  ``item.prev`` is non-None whenever the item is
+            # not already the head of a well-formed list.
+            mru = mrus[item.slab_class_id]
+            head = mru._head
+            if head is not item:
+                prev = item.prev
+                nxt = item.next
+                prev.next = nxt
+                if nxt is not None:
+                    nxt.prev = prev
+                else:
+                    mru._tail = prev
+                item.prev = None
+                item.next = head
+                head.prev = item
+                mru._head = item
+            hits += 1
+            append(item.value)
+        stats.get_hits += hits
+        stats.get_misses += misses
+        self._m_gets.inc(hits + misses)
+        return values
+
+    def set_many(
+        self, entries: Iterable[tuple[str, Any, int]], now: float
+    ) -> int:
+        """Batched TTL-less :meth:`set` of ``(key, value, value_size)``
+        triples; returns how many stored.
+
+        Amortizes slab-class resolution (one bisect per distinct item
+        size instead of one per item), CAS bookkeeping, and counter
+        updates.  Eviction takes the exact per-op path, so eviction
+        sequences are bit-identical to sequential ``set`` calls.
+        """
+        table = self._table
+        stats = self.stats
+        slabs = self.slabs
+        stored = 0
+        # total_size -> (slab class, chunks per page), resolved at most
+        # once per distinct size in the batch.
+        class_cache: dict[int, tuple[SlabClass, int]] = {}
+        for key, value, value_size in entries:
+            existing = table.get(key)
+            if existing is not None:
+                self._unlink(existing)
+            item = Item(key, value, value_size, now)
+            self._cas_counter += 1
+            item.cas_id = self._cas_counter
+            total = ITEM_OVERHEAD + len(key) + value_size
+            entry = class_cache.get(total)
+            if entry is None:
+                try:
+                    slab_class = slabs.class_for_size(total)
+                except CapacityError:
+                    stats.too_large += 1
+                    continue
+                entry = (slab_class, PAGE_SIZE // slab_class.chunk_size)
+                class_cache[total] = entry
+            slab_class, chunks_per_page = entry
+            if slab_class.used_chunks < slab_class.pages * chunks_per_page:
+                # Fast path: a free chunk already exists in the class.
+                slab_class.used_chunks += 1
+            elif self._make_room(item) is None:
+                continue
+            item.slab_class_id = slab_class.class_id
+            # Inlined MRUList.push_front (the item is freshly built and
+            # unlinked).
+            mru = slab_class.mru
+            head = mru._head
+            item.next = head
+            if head is not None:
+                head.prev = item
+            else:
+                mru._tail = item
+            mru._head = item
+            mru._size += 1
+            table[key] = item
+            stored += 1
+        stats.sets += stored
+        self._m_sets.inc(stored)
+        return stored
+
+    def delete_many(self, keys: Iterable[str]) -> int:
+        """Batched :meth:`delete`; returns how many keys were present."""
+        table = self._table
+        deleted = 0
+        for key in keys:
+            item = table.get(key)
+            if item is None:
+                continue
+            self._unlink(item)
+            deleted += 1
+        self.stats.deletes += deleted
+        self._m_deletes.inc(deleted)
+        return deleted
 
     def contains(self, key: str) -> bool:
         """True if ``key`` is cached (no MRU side effects)."""

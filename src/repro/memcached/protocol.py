@@ -9,7 +9,18 @@ or a client library would drive real Memcached:
 
 Supported commands: ``get``/``gets`` (multi-key), ``set``/``add``/
 ``replace``/``append``/``prepend``/``cas``, ``delete``, ``incr``/``decr``,
-``touch``, ``flush_all``, ``stats`` (+ ``stats slabs``), ``version``.
+``touch``, ``flush_all``, ``stats`` (+ ``stats slabs``), ``version``, plus
+the paper's two custom migration commands (Section V-A1):
+
+- ``ts_dump <class_id>`` -- the *timestamp dump*: streams
+  ``TS <key> <last_access>`` for every item of one slab class in MRU
+  order, terminated by ``END``;
+- ``batch_import <mode> <count>`` -- the *batch import*: expects
+  ``count`` item blocks, each a ``<key> <last_access> <size>`` header
+  line followed by ``size`` payload bytes, and installs them via
+  :meth:`~repro.memcached.node.MemcachedNode.batch_import`, answering
+  ``IMPORTED <n>``.  A malformed header or data chunk aborts the whole
+  batch with ``CLIENT_ERROR`` (nothing is imported).
 
 The parser is incremental: :meth:`TextProtocolServer.feed` accepts
 arbitrary byte chunks and returns whatever complete responses they
@@ -23,10 +34,25 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.memcached.node import MemcachedNode
+from repro.memcached.node import MemcachedNode, MigratedItem
 
 CRLF = b"\r\n"
 MAX_KEY_LENGTH = 250
+
+IMPORT_MODES = frozenset({"merge", "prepend", "fresh"})
+
+
+class _ImportState:
+    """Parser state for one in-flight ``batch_import`` command."""
+
+    __slots__ = ("mode", "remaining", "records", "header")
+
+    def __init__(self, mode: str, count: int) -> None:
+        self.mode = mode
+        self.remaining = count
+        self.records: list[MigratedItem] = []
+        # (key, last_access, size) of the item whose payload is awaited.
+        self.header: tuple[str, float, int] | None = None
 
 STORAGE_COMMANDS = frozenset(
     {"set", "add", "replace", "append", "prepend", "cas"}
@@ -54,6 +80,8 @@ class TextProtocolServer:
         # When a storage command header has been read, this holds
         # (command line parts, payload bytes expected).
         self._pending: tuple[list[str], int] | None = None
+        # In-flight batch_import command, if any.
+        self._import: _ImportState | None = None
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -78,12 +106,39 @@ class TextProtocolServer:
                 else:
                     responses.append(self._store(parts, payload))
                 continue
+            if self._import is not None and self._import.header is not None:
+                key, last_access, size = self._import.header
+                if len(self._buffer) < size + 2:
+                    break
+                payload = self._buffer[:size]
+                trailer = self._buffer[size : size + 2]
+                self._buffer = self._buffer[size + 2 :]
+                state = self._import
+                if trailer != CRLF:
+                    self._import = None
+                    responses.append(b"CLIENT_ERROR bad data chunk" + CRLF)
+                    continue
+                state.header = None
+                state.records.append(
+                    MigratedItem(
+                        key=key,
+                        value=(0, payload),
+                        value_size=size,
+                        last_access=last_access,
+                    )
+                )
+                if state.remaining == 0:
+                    responses.append(self._finish_import(state))
+                continue
             line_end = self._buffer.find(CRLF)
             if line_end < 0:
                 break
             line = self._buffer[:line_end].decode("utf-8", "replace")
             self._buffer = self._buffer[line_end + 2 :]
-            response = self._dispatch(line)
+            if self._import is not None:
+                response = self._import_header_line(line)
+            else:
+                response = self._dispatch(line)
             if response is not None:
                 responses.append(response)
         return b"".join(responses)
@@ -305,3 +360,76 @@ class TextProtocolServer:
         )
         chunks.append(b"END" + CRLF)
         return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    # Paper-custom migration commands (Section V-A1)
+    # ------------------------------------------------------------------
+
+    def _cmd_ts_dump(self, args: list[str]) -> bytes:
+        if len(args) != 1:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        try:
+            class_id = int(args[0])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if not 0 <= class_id < len(self.node.slabs.classes):
+            return b"CLIENT_ERROR unknown slab class" + CRLF
+        chunks = [
+            f"TS {key} {last_access}".encode("utf-8") + CRLF
+            for key, last_access in self.node.dump_timestamps(class_id)
+        ]
+        chunks.append(b"END" + CRLF)
+        return b"".join(chunks)
+
+    def _cmd_batch_import(self, args: list[str]) -> bytes | None:
+        if len(args) != 2:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        mode = args[0]
+        if mode not in IMPORT_MODES:
+            return b"CLIENT_ERROR unknown import mode" + CRLF
+        try:
+            count = int(args[1])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if count < 0:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if count == 0:
+            return b"IMPORTED 0" + CRLF
+        self._import = _ImportState(mode, count)
+        return None
+
+    def _import_header_line(self, line: str) -> bytes | None:
+        """Parse one ``<key> <last_access> <size>`` item header."""
+        state = self._import
+        assert state is not None
+        parts = line.split()
+        if len(parts) != 3 or len(parts[0]) > MAX_KEY_LENGTH:
+            self._import = None
+            return b"CLIENT_ERROR bad item header" + CRLF
+        try:
+            last_access = float(parts[1])
+            size = int(parts[2])
+        except ValueError:
+            self._import = None
+            return b"CLIENT_ERROR bad item header" + CRLF
+        if size < 0:
+            self._import = None
+            return b"CLIENT_ERROR bad item header" + CRLF
+        state.remaining -= 1
+        state.header = (parts[0], last_access, size)
+        return None
+
+    def _finish_import(self, state: _ImportState) -> bytes:
+        self._import = None
+        records = state.records
+        seen: set[str] = set()
+        for record in records:
+            if record.key in seen:
+                return (
+                    f"CLIENT_ERROR duplicate key in batch: {record.key}"
+                ).encode("utf-8") + CRLF
+            seen.add(record.key)
+        imported = self.node.batch_import(
+            records, mode=state.mode, now=self.clock()
+        )
+        return f"IMPORTED {imported}".encode("utf-8") + CRLF

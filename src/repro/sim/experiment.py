@@ -105,6 +105,11 @@ class ExperimentConfig:
     # corrupted LRU list / slab count / ring raises InvariantViolation
     # instead of silently distorting the results.
     strict_checks: bool = False
+    # Serve multi-gets and read-through fills via the cluster's batched
+    # fast paths (get_many/set_many).  ``False`` selects the per-op
+    # reference path; both produce bit-identical caches, stats, and
+    # telemetry (tests/test_batch_equivalence.py holds this).
+    batched_ops: bool = True
 
     def trace_object(self) -> RateTrace:
         """The demand trace, resolved from a registry name if needed."""
@@ -177,10 +182,9 @@ def build_stack(config: ExperimentConfig):
         weights = lognormal_node_weights(
             names, config.node_bias_sigma, seed=config.seed + 4
         )
-        owners = [
-            cluster.route(dataset.keyspace.key(i))
-            for i in range(config.num_keys)
-        ]
+        owners = cluster.route_many(
+            dataset.keyspace.keys_for(range(config.num_keys))
+        )
         popularity = NodeBiasedPopularity(
             popularity, owners, weights, seed=config.seed + 1
         )
@@ -238,11 +242,16 @@ def prefill_cluster(
     order = popularity.rank_order()[::-1]  # coldest first
     spacing = 0.001
     start = end_time - spacing * len(order)
-    keyspace = dataset.keyspace
-    for position, index in enumerate(order):
-        key = keyspace.key(int(index))
-        value, value_size = dataset.store.get(key)
-        cluster.set(key, value, value_size, start + spacing * position)
+    keys = dataset.keyspace.keys_for(order)
+    # Each item carries its own timestamp (that is the point of the
+    # prefill), so this stays a per-item set; key materialization and
+    # routing are still batched.
+    owners = cluster.route_many(keys)
+    nodes = cluster.nodes
+    store_get = dataset.store.get
+    for position, (key, owner) in enumerate(zip(keys, owners)):
+        value, value_size = store_get(key)
+        nodes[owner].set(key, value, value_size, start + spacing * position)
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -293,6 +302,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         latency=config.latency,
         seed=config.seed,
         key_observer=observer,
+        batched_ops=config.batched_ops,
     )
     schedule = ScheduledScalingPolicy(config.schedule)
     metrics = MetricsCollector()

@@ -60,13 +60,11 @@ class RequestGenerator:
         if count == 0:
             return []
         indices = self.popularity.sample(count * self.items_per_request)
-        keyspace = self.dataset.keyspace
-        keys = [keyspace.key(int(i)) for i in indices]
+        keys = self.dataset.keyspace.keys_for(indices)
         step = self.items_per_request
         return [keys[i : i + step] for i in range(0, len(keys), step)]
 
     def key_stream(self, total_keys: int) -> list[str]:
         """A flat stream of ``total_keys`` requested keys (for profiling)."""
         indices = self.popularity.sample(total_keys)
-        keyspace = self.dataset.keyspace
-        return [keyspace.key(int(i)) for i in indices]
+        return self.dataset.keyspace.keys_for(indices)

@@ -7,6 +7,7 @@ value-size distributions.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,6 +16,13 @@ from repro.database.kvstore import BackingStore
 from repro.errors import ConfigurationError
 from repro.memcached.items import ITEM_OVERHEAD
 from repro.workloads.valuesize import KEY_LENGTH, GeneralizedParetoSizes
+
+
+# Key spaces at or below this size precompute the full index -> key-string
+# table on first batched use; per-sample f-string formatting dominates the
+# request-generation hot loop otherwise.  Above the limit (the paper-scale
+# 19M-key dataset) the table would cost ~GBs, so fall back to formatting.
+KEY_TABLE_LIMIT = 4_000_000
 
 
 class KeySpace:
@@ -28,12 +36,34 @@ class KeySpace:
                 f"too many keys for {KEY_LENGTH}-byte keys"
             )
         self.num_keys = num_keys
+        self._key_table: list[str] | None = None
 
     def key(self, index: int) -> str:
         """The key string for ``index`` (always 11 bytes)."""
         if not 0 <= index < self.num_keys:
             raise IndexError(f"key index {index} out of range")
         return f"k{index:0{KEY_LENGTH - 1}d}"
+
+    def materialize(self) -> list[str]:
+        """The full index -> key table, built once and cached."""
+        table = self._key_table
+        if table is None:
+            width = KEY_LENGTH - 1
+            table = [f"k{i:0{width}d}" for i in range(self.num_keys)]
+            self._key_table = table
+        return table
+
+    def keys_for(self, indices: Iterable[int]) -> list[str]:
+        """Key strings for a batch of indices (the generator hot path).
+
+        Identical output to calling :meth:`key` per index; small key
+        spaces are served from the cached key table.
+        """
+        if self.num_keys <= KEY_TABLE_LIMIT:
+            table = self.materialize()
+            return [table[index] for index in indices]
+        key = self.key
+        return [key(int(index)) for index in indices]
 
     def index(self, key: str) -> int:
         """Inverse of :meth:`key`."""

@@ -171,6 +171,51 @@ def test_empty_ring_is_caught():
         check_ring(ring)
 
 
+def test_warm_lookup_cache_passes_audit():
+    ring = ConsistentHashRing(["a", "b", "c"])
+    ring.lookup_many([f"key-{i}" for i in range(500)])
+    check_ring(ring)
+
+
+def test_stale_cache_entry_is_caught():
+    """A cache entry that survived a membership change must be flagged."""
+    ring = ConsistentHashRing(["a", "b", "c"])
+    keys = [f"key-{i}" for i in range(200)]
+    ring.lookup_many(keys)
+    victim = next(
+        key for key in keys if ring.node_for_key(key) != "a"
+    )
+    ring._cache[victim] = "a"  # simulate a missed invalidation
+    with pytest.raises(InvariantViolation) as excinfo:
+        check_ring(ring)
+    assert "stale" in str(excinfo.value)
+    assert excinfo.value.diff["owner"]["actual"] == "a"
+
+
+def test_overfull_lookup_cache_is_caught():
+    ring = ConsistentHashRing(["a", "b"], lookup_cache_size=4)
+    for index in range(20):
+        key = f"key-{index}"
+        ring._cache[key] = ring.uncached_lookup(key)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check_ring(ring)
+    assert "capacity" in str(excinfo.value)
+
+
+def test_cache_audit_limit_bounds_the_scan():
+    """The audit must stop at ``cache_audit_limit`` entries."""
+    ring = ConsistentHashRing(["a", "b", "c"])
+    keys = [f"key-{i}" for i in range(100)]
+    ring.lookup_many(keys)
+    # Poison one entry; with a zero audit budget the check cannot see it.
+    ring._cache[keys[0]] = (
+        "b" if ring.uncached_lookup(keys[0]) != "b" else "c"
+    )
+    check_ring(ring, cache_audit_limit=0)
+    with pytest.raises(InvariantViolation):
+        check_ring(ring, cache_audit_limit=len(keys))
+
+
 def test_remap_fraction_on_removal():
     members = [f"node-{i:03d}" for i in range(5)]
     fraction = check_ring_remap(members, remove=members[2])

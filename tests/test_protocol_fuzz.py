@@ -26,6 +26,8 @@ KNOWN_REPLIES = (
     b"END",
     b"VERSION",
     b"STAT",
+    b"TS",
+    b"IMPORTED",
 )
 
 
@@ -47,6 +49,12 @@ command_lines = st.one_of(
     st.builds(lambda k: f"delete {k}", keys),
     st.builds(lambda k, d: f"incr {k} {d}", keys, st.integers(0, 100)),
     st.builds(lambda k, t: f"touch {k} {t}", keys, st.integers(0, 50)),
+    st.builds(lambda c: f"ts_dump {c}", st.integers(-2, 60)),
+    st.builds(
+        lambda m, c: f"batch_import {m} {c}",
+        st.sampled_from(["merge", "prepend", "fresh", "bogus"]),
+        st.integers(-1, 3),
+    ),
     st.just("stats"),
     st.just("version"),
     st.just("flush_all"),
@@ -107,3 +115,118 @@ def test_responses_start_with_known_tokens(lines):
         assert any(
             first.startswith(reply) for reply in KNOWN_REPLIES
         ), first
+
+
+# ---------------------------------------------------------------------------
+# ts_dump / batch_import (the migration wire commands added in PR 4)
+# ---------------------------------------------------------------------------
+
+
+def import_wire(mode: str, records) -> bytes:
+    """Encode a batch_import exchange: header line + per-record frames."""
+    wire = f"batch_import {mode} {len(records)}".encode() + b"\r\n"
+    for key, last_access, payload in records:
+        wire += f"{key} {last_access} {len(payload)}".encode() + b"\r\n"
+        wire += payload + b"\r\n"
+    return wire
+
+
+import_records = st.lists(
+    st.tuples(
+        keys,
+        st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+        st.binary(min_size=0, max_size=60),
+    ),
+    max_size=8,
+    unique_by=lambda record: record[0],
+)
+
+
+@given(
+    import_records,
+    st.sampled_from(["merge", "prepend", "fresh"]),
+    st.integers(1, 9),
+)
+@settings(max_examples=100, deadline=None)
+def test_batch_import_roundtrip_any_chunking(records, mode, chunk_size):
+    """Well-formed imports succeed whole, regardless of byte chunking."""
+    server = make_server()
+    wire = import_wire(mode, records)
+    responses = b""
+    for start in range(0, len(wire), chunk_size):
+        responses += server.feed(wire[start : start + chunk_size])
+    assert f"IMPORTED {len(records)}".encode() + b"\r\n" in responses
+    for key, _, _ in records:
+        assert server.node.contains(key)
+
+
+@given(import_records.filter(lambda r: len(r) >= 1))
+@settings(max_examples=50, deadline=None)
+def test_batch_import_duplicate_keys_rejected_atomically(records):
+    server = make_server()
+    duplicated = records + [records[0]]
+    wire = import_wire("merge", duplicated)
+    out = server.feed(wire)
+    assert b"CLIENT_ERROR duplicate key in batch" in out
+    assert b"IMPORTED" not in out
+    assert len(server.node) == 0  # nothing from the batch was installed
+
+
+def test_batch_import_empty_batch():
+    server = make_server()
+    assert server.execute("batch_import merge 0") == b"IMPORTED 0\r\n"
+    assert len(server.node) == 0
+
+
+def test_batch_import_rejects_bad_mode_and_count():
+    server = make_server()
+    assert b"CLIENT_ERROR" in server.execute("batch_import sideways 2")
+    assert b"CLIENT_ERROR" in server.execute("batch_import merge -3")
+    assert b"CLIENT_ERROR" in server.execute("batch_import merge many")
+    assert b"CLIENT_ERROR" in server.execute("batch_import merge")
+    # None of the malformed headers left the parser in import mode.
+    assert server.execute("version").startswith(b"VERSION")
+
+
+@given(st.integers(-5, -1))
+@settings(max_examples=20, deadline=None)
+def test_batch_import_malformed_item_size_aborts(bad_size):
+    server = make_server()
+    wire = b"batch_import merge 2\r\n"
+    wire += f"alpha 1.0 {bad_size}".encode() + b"\r\n"
+    out = server.feed(wire)
+    assert b"CLIENT_ERROR bad item header" in out
+    assert len(server.node) == 0
+    assert server.execute("version").startswith(b"VERSION")
+
+
+def test_batch_import_bad_data_trailer_aborts():
+    server = make_server()
+    wire = b"batch_import merge 1\r\n" + b"alpha 1.0 4\r\n" + b"abcdXY"
+    out = server.feed(wire)
+    assert b"CLIENT_ERROR bad data chunk" in out
+    assert len(server.node) == 0
+
+
+@given(st.lists(st.tuples(keys, st.binary(max_size=30)), max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_ts_dump_reflects_stored_items(pairs):
+    server = make_server()
+    for key, payload in dict(pairs).items():
+        server.execute(f"set {key} 0 0 {len(payload)}", payload)
+    seen = set()
+    for class_id in range(len(server.node.slabs.classes)):
+        out = server.execute(f"ts_dump {class_id}")
+        assert out.endswith(b"END\r\n")
+        for line in out.splitlines():
+            if line.startswith(b"TS "):
+                seen.add(line.split()[1].decode())
+    assert seen == set(dict(pairs))
+
+
+def test_ts_dump_rejects_bad_class():
+    server = make_server()
+    assert b"CLIENT_ERROR" in server.execute("ts_dump -1")
+    assert b"CLIENT_ERROR" in server.execute("ts_dump 9999")
+    assert b"CLIENT_ERROR" in server.execute("ts_dump about")
+    assert b"CLIENT_ERROR" in server.execute("ts_dump")
