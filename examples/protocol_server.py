@@ -1,89 +1,72 @@
 #!/usr/bin/env python3
 """Serving the Memcached text protocol over a real TCP socket.
 
-Starts one simulated Memcached node behind the ASCII protocol on a local
-port, then talks to it with a raw socket client -- the same bytes
-``telnet`` or ``libmemcached`` would exchange with real Memcached.
+Boots one simulated Memcached node behind an asyncio server
+(:mod:`repro.net`) on a local port, then talks to it with the pooled,
+pipelining :class:`~repro.net.client.NodeClient` -- the same stack the
+``repro serve`` / ``repro live-migrate`` commands and the live socket
+migration use.  Raw exchanges are shown with ``NodeClient.execute`` so
+the wire bytes stay visible, then the typed API pipelines a small batch
+and peeks at the ElMem migration commands.
 
 Run with:  python examples/protocol_server.py
-(``--smoke`` runs the same exchange with tight socket timeouts and no
-inter-command sleeps, so CI and `make examples` can never hang on it.)
+(``--smoke`` runs the same exchange with tight timeouts so CI and
+`make examples` can never hang on it.)
 """
 
-import socket
 import sys
-import threading
-import time
 
-from repro.memcached.node import MemcachedNode
-from repro.memcached.protocol import TextProtocolServer
+from repro.net import LiveClusterHarness, NodeClient
+from repro.net.runtime import EventLoopThread
 
 SMOKE = "--smoke" in sys.argv
-SOCKET_TIMEOUT_S = 5.0
-COMMAND_PAUSE_S = 0.001 if SMOKE else 0.02
-
-
-def serve_one_connection(listener: socket.socket) -> None:
-    """Accept a single client and pump it through the protocol handler."""
-    node = MemcachedNode("tcp-node", 16 << 20)
-    handler = TextProtocolServer(node, clock=time.monotonic)
-    try:
-        connection, _ = listener.accept()
-    except TimeoutError:
-        return
-    connection.settimeout(SOCKET_TIMEOUT_S)
-    with connection:
-        while True:
-            try:
-                data = connection.recv(4096)
-            except (TimeoutError, OSError):
-                break
-            if not data:
-                break
-            response = handler.feed(data)
-            if response:
-                connection.sendall(response)
+TIMEOUT_S = 5.0 if SMOKE else 30.0
 
 
 def main() -> None:
-    listener = socket.create_server(("127.0.0.1", 0))
-    listener.settimeout(SOCKET_TIMEOUT_S)
-    port = listener.getsockname()[1]
-    print(f"memcached-model listening on 127.0.0.1:{port}")
-    server = threading.Thread(
-        target=serve_one_connection, args=(listener,), daemon=True
-    )
-    server.start()
+    with LiveClusterHarness(["tcp-node"], 16 << 20) as harness:
+        host, port = harness.endpoints["tcp-node"]
+        print(f"memcached-model listening on {host}:{port}")
+        with EventLoopThread(name="example-client") as loop:
+            client = NodeClient(
+                "tcp-node", host, port, timeout_s=TIMEOUT_S
+            )
 
-    client = socket.create_connection(
-        ("127.0.0.1", port), timeout=SOCKET_TIMEOUT_S
-    )
+            def raw(command: str, payload: bytes | None = None) -> bytes:
+                return loop.call(
+                    client.execute(command, payload), timeout=TIMEOUT_S
+                )
 
-    def command(text: str, payload: bytes | None = None) -> bytes:
-        wire = text.encode() + b"\r\n"
-        if payload is not None:
-            wire += payload + b"\r\n"
-        client.sendall(wire)
-        time.sleep(COMMAND_PAUSE_S)
-        return client.recv(65536)
+            print(">> set greeting 0 0 13 / 'Hello, world!'")
+            print("<<", raw("set greeting 0 0 13", b"Hello, world!"))
+            print(">> get greeting")
+            print("<<", raw("get greeting"))
+            print(">> incr is rejected on text")
+            print("<<", raw("incr greeting 1"))
+            print(">> set counter 0 0 2 / '41'")
+            print("<<", raw("set counter 0 0 2", b"41"))
+            print(">> incr counter 1")
+            print("<<", raw("incr counter 1"))
 
-    print(">> set greeting 0 0 13 / 'Hello, world!'")
-    print("<<", command("set greeting 0 0 13", b"Hello, world!"))
-    print(">> get greeting")
-    print("<<", command("get greeting"))
-    print(">> incr is rejected on text")
-    print("<<", command("incr greeting 1"))
-    print(">> set counter 0 0 2 / '41'")
-    print("<<", command("set counter 0 0 2", b"41"))
-    print(">> incr counter 1")
-    print("<<", command("incr counter 1"))
-    print(">> stats (excerpt)")
-    stats = command("stats").decode()
-    for line in stats.splitlines()[:6]:
-        print("<<", line)
-    client.close()
-    server.join(timeout=SOCKET_TIMEOUT_S)
-    listener.close()
+            print(">> pipelined set_many of 8 keys (one write, one read)")
+            stored = loop.call(
+                client.set_many(
+                    (f"bulk-{i}", i, b"x" * 32) for i in range(8)
+                ),
+                timeout=TIMEOUT_S,
+            )
+            print(f"<< STORED x{stored}")
+
+            print(">> ts_dump 0 (migration metadata, excerpt)")
+            rows = loop.call(client.ts_dump(0), timeout=TIMEOUT_S)
+            for key, last_access, size in rows[:3]:
+                print(f"<< TS {key} {last_access} {size}")
+
+            print(">> stats (excerpt)")
+            stats = raw("stats").decode()
+            for line in stats.splitlines()[:6]:
+                print("<<", line)
+            loop.call(client.close(), timeout=TIMEOUT_S)
     print("done.")
 
 

@@ -19,7 +19,7 @@ past its committed baseline by more than its tolerance.  Absolute ops/sec
 numbers are recorded for information but only softly compared, because CI
 machines vary.
 
-Results are written to ``BENCH_PR4.json``; the committed reference lives
+Results are written to ``BENCH_latest.json``; the committed reference lives
 in ``benchmarks/bench_baseline.json`` (refresh with ``--update-baseline``).
 """
 
@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 DEFAULT_BASELINE_PATH = "benchmarks/bench_baseline.json"
-DEFAULT_OUT_PATH = "BENCH_PR4.json"
+DEFAULT_OUT_PATH = "BENCH_latest.json"
 
 RESULT_VERSION = 1
 
@@ -411,7 +411,7 @@ def write_results(
     rows: list[GateRow],
     quick: bool,
 ) -> Path:
-    """Persist one run (``BENCH_PR4.json``)."""
+    """Persist one run (``BENCH_latest.json``)."""
     path = Path(path)
     payload = {
         "version": RESULT_VERSION,

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``):
     python -m repro mrc --requests 100000 --profiler mimir
     python -m repro cost
     python -m repro check src/repro
+    python -m repro serve --nodes 4 --port 11300
+    python -m repro live-migrate --nodes 4 --retire 1
 
 Every subcommand prints a human-readable report to stdout; ``run`` can
 additionally export the per-second metrics as CSV/JSON.
@@ -360,6 +362,86 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.memcached.slab import PAGE_SIZE
+    from repro.net import LiveClusterHarness
+
+    names = [f"live-{index:02d}" for index in range(args.nodes)]
+    harness = LiveClusterHarness(
+        names,
+        memory_per_node=args.memory_mb * PAGE_SIZE,
+        host=args.host,
+        port_base=args.port,
+    )
+    with harness:
+        print(f"live cluster up ({args.nodes} nodes):")
+        for name, (host, port) in sorted(harness.endpoints.items()):
+            print(f"  {name}  {host}:{port}")
+        try:
+            if args.duration is not None:
+                print(f"serving for {args.duration:.0f}s...")
+                time.sleep(args.duration)
+            else:
+                print("serving; Ctrl-C to stop")
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    print("stopped.")
+    return 0
+
+
+def _cmd_live_migrate(args: argparse.Namespace) -> int:
+    from repro.memcached.slab import PAGE_SIZE
+    from repro.net import run_live_migration
+
+    print(
+        f"live scale-in: {args.nodes} nodes -> retire {args.retire}, "
+        f"{args.items} items over localhost TCP..."
+    )
+    result = run_live_migration(
+        nodes=args.nodes,
+        retire=args.retire,
+        items=args.items,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+        memory_per_node=args.memory_mb * PAGE_SIZE,
+        verify=not args.no_verify,
+        timeout_s=args.timeout,
+    )
+    print(
+        f"  outcome      {result.outcome} "
+        f"({result.completed_pairs} pairs, "
+        f"{result.failed_flows} failed flows)"
+    )
+    print(f"  retired      {', '.join(result.retired)}")
+    print(f"  membership   {', '.join(result.membership_after)}")
+    print(
+        f"  items        {result.items_seeded} seeded, "
+        f"{result.items_exported} exported, "
+        f"{result.items_imported} imported"
+    )
+    print(f"  wall clock   {result.wall_seconds:.2f}s")
+    if result.verified is None:
+        print("  equivalence  skipped (--no-verify)")
+    elif result.verified:
+        print("  equivalence  OK: contents byte-identical to the "
+              "in-process migration")
+    else:
+        print(
+            "  equivalence  MISMATCH on "
+            f"{', '.join(result.mismatched_nodes)}"
+        )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"  wrote {args.json}")
+    ok = result.warm and result.verified is not False
+    return 0 if ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.perfgate import run_gate
 
@@ -482,6 +564,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.set_defaults(func=_cmd_check)
 
+    serve = sub.add_parser(
+        "serve",
+        help="boot a live asyncio Memcached cluster on localhost",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=4, help="node servers to boot"
+    )
+    serve.add_argument(
+        "--memory-mb", type=int, default=8, help="cache MB per node"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="base port (node i listens on port+i); 0 picks free ports",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then exit (default: until Ctrl-C)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    live = sub.add_parser(
+        "live-migrate",
+        help="scripted scale-in over localhost TCP (three-phase, warm)",
+    )
+    live.add_argument(
+        "--nodes", type=int, default=4, help="node servers to boot"
+    )
+    live.add_argument(
+        "--retire", type=int, default=1, help="nodes to scale in"
+    )
+    live.add_argument(
+        "--items", type=int, default=2000, help="items to seed"
+    )
+    live.add_argument(
+        "--value-bytes", type=int, default=64, help="payload size per item"
+    )
+    live.add_argument("--seed", type=int, default=7, help="workload seed")
+    live.add_argument(
+        "--memory-mb", type=int, default=8, help="cache MB per node"
+    )
+    live.add_argument(
+        "--timeout", type=float, default=5.0, help="client timeout seconds"
+    )
+    live.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the in-process equivalence replay",
+    )
+    live.add_argument(
+        "--json", default=None, help="write the result summary to a file"
+    )
+    live.set_defaults(func=_cmd_live_migrate)
+
     bench = sub.add_parser(
         "bench",
         help="hot-path micro-benchmarks + performance regression gate",
@@ -498,7 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR4.json",
+        default="BENCH_latest.json",
         help="where to write the run's results JSON",
     )
     bench.add_argument(

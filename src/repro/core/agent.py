@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.core.interfaces import CacheNode
 from repro.hashing.ketama import ConsistentHashRing
-from repro.memcached.node import MemcachedNode, MigratedItem
+from repro.memcached.node import MigratedItem
 
 TIMESTAMP_BYTES = 10
 """Bytes per serialized MRU timestamp in a metadata dump (paper III-D1)."""
@@ -20,7 +21,7 @@ TIMESTAMP_BYTES = 10
 class Agent:
     """Migration agent co-located with one Memcached node."""
 
-    def __init__(self, node: MemcachedNode) -> None:
+    def __init__(self, node: CacheNode) -> None:
         self.node = node
 
     @property

@@ -29,9 +29,15 @@ from typing import TYPE_CHECKING
 
 from repro.core.agent import Agent
 from repro.core.fusecache import fuse_cache_detailed
+from repro.core.interfaces import CacheCluster
 from repro.core.retry import RetryPolicy
 from repro.core.scoring import choose_nodes_to_retire
-from repro.errors import ConfigurationError, MigrationAbortedError, MigrationError
+from repro.errors import (
+    ConfigurationError,
+    MigrationAbortedError,
+    MigrationError,
+    TransportError,
+)
 from repro.memcached.cluster import MemcachedCluster
 from repro.netsim.transfer import Flow, NetworkModel
 from repro.obs import NULL_SPAN, NULL_TELEMETRY, Telemetry
@@ -227,7 +233,7 @@ class Master:
 
     def __init__(
         self,
-        cluster: MemcachedCluster,
+        cluster: CacheCluster,
         network: NetworkModel | None = None,
         import_mode: str = "merge",
         dump_rate_items_s: float = 100_000.0,
@@ -262,6 +268,12 @@ class Master:
         self.strict_mode = strict_mode
         self.strict_checker = None
         if strict_mode:
+            if not isinstance(cluster, MemcachedCluster):
+                raise ConfigurationError(
+                    "strict_mode requires an in-process MemcachedCluster; "
+                    "the invariant validators read private cache state a "
+                    "live cluster cannot expose"
+                )
             from repro.check.strict import StrictChecker
 
             self.strict_checker = StrictChecker(
@@ -679,8 +691,18 @@ class Master:
             node = self.cluster.nodes.get(node_name)
             if node is None:
                 continue
-            for key in keys:
-                node.delete(key)
+            try:
+                for key in keys:
+                    node.delete(key)
+            except TransportError as exc:
+                # Room-making is an optimisation; an unreachable node
+                # keeps its cold items and the migration proceeds.
+                import_span.event(
+                    "pre_delete_failed",
+                    sim_s=clock,
+                    node=node_name,
+                    error=str(exc),
+                )
         aborted = False
         for (src, dst), keys in plan.transfers.items():
             if aborted:
@@ -974,9 +996,24 @@ class Master:
         )
         if result is not None:
             clock += result.duration_s
-        migrated = src_agent.export_items(keys)
-        report.items_exported += len(migrated)
-        imported = dst_agent.import_items(migrated, mode=mode, now=clock)
+        try:
+            migrated = src_agent.export_items(keys)
+            report.items_exported += len(migrated)
+            imported = dst_agent.import_items(migrated, mode=mode, now=clock)
+        except TransportError as exc:
+            # A live (socket-backed) pair whose transport retries ran out
+            # degrades exactly like an exhausted simulated flow: record
+            # the failure and move on, because the scaling action itself
+            # must still complete.
+            report.failed_flows.append((src, dst))
+            pair_span.event("transport_failed", sim_s=clock, error=str(exc))
+            pair_span.set(outcome="failed", attempts=failures + 1)
+            pair_span.end(sim_s=clock)
+            metrics.counter(
+                "migration_transport_failures_total",
+                "Live data flows lost to exhausted transport retries",
+            ).inc()
+            return clock
         report.items_imported += imported
         clock += dst_agent.import_seconds(
             imported, self.import_rate_items_s, import_factor

@@ -16,14 +16,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.core.interfaces import CacheNode
 from repro.errors import ConfigurationError
-from repro.memcached.node import MemcachedNode
 
 COLD_TIMESTAMP = float("-inf")
 """Score used for a slab class that holds no items on a node."""
 
 
-def node_score(node: MemcachedNode, method: str = "timestamp") -> float:
+def node_score(node: CacheNode, method: str = "timestamp") -> float:
     """Weighted median-hotness score of one node.
 
     ``method="timestamp"`` uses the raw median MRU timestamp per slab
@@ -49,14 +49,14 @@ def node_score(node: MemcachedNode, method: str = "timestamp") -> float:
 
 
 def score_nodes(
-    nodes: Sequence[MemcachedNode], method: str = "timestamp"
+    nodes: Sequence[CacheNode], method: str = "timestamp"
 ) -> dict[str, float]:
     """Score every node; lower = colder = better to retire."""
     return {node.name: node_score(node, method) for node in nodes}
 
 
 def choose_nodes_to_retire(
-    nodes: Sequence[MemcachedNode],
+    nodes: Sequence[CacheNode],
     count: int,
     method: str = "timestamp",
 ) -> list[str]:
@@ -76,7 +76,7 @@ def choose_nodes_to_retire(
 
 
 def rank_nodes_by_score(
-    nodes: Sequence[MemcachedNode], method: str = "timestamp"
+    nodes: Sequence[CacheNode], method: str = "timestamp"
 ) -> list[tuple[str, float]]:
     """All nodes sorted coldest-first -- the x-axis of the paper's Fig. 7."""
     scores = score_nodes(nodes, method)

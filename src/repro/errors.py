@@ -79,6 +79,27 @@ class InvariantViolation(ReproError):
         super().__init__(detail)
 
 
+class TransportError(ReproError):
+    """A live network operation failed for good.
+
+    Raised by :mod:`repro.net` clients once a request has exhausted its
+    retry budget (connection refused/reset, stalled server past the
+    configured timeout, connection closed mid-response).  The Master
+    treats a :class:`TransportError` during phase 3 of a live migration
+    exactly like an exhausted simulated flow: the pair is recorded as a
+    failed flow and the migration degrades rather than crashing.
+    """
+
+
+class WireProtocolError(ReproError):
+    """A live node answered a request with a protocol error line.
+
+    Unlike :class:`TransportError` this is deterministic -- retrying the
+    same bytes would fail the same way -- so clients raise immediately
+    instead of burning their retry budget.
+    """
+
+
 class FaultError(ReproError):
     """An injected fault made an operation fail (node crash, flow loss)."""
 

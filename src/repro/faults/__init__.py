@@ -11,6 +11,7 @@ when to retry, skip, or degrade a migration to plain cold scaling.
 """
 
 from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.sockets import SocketFaultPolicy
 from repro.faults.spec import FAULT_KINDS, FaultSchedule, FaultSpec
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
+    "SocketFaultPolicy",
 ]

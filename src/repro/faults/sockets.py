@@ -1,0 +1,101 @@
+"""Socket-layer fault injection for the live TCP tier.
+
+The simulated injector (:mod:`repro.faults.injector`) misbehaves inside
+the simulated timeline; :class:`SocketFaultPolicy` replays the same
+declarative :class:`~repro.faults.spec.FaultSpec` vocabulary against
+real connections instead.  A :class:`~repro.net.server.NodeServer`
+consults the policy once per received chunk and applies the verdict:
+
+========================  ==================================================
+spec kind                 socket behaviour while active
+========================  ==================================================
+``node_crash``            the connection is aborted (and every later one)
+``flow_fail``             connections to the matching destination node are
+                          aborted mid-request
+``node_stall``            each chunk is delayed before it is parsed
+``flow_throttle``         same, scoped by the ``dst`` filter
+========================  ==================================================
+
+``src`` filters are ignored: at the socket layer the server only knows
+the peer's ephemeral address, not which logical node (if any) originated
+the flow.  Times are wall clock, anchored at construction (or an
+explicit ``clock``), because the live tier has no simulated timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.faults.spec import FaultSchedule, FaultSpec
+
+DispositionKind = str
+"""``"pass"``, ``"drop"``, or ``"delay"``."""
+
+DEAD_STOP_DELAY_S = 3600.0
+"""Per-chunk delay for a ``factor == 0`` stall: effectively a server
+that never answers, so clients exercise their timeout path."""
+
+
+class SocketFaultPolicy:
+    """Maps a seeded fault schedule onto live socket behaviour.
+
+    Parameters
+    ----------
+    schedule:
+        The fault campaign; ``at_s``/``duration_s`` are interpreted as
+        wall-clock seconds since the policy was anchored.
+    base_delay_s:
+        Per-chunk delay unit for stalls/throttles.  The applied delay is
+        ``base_delay_s * (1/factor - 1)`` (a ``factor`` of 0.5 doubles
+        per-chunk latency), or :data:`DEAD_STOP_DELAY_S` when the factor
+        is zero.
+    clock:
+        Zero-argument wall-clock source; defaults to
+        :func:`time.monotonic`.  Tests inject a fake to step time.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        base_delay_s: float = 0.05,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.base_delay_s = base_delay_s
+        self._clock = clock or time.monotonic
+        self._anchor = self._clock()
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the policy was anchored."""
+        return self._clock() - self._anchor
+
+    def _targets(self, spec: FaultSpec, node: str) -> bool:
+        if spec.kind in ("node_crash", "node_stall"):
+            return spec.node == node
+        # Flow faults: the socket layer can only see the destination.
+        return spec.dst is None or spec.dst == node
+
+    def disposition(self, node: str) -> tuple[DispositionKind, float]:
+        """The verdict for one chunk arriving at ``node`` right now.
+
+        Returns ``("drop", 0.0)`` when the connection must be aborted,
+        ``("delay", seconds)`` when the chunk must be held back, and
+        ``("pass", 0.0)`` otherwise.  Drops win over delays.
+        """
+        now = self.elapsed()
+        delay = 0.0
+        for spec in self.schedule:
+            if not spec.active(now) or not self._targets(spec, node):
+                continue
+            if spec.kind in ("node_crash", "flow_fail"):
+                return "drop", 0.0
+            if spec.factor <= 0.0:
+                delay = max(delay, DEAD_STOP_DELAY_S)
+            else:
+                delay = max(
+                    delay, self.base_delay_s * (1.0 / spec.factor - 1.0)
+                )
+        if delay > 0.0:
+            return "delay", delay
+        return "pass", 0.0

@@ -13,14 +13,23 @@ Supported commands: ``get``/``gets`` (multi-key), ``set``/``add``/
 the paper's two custom migration commands (Section V-A1):
 
 - ``ts_dump <class_id>`` -- the *timestamp dump*: streams
-  ``TS <key> <last_access>`` for every item of one slab class in MRU
-  order, terminated by ``END``;
+  ``TS <key> <last_access> <size>`` for every item of one slab class in
+  MRU order, terminated by ``END`` (the trailing value size lets a
+  remote planner price data flows without fetching values);
 - ``batch_import <mode> <count>`` -- the *batch import*: expects
-  ``count`` item blocks, each a ``<key> <last_access> <size>`` header
-  line followed by ``size`` payload bytes, and installs them via
+  ``count`` item blocks, each a ``<key> <last_access> <size> [flags]``
+  header line followed by ``size`` payload bytes, and installs them via
   :meth:`~repro.memcached.node.MemcachedNode.batch_import`, answering
   ``IMPORTED <n>``.  A malformed header or data chunk aborts the whole
-  batch with ``CLIENT_ERROR`` (nothing is imported).
+  batch with ``CLIENT_ERROR`` (nothing is imported);
+- ``mig_export <count>`` -- the *data export* that feeds a remote batch
+  import: expects ``count`` key lines, then streams one
+  ``ITEM <key> <flags> <last_access> <size>`` header plus ``size``
+  payload bytes per key still cached (evicted keys are silently
+  skipped, mirroring
+  :meth:`~repro.memcached.node.MemcachedNode.export_items`), terminated
+  by ``END``.  Unlike ``get``, the export does not touch MRU positions
+  or timestamps, so hotness metadata survives the move.
 
 The parser is incremental: :meth:`TextProtocolServer.feed` accepts
 arbitrary byte chunks and returns whatever complete responses they
@@ -42,6 +51,25 @@ MAX_KEY_LENGTH = 250
 IMPORT_MODES = frozenset({"merge", "prepend", "fresh"})
 
 
+def _wire_value(value: object) -> tuple[int, bytes]:
+    """Serialize a cached value as ``(flags, payload)`` for the wire.
+
+    Values stored through the protocol are always ``(flags, payload)``
+    tuples; values planted directly on the node by simulation code are
+    coerced via ``str`` so an export never crashes the connection.
+    """
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], (bytes, bytearray))
+    ):
+        flags = value[0] if isinstance(value[0], int) else 0
+        return flags, bytes(value[1])
+    if isinstance(value, (bytes, bytearray)):
+        return 0, bytes(value)
+    return 0, str(value).encode("utf-8")
+
+
 class _ImportState:
     """Parser state for one in-flight ``batch_import`` command."""
 
@@ -51,8 +79,20 @@ class _ImportState:
         self.mode = mode
         self.remaining = count
         self.records: list[MigratedItem] = []
-        # (key, last_access, size) of the item whose payload is awaited.
-        self.header: tuple[str, float, int] | None = None
+        # (key, last_access, size, flags) of the item whose payload is
+        # awaited.
+        self.header: tuple[str, float, int, int] | None = None
+
+
+class _ExportState:
+    """Parser state for one in-flight ``mig_export`` command."""
+
+    __slots__ = ("remaining", "keys")
+
+    def __init__(self, count: int) -> None:
+        self.remaining = count
+        self.keys: list[str] = []
+
 
 STORAGE_COMMANDS = frozenset(
     {"set", "add", "replace", "append", "prepend", "cas"}
@@ -82,6 +122,8 @@ class TextProtocolServer:
         self._pending: tuple[list[str], int] | None = None
         # In-flight batch_import command, if any.
         self._import: _ImportState | None = None
+        # In-flight mig_export command, if any.
+        self._export: _ExportState | None = None
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -107,7 +149,7 @@ class TextProtocolServer:
                     responses.append(self._store(parts, payload))
                 continue
             if self._import is not None and self._import.header is not None:
-                key, last_access, size = self._import.header
+                key, last_access, size, flags = self._import.header
                 if len(self._buffer) < size + 2:
                     break
                 payload = self._buffer[:size]
@@ -122,7 +164,7 @@ class TextProtocolServer:
                 state.records.append(
                     MigratedItem(
                         key=key,
-                        value=(0, payload),
+                        value=(flags, payload),
                         value_size=size,
                         last_access=last_access,
                     )
@@ -137,6 +179,8 @@ class TextProtocolServer:
             self._buffer = self._buffer[line_end + 2 :]
             if self._import is not None:
                 response = self._import_header_line(line)
+            elif self._export is not None:
+                response = self._export_key_line(line)
             else:
                 response = self._dispatch(line)
             if response is not None:
@@ -375,8 +419,11 @@ class TextProtocolServer:
         if not 0 <= class_id < len(self.node.slabs.classes):
             return b"CLIENT_ERROR unknown slab class" + CRLF
         chunks = [
-            f"TS {key} {last_access}".encode("utf-8") + CRLF
-            for key, last_access in self.node.dump_timestamps(class_id)
+            f"TS {item.key} {item.last_access} {item.value_size}".encode(
+                "utf-8"
+            )
+            + CRLF
+            for item in self.node.items_in_mru_order(class_id)
         ]
         chunks.append(b"END" + CRLF)
         return b"".join(chunks)
@@ -399,16 +446,17 @@ class TextProtocolServer:
         return None
 
     def _import_header_line(self, line: str) -> bytes | None:
-        """Parse one ``<key> <last_access> <size>`` item header."""
+        """Parse one ``<key> <last_access> <size> [flags]`` item header."""
         state = self._import
         assert state is not None
         parts = line.split()
-        if len(parts) != 3 or len(parts[0]) > MAX_KEY_LENGTH:
+        if len(parts) not in (3, 4) or len(parts[0]) > MAX_KEY_LENGTH:
             self._import = None
             return b"CLIENT_ERROR bad item header" + CRLF
         try:
             last_access = float(parts[1])
             size = int(parts[2])
+            flags = int(parts[3]) if len(parts) == 4 else 0
         except ValueError:
             self._import = None
             return b"CLIENT_ERROR bad item header" + CRLF
@@ -416,8 +464,49 @@ class TextProtocolServer:
             self._import = None
             return b"CLIENT_ERROR bad item header" + CRLF
         state.remaining -= 1
-        state.header = (parts[0], last_access, size)
+        state.header = (parts[0], last_access, size, flags)
         return None
+
+    def _cmd_mig_export(self, args: list[str]) -> bytes | None:
+        if len(args) != 1:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        try:
+            count = int(args[0])
+        except ValueError:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if count < 0:
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if count == 0:
+            return b"END" + CRLF
+        self._export = _ExportState(count)
+        return None
+
+    def _export_key_line(self, line: str) -> bytes | None:
+        """Consume one requested key of an in-flight ``mig_export``."""
+        state = self._export
+        assert state is not None
+        key = line.strip()
+        if not key or " " in key or len(key) > MAX_KEY_LENGTH:
+            self._export = None
+            return b"CLIENT_ERROR bad export key" + CRLF
+        state.keys.append(key)
+        state.remaining -= 1
+        if state.remaining > 0:
+            return None
+        self._export = None
+        return self._finish_export(state)
+
+    def _finish_export(self, state: _ExportState) -> bytes:
+        chunks: list[bytes] = []
+        for record in self.node.export_items(state.keys):
+            flags, payload = _wire_value(record.value)
+            header = (
+                f"ITEM {record.key} {flags} {record.last_access} "
+                f"{len(payload)}"
+            )
+            chunks.append(header.encode("utf-8") + CRLF + payload + CRLF)
+        chunks.append(b"END" + CRLF)
+        return b"".join(chunks)
 
     def _finish_import(self, state: _ImportState) -> bytes:
         self._import = None

@@ -1,0 +1,550 @@
+"""Asyncio Memcached client: pooled connections, pipelined requests.
+
+One :class:`NodeClient` talks to one live node.  Requests are encoded as
+:class:`_Request` objects pairing the wire bytes with an async response
+reader; a batch of requests is written in a single ``write`` (request
+pipelining) and the responses are read back in order.  Failures --
+connection refused/reset, a stalled server exceeding ``timeout_s``, a
+connection closed mid-response -- are retried with the bounded
+exponential backoff of :class:`~repro.core.retry.RetryPolicy` on a fresh
+connection, and surface as :class:`~repro.errors.TransportError` once
+the budget is exhausted.  Protocol error lines
+(``ERROR``/``CLIENT_ERROR``/``SERVER_ERROR``) are deterministic, so they
+raise :class:`~repro.errors.WireProtocolError` immediately instead.
+
+All ElMem migration commands are supported: ``ts_dump`` (timestamp
+metadata + sizes), ``mig_export`` (full KV pairs without touching MRU
+state), and ``batch_import`` (install with hotness metadata).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Iterable
+
+from repro.core.retry import RetryPolicy
+from repro.errors import TransportError, WireProtocolError
+from repro.memcached.node import MigratedItem
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+CRLF = b"\r\n"
+
+GET_BATCH_KEYS = 64
+"""Keys per multi-key ``get`` command inside a pipelined ``get_many``."""
+
+EXPORT_BATCH_KEYS = 512
+"""Keys per ``mig_export`` command inside a pipelined export."""
+
+IMPORT_BATCH_RECORDS = 1024
+"""Records per ``batch_import`` command inside a pipelined import."""
+
+_ERROR_PREFIXES = (b"ERROR", b"CLIENT_ERROR", b"SERVER_ERROR")
+
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=3, base_backoff_s=0.05, max_backoff_s=1.0
+)
+"""Default transport retry: 3 attempts, 50 ms then 100 ms backoff."""
+
+
+def _raise_on_error(line: bytes) -> bytes:
+    """Pass ``line`` through unless it is a protocol error line."""
+    for prefix in _ERROR_PREFIXES:
+        if line.startswith(prefix):
+            raise WireProtocolError(line.decode("utf-8", "replace"))
+    return line
+
+
+class _Conn:
+    """One open connection plus its framing helpers."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @property
+    def closing(self) -> bool:
+        return self.writer.is_closing()
+
+    async def read_line(self) -> bytes:
+        """One CRLF-terminated response line, terminator stripped."""
+        line = await self.reader.readuntil(CRLF)
+        return line[:-2]
+
+    async def read_payload(self, size: int) -> bytes:
+        """A sized payload plus its trailing CRLF."""
+        data = await self.reader.readexactly(size + 2)
+        if data[-2:] != CRLF:
+            raise WireProtocolError("missing CRLF after payload")
+        return data[:-2]
+
+    def abort(self) -> None:
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Response readers (one per response shape)
+# ---------------------------------------------------------------------------
+
+
+async def _read_simple(conn: _Conn) -> bytes:
+    """A single response line; protocol errors raise."""
+    return _raise_on_error(await conn.read_line())
+
+
+async def _read_values(conn: _Conn) -> dict[str, tuple[int, bytes]]:
+    """``VALUE`` blocks until ``END`` -> ``{key: (flags, payload)}``."""
+    values: dict[str, tuple[int, bytes]] = {}
+    while True:
+        line = _raise_on_error(await conn.read_line())
+        if line == b"END":
+            return values
+        parts = line.split()
+        if len(parts) < 4 or parts[0] != b"VALUE":
+            raise WireProtocolError(
+                f"unexpected line in value block: {line!r}"
+            )
+        key = parts[1].decode("utf-8")
+        flags, size = int(parts[2]), int(parts[3])
+        values[key] = (flags, await conn.read_payload(size))
+
+
+async def _read_ts(conn: _Conn) -> list[tuple[str, float, int]]:
+    """``TS`` lines until ``END`` -> ``[(key, last_access, size)]``."""
+    rows: list[tuple[str, float, int]] = []
+    while True:
+        line = _raise_on_error(await conn.read_line())
+        if line == b"END":
+            return rows
+        parts = line.split()
+        if len(parts) != 4 or parts[0] != b"TS":
+            raise WireProtocolError(f"unexpected ts_dump line: {line!r}")
+        rows.append(
+            (parts[1].decode("utf-8"), float(parts[2]), int(parts[3]))
+        )
+
+
+async def _read_items(conn: _Conn) -> list[MigratedItem]:
+    """``ITEM`` blocks until ``END`` -> migrated KV records."""
+    records: list[MigratedItem] = []
+    while True:
+        line = _raise_on_error(await conn.read_line())
+        if line == b"END":
+            return records
+        parts = line.split()
+        if len(parts) != 5 or parts[0] != b"ITEM":
+            raise WireProtocolError(f"unexpected export line: {line!r}")
+        key = parts[1].decode("utf-8")
+        flags, last_access, size = (
+            int(parts[2]),
+            float(parts[3]),
+            int(parts[4]),
+        )
+        payload = await conn.read_payload(size)
+        records.append(
+            MigratedItem(
+                key=key,
+                value=(flags, payload),
+                value_size=size,
+                last_access=last_access,
+            )
+        )
+
+
+async def _read_stats(conn: _Conn) -> dict[str, str]:
+    """``STAT`` lines until ``END`` -> ``{name: value}``."""
+    stats: dict[str, str] = {}
+    while True:
+        line = _raise_on_error(await conn.read_line())
+        if line == b"END":
+            return stats
+        parts = line.split(None, 2)
+        if len(parts) != 3 or parts[0] != b"STAT":
+            raise WireProtocolError(f"unexpected stats line: {line!r}")
+        stats[parts[1].decode("utf-8")] = parts[2].decode("utf-8")
+
+
+async def _read_sniffed(conn: _Conn) -> bytes:
+    """Raw response for :meth:`NodeClient.execute`: single line or an
+    END-terminated block, returned verbatim (errors included)."""
+    first = await conn.read_line()
+    chunks = [first + CRLF]
+    starter = first.split(b" ", 1)[0]
+    if starter not in (b"VALUE", b"ITEM", b"TS", b"STAT"):
+        return chunks[0]
+    line = first
+    while line != b"END":
+        if line.split(b" ", 1)[0] in (b"VALUE", b"ITEM"):
+            size = int(line.split()[-1])
+            chunks.append(await conn.read_payload(size) + CRLF)
+        line = await conn.read_line()
+        chunks.append(line + CRLF)
+    return b"".join(chunks)
+
+
+@dataclass(frozen=True)
+class _Request:
+    """Wire bytes plus the reader that consumes their response."""
+
+    wire: bytes
+    reader: Callable[[_Conn], Awaitable[Any]]
+
+
+def _command(text: str, payload: bytes | None = None) -> bytes:
+    wire = text.encode("utf-8") + CRLF
+    if payload is not None:
+        wire += payload + CRLF
+    return wire
+
+
+class NodeClient:
+    """Pooled, pipelining asyncio client for one live Memcached node.
+
+    Parameters
+    ----------
+    name:
+        Node name, used for telemetry labels and error messages.
+    host / port:
+        The node server's TCP endpoint.
+    pool_size:
+        Maximum concurrently open connections.
+    timeout_s:
+        Wall-clock budget per pipelined round trip (dial included).
+    retry:
+        Transport retry schedule; backoffs are real ``asyncio.sleep``
+        waits scaled by ``backoff_scale`` (tests shrink it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        pool_size: int = 2,
+        timeout_s: float = 5.0,
+        retry: RetryPolicy | None = None,
+        backoff_scale: float = 1.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.pool_size = max(1, pool_size)
+        self.timeout_s = timeout_s
+        self.retry = retry or DEFAULT_CLIENT_RETRY
+        self.backoff_scale = backoff_scale
+        self._idle: deque[_Conn] = deque()
+        self._sem = asyncio.Semaphore(self.pool_size)
+        self._closed = False
+        telemetry = telemetry or NULL_TELEMETRY
+        metrics = telemetry.metrics
+        self._m_requests = metrics.counter(
+            "net_client_requests_total",
+            "Pipelined round trips issued by live clients",
+            node=name,
+        )
+        self._m_retries = metrics.counter(
+            "net_client_retries_total",
+            "Transport retries after timeouts or connection errors",
+            node=name,
+        )
+        self._m_errors = metrics.counter(
+            "net_client_transport_errors_total",
+            "Requests abandoned after exhausting transport retries",
+            node=name,
+        )
+        self._m_depth = metrics.histogram(
+            "net_client_pipeline_depth",
+            "Commands per pipelined round trip",
+            node=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+
+    async def _dial(self) -> _Conn:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        return _Conn(reader, writer)
+
+    async def _acquire(self) -> _Conn:
+        await self._sem.acquire()
+        try:
+            while self._idle:
+                conn = self._idle.popleft()
+                if not conn.closing:
+                    return conn
+                conn.abort()
+            return await asyncio.wait_for(self._dial(), self.timeout_s)
+        except BaseException:
+            self._sem.release()
+            raise
+
+    def _release(self, conn: _Conn) -> None:
+        if self._closed or conn.closing:
+            conn.abort()
+        else:
+            self._idle.append(conn)
+        self._sem.release()
+
+    def _discard(self, conn: _Conn) -> None:
+        conn.abort()
+        self._sem.release()
+
+    async def close(self) -> None:
+        """Close every pooled connection; in-flight requests finish."""
+        self._closed = True
+        while self._idle:
+            await self._idle.popleft().close()
+
+    # ------------------------------------------------------------------
+    # Pipelined request execution with timeout + retry
+    # ------------------------------------------------------------------
+
+    async def _round_trip(
+        self, conn: _Conn, requests: list[_Request]
+    ) -> list[Any]:
+        conn.writer.write(b"".join(request.wire for request in requests))
+        await conn.writer.drain()
+        return [await request.reader(conn) for request in requests]
+
+    async def _request(self, requests: list[_Request]) -> list[Any]:
+        """Ship a pipelined batch; retry transport failures on a fresh
+        connection per the retry policy."""
+        if not requests:
+            return []
+        self._m_requests.inc()
+        self._m_depth.observe(len(requests))
+        failures = 0
+        while True:
+            conn: _Conn | None = None
+            try:
+                conn = await self._acquire()
+                results = await asyncio.wait_for(
+                    self._round_trip(conn, requests), self.timeout_s
+                )
+            except WireProtocolError:
+                # Deterministic server-side rejection: the connection's
+                # remaining responses are unparseable, drop it, but do
+                # not retry the same doomed bytes.
+                if conn is not None:
+                    self._discard(conn)
+                raise
+            except (OSError, EOFError, asyncio.TimeoutError) as exc:
+                if conn is not None:
+                    self._discard(conn)
+                failures += 1
+                if failures >= self.retry.max_attempts:
+                    self._m_errors.inc()
+                    raise TransportError(
+                        f"node {self.name!r} at "
+                        f"{self.host}:{self.port}: request failed after "
+                        f"{failures} attempt(s): {exc!r}"
+                    ) from exc
+                self._m_retries.inc()
+                await asyncio.sleep(
+                    self.retry.backoff_s(failures) * self.backoff_scale
+                )
+            else:
+                self._release(conn)
+                return results
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    async def get(self, key: str) -> tuple[int, bytes] | None:
+        """Routed ``get``; ``(flags, payload)`` or ``None`` on a miss."""
+        values = (
+            await self._request([_Request(_command(f"get {key}"), _read_values)])
+        )[0]
+        return values.get(key)
+
+    async def get_many(
+        self, keys: Iterable[str]
+    ) -> list[tuple[int, bytes] | None]:
+        """Pipelined multi-key ``get``: one value (or ``None``) per key."""
+        keys = list(keys)
+        requests = [
+            _Request(
+                _command("get " + " ".join(keys[i : i + GET_BATCH_KEYS])),
+                _read_values,
+            )
+            for i in range(0, len(keys), GET_BATCH_KEYS)
+        ]
+        merged: dict[str, tuple[int, bytes]] = {}
+        for values in await self._request(requests):
+            merged.update(values)
+        return [merged.get(key) for key in keys]
+
+    async def set(
+        self,
+        key: str,
+        payload: bytes,
+        flags: int = 0,
+        exptime: float = 0.0,
+    ) -> bool:
+        """``set``; True when stored."""
+        request = _Request(
+            _command(f"set {key} {flags} {exptime} {len(payload)}", payload),
+            _read_simple,
+        )
+        return (await self._request([request]))[0] == b"STORED"
+
+    async def set_many(
+        self, entries: Iterable[tuple[str, int, bytes]]
+    ) -> int:
+        """Pipelined ``set`` of ``(key, flags, payload)``; count stored."""
+        requests = [
+            _Request(
+                _command(
+                    f"set {key} {flags} 0 {len(payload)}", payload
+                ),
+                _read_simple,
+            )
+            for key, flags, payload in entries
+        ]
+        responses = await self._request(requests)
+        return sum(1 for response in responses if response == b"STORED")
+
+    async def delete(self, key: str) -> bool:
+        """``delete``; True when the key existed."""
+        request = _Request(_command(f"delete {key}"), _read_simple)
+        return (await self._request([request]))[0] == b"DELETED"
+
+    async def delete_many(self, keys: Iterable[str]) -> int:
+        """Pipelined ``delete``; returns how many keys existed."""
+        requests = [
+            _Request(_command(f"delete {key}"), _read_simple)
+            for key in keys
+        ]
+        responses = await self._request(requests)
+        return sum(1 for response in responses if response == b"DELETED")
+
+    async def incr(self, key: str, delta: int = 1) -> int | None:
+        """``incr``; the new value, or ``None`` when the key is absent."""
+        request = _Request(_command(f"incr {key} {delta}"), _read_simple)
+        response = (await self._request([request]))[0]
+        return None if response == b"NOT_FOUND" else int(response)
+
+    async def flush_all(self) -> None:
+        """Drop every item on the node."""
+        await self._request([_Request(_command("flush_all"), _read_simple)])
+
+    async def version(self) -> str:
+        """The server's ``version`` banner."""
+        response = (
+            await self._request([_Request(_command("version"), _read_simple)])
+        )[0]
+        return response.decode("utf-8")
+
+    async def stats(self) -> dict[str, int]:
+        """``stats`` counters, parsed to integers."""
+        raw = (
+            await self._request([_Request(_command("stats"), _read_stats)])
+        )[0]
+        return {name: int(value) for name, value in raw.items()}
+
+    async def stats_slabs(self) -> dict[str, int]:
+        """``stats slabs`` rows, parsed to integers."""
+        raw = (
+            await self._request(
+                [_Request(_command("stats slabs"), _read_stats)]
+            )
+        )[0]
+        return {name: int(value) for name, value in raw.items()}
+
+    async def execute(
+        self, command: str, payload: bytes | None = None
+    ) -> bytes:
+        """One raw command; returns the verbatim response bytes."""
+        request = _Request(_command(command, payload), _read_sniffed)
+        return (await self._request([request]))[0]
+
+    # ------------------------------------------------------------------
+    # ElMem migration commands
+    # ------------------------------------------------------------------
+
+    async def ts_dump(self, class_id: int) -> list[tuple[str, float, int]]:
+        """The timestamp dump: ``(key, last_access, value_size)`` rows in
+        MRU order for one slab class."""
+        request = _Request(_command(f"ts_dump {class_id}"), _read_ts)
+        return (await self._request([request]))[0]
+
+    async def mig_export(
+        self, keys: Iterable[str]
+    ) -> list[MigratedItem]:
+        """Fetch full KV pairs for ``keys`` without touching MRU state.
+
+        Evicted keys are silently skipped, mirroring
+        :meth:`~repro.memcached.node.MemcachedNode.export_items`.
+        """
+        keys = list(keys)
+        requests = []
+        for start in range(0, len(keys), EXPORT_BATCH_KEYS):
+            chunk = keys[start : start + EXPORT_BATCH_KEYS]
+            wire = _command(f"mig_export {len(chunk)}") + b"".join(
+                key.encode("utf-8") + CRLF for key in chunk
+            )
+            requests.append(_Request(wire, _read_items))
+        exported: list[MigratedItem] = []
+        for records in await self._request(requests):
+            exported.extend(records)
+        return exported
+
+    async def batch_import(
+        self, records: Iterable[MigratedItem], mode: str = "merge"
+    ) -> int:
+        """Install migrated pairs via ``batch_import``; count imported."""
+        records = list(records)
+        requests = []
+        for start in range(0, len(records), IMPORT_BATCH_RECORDS):
+            chunk = records[start : start + IMPORT_BATCH_RECORDS]
+            frames = [_command(f"batch_import {mode} {len(chunk)}")]
+            for record in chunk:
+                flags, payload = _wire_payload(record)
+                frames.append(
+                    _command(
+                        f"{record.key} {record.last_access} "
+                        f"{len(payload)} {flags}",
+                        payload,
+                    )
+                )
+            requests.append(_Request(b"".join(frames), _read_simple))
+        imported = 0
+        for response in await self._request(requests):
+            if not response.startswith(b"IMPORTED "):
+                raise WireProtocolError(
+                    f"unexpected batch_import reply: {response!r}"
+                )
+            imported += int(response.split()[1])
+        return imported
+
+
+def _wire_payload(record: MigratedItem) -> tuple[int, bytes]:
+    """Flags + payload bytes of one migrated record."""
+    value = record.value
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], (bytes, bytearray))
+    ):
+        flags = value[0] if isinstance(value[0], int) else 0
+        return flags, bytes(value[1])
+    if isinstance(value, (bytes, bytearray)):
+        return 0, bytes(value)
+    return 0, str(value).encode("utf-8")

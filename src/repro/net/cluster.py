@@ -1,0 +1,665 @@
+"""A synchronous cluster facade over live TCP nodes.
+
+:class:`LiveCluster` mirrors the interface of
+:class:`~repro.memcached.cluster.MemcachedCluster` -- membership
+(``provision``/``activate``/``deactivate``/``destroy``/
+``set_membership``), ketama routing with rebalancer remaps, and the
+client operations (``get``/``set``/``delete`` plus their batched
+variants) -- but every node is a :class:`RemoteNode` reached over a
+socket instead of an in-process :class:`~repro.memcached.node.
+MemcachedNode`.  Because the surface matches, the existing
+:class:`~repro.core.master.Master` plans and executes a real three-phase
+migration over TCP without knowing the difference.
+
+:class:`RemoteNode` duck-types the slice of the node API the Master, the
+Agent, and the scoring step consume.  Metadata reads (``ts_dump`` rows,
+slab geometry) are served from a cached snapshot refreshed lazily and
+invalidated by mutations, so a planning pass costs a handful of round
+trips per node instead of one per key; data moves (``export_items`` /
+``batch_import``) always hit the wire.
+
+One :class:`~repro.net.runtime.EventLoopThread` per cluster runs every
+client's socket I/O; the facade blocks on it, which is what lets the
+synchronous Master drive asyncio sockets unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any, Coroutine
+
+from repro.core.retry import RetryPolicy
+from repro.errors import ConfigurationError, MembershipError, TransportError
+from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
+from repro.memcached.node import MigratedItem, NodeStats
+from repro.memcached.slab import PAGE_SIZE, size_class_table
+from repro.net.client import NodeClient
+from repro.net.runtime import EventLoopThread
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+
+@dataclass(frozen=True)
+class _RemoteItem:
+    """The slice of :class:`~repro.memcached.items.Item` that planners
+    read through :meth:`RemoteNode.peek`.
+
+    ``value`` is never fetched for a peek -- migration pricing only needs
+    sizes -- so it is always ``None`` here; use
+    :meth:`RemoteNode.export_items` (or a routed ``get``) for payloads.
+    """
+
+    key: str
+    last_access: float
+    value_size: int
+    value: None = None
+
+
+class _RemoteSlabClass:
+    """Wire-reported geometry of one slab class on a live node."""
+
+    __slots__ = ("class_id", "chunk_size", "pages", "used_chunks", "mru_rows")
+
+    def __init__(self, class_id: int, chunk_size: int) -> None:
+        self.class_id = class_id
+        self.chunk_size = chunk_size
+        self.pages = 0
+        self.used_chunks = 0
+        # (key, last_access, value_size) rows in MRU order, from ts_dump.
+        self.mru_rows: list[tuple[str, float, int]] = []
+
+    @property
+    def chunks_per_page(self) -> int:
+        return PAGE_SIZE // self.chunk_size
+
+    @property
+    def total_chunks(self) -> int:
+        return self.pages * self.chunks_per_page
+
+    @property
+    def free_chunks(self) -> int:
+        return self.total_chunks - self.used_chunks
+
+
+class _RemoteSlabs:
+    """Slab allocator view reconstructed from ``stats slabs``."""
+
+    __slots__ = ("classes", "total_pages")
+
+    def __init__(
+        self, chunk_sizes: list[int], total_pages: int
+    ) -> None:
+        self.classes = [
+            _RemoteSlabClass(class_id, chunk_size)
+            for class_id, chunk_size in enumerate(chunk_sizes)
+        ]
+        self.total_pages = total_pages
+
+    @property
+    def assigned_pages(self) -> int:
+        return sum(slab_class.pages for slab_class in self.classes)
+
+    @property
+    def free_pages(self) -> int:
+        return self.total_pages - self.assigned_pages
+
+
+class RemoteNode:
+    """One live node, duck-typing the Master/Agent-facing node surface.
+
+    Reads that drive planning (`dump_timestamps`, `items_in_mru_order`,
+    `median_timestamp`, `page_fractions`, `peek`, the ``slabs``
+    geometry) come from a metadata snapshot -- one ``stats``, one
+    ``stats slabs``, and one ``ts_dump`` per populated slab class --
+    refreshed lazily after any mutation through this object.  Mutations
+    and bulk data (``export_items``, ``batch_import``, ``delete``,
+    ``flush_all``) always go over the wire.
+
+    The snapshot mirrors the trust model of the paper's Master, which
+    also plans on a metadata dump that may drift from the live cache;
+    drift is tolerated downstream (evicted keys are skipped at export).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        client: NodeClient,
+        loop: EventLoopThread,
+        min_chunk: int = 96,
+        growth_factor: float = 1.25,
+    ) -> None:
+        self.name = name
+        self.client = client
+        self._loop = loop
+        self._chunk_sizes = size_class_table(min_chunk, growth_factor)
+        self._snapshot: _RemoteSlabs | None = None
+        self._sizes: dict[str, int] = {}
+        self._timestamps: dict[str, float] = {}
+        self._memory_bytes: int | None = None
+        self._curr_items = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _call(self, coro: Coroutine[Any, Any, Any]) -> Any:
+        return self._loop.call(coro)
+
+    def invalidate(self) -> None:
+        """Drop the metadata snapshot; the next read refreshes it."""
+        self._snapshot = None
+
+    def refresh(self) -> _RemoteSlabs:
+        """Fetch a fresh metadata snapshot from the live node."""
+        stats = self._call(self.client.stats())
+        self._memory_bytes = stats.get("limit_maxbytes", 0)
+        self._curr_items = stats.get("curr_items", 0)
+        slabs = _RemoteSlabs(
+            self._chunk_sizes, self._memory_bytes // PAGE_SIZE
+        )
+        raw = self._call(self.client.stats_slabs())
+        for name, value in raw.items():
+            cid_str, _, field = name.partition(":")
+            if not field:
+                continue
+            slab_class = slabs.classes[int(cid_str)]
+            if field == "total_pages":
+                slab_class.pages = value
+            elif field == "used_chunks":
+                slab_class.used_chunks = value
+        self._sizes = {}
+        self._timestamps = {}
+        for slab_class in slabs.classes:
+            if slab_class.pages == 0:
+                continue
+            rows = self._call(self.client.ts_dump(slab_class.class_id))
+            slab_class.mru_rows = rows
+            for key, last_access, size in rows:
+                self._sizes[key] = size
+                self._timestamps[key] = last_access
+        self._snapshot = slabs
+        return slabs
+
+    @property
+    def slabs(self) -> _RemoteSlabs:
+        """Snapshot slab geometry (lazily refreshed)."""
+        if self._snapshot is None:
+            return self.refresh()
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Metadata surface consumed by Agent / scoring / pricing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        slabs = self.slabs
+        return sum(len(c.mru_rows) for c in slabs.classes)
+
+    @property
+    def curr_items(self) -> int:
+        return len(self)
+
+    @property
+    def memory_bytes(self) -> int:
+        if self._memory_bytes is None:
+            self.refresh()
+        assert self._memory_bytes is not None
+        return self._memory_bytes
+
+    def active_class_ids(self) -> list[int]:
+        return [
+            slab_class.class_id
+            for slab_class in self.slabs.classes
+            if slab_class.mru_rows
+        ]
+
+    def dump_timestamps(self, class_id: int) -> list[tuple[str, float]]:
+        return [
+            (key, last_access)
+            for key, last_access, _ in self.slabs.classes[class_id].mru_rows
+        ]
+
+    def items_in_mru_order(self, class_id: int) -> list[_RemoteItem]:
+        return [
+            _RemoteItem(key=key, last_access=last_access, value_size=size)
+            for key, last_access, size in self.slabs.classes[
+                class_id
+            ].mru_rows
+        ]
+
+    def dump_metadata(self) -> dict[int, list[tuple[str, float]]]:
+        return {
+            class_id: self.dump_timestamps(class_id)
+            for class_id in self.active_class_ids()
+        }
+
+    def median_timestamp(self, class_id: int) -> float | None:
+        rows = self.slabs.classes[class_id].mru_rows
+        if not rows:
+            return None
+        return rows[len(rows) // 2][1]
+
+    def page_fractions(self) -> dict[int, float]:
+        slabs = self.slabs
+        assigned = slabs.assigned_pages
+        if assigned == 0:
+            return {}
+        return {
+            slab_class.class_id: slab_class.pages / assigned
+            for slab_class in slabs.classes
+            if slab_class.pages > 0
+        }
+
+    def peek(self, key: str) -> _RemoteItem | None:
+        """Snapshot metadata for ``key`` (no payload, no MRU effects)."""
+        if self._snapshot is None:
+            self.refresh()
+        size = self._sizes.get(key)
+        if size is None:
+            return None
+        return _RemoteItem(
+            key=key,
+            last_access=self._timestamps.get(key, 0.0),
+            value_size=size,
+        )
+
+    def contains(self, key: str) -> bool:
+        if self._snapshot is None:
+            self.refresh()
+        return key in self._sizes
+
+    # ------------------------------------------------------------------
+    # Wire operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, now: float = 0.0) -> Any | None:
+        """Routed ``get`` over the wire; ``now`` is accepted for
+        interface parity but the server stamps its own clock."""
+        return self._call(self.client.get(key))
+
+    def get_many(
+        self, keys: Iterable[str], now: float = 0.0
+    ) -> list[Any | None]:
+        return self._call(self.client.get_many(keys))
+
+    def set(
+        self,
+        key: str,
+        value: Any,
+        value_size: int,
+        now: float = 0.0,
+        exptime: float = 0.0,
+    ) -> bool:
+        flags, payload = _as_payload(value)
+        self.invalidate()
+        return self._call(
+            self.client.set(key, payload, flags=flags, exptime=exptime)
+        )
+
+    def set_many(
+        self, entries: Iterable[tuple[str, Any, int]], now: float = 0.0
+    ) -> int:
+        wire_entries = []
+        for key, value, _size in entries:
+            flags, payload = _as_payload(value)
+            wire_entries.append((key, flags, payload))
+        self.invalidate()
+        return self._call(self.client.set_many(wire_entries))
+
+    def delete(self, key: str) -> bool:
+        self.invalidate()
+        return self._call(self.client.delete(key))
+
+    def delete_many(self, keys: Iterable[str]) -> int:
+        self.invalidate()
+        return self._call(self.client.delete_many(keys))
+
+    def flush_all(self) -> None:
+        self.invalidate()
+        self._call(self.client.flush_all())
+
+    def export_items(self, keys: Iterable[str]) -> list[MigratedItem]:
+        """Phase-3 export over the wire (``mig_export``)."""
+        return self._call(self.client.mig_export(keys))
+
+    def batch_import(
+        self,
+        migrated: Iterable[MigratedItem],
+        mode: str = "merge",
+        now: float = 0.0,
+    ) -> int:
+        """Phase-3 import over the wire (``batch_import``).
+
+        ``now`` is accepted for interface parity; the live server stamps
+        ``fresh``-mode imports with its own shared cluster clock.
+        """
+        self.invalidate()
+        return self._call(self.client.batch_import(migrated, mode=mode))
+
+    def wire_stats(self) -> dict[str, int]:
+        """Raw ``stats`` counters from the live node."""
+        return self._call(self.client.stats())
+
+    def close(self) -> None:
+        """Close this node's pooled connections."""
+        self._call(self.client.close())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteNode({self.name!r}, "
+            f"{self.client.host}:{self.client.port})"
+        )
+
+
+def _as_payload(value: Any) -> tuple[int, bytes]:
+    """Coerce a cluster-level value to wire ``(flags, payload)``."""
+    if (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[1], (bytes, bytearray))
+    ):
+        flags = value[0] if isinstance(value[0], int) else 0
+        return flags, bytes(value[1])
+    if isinstance(value, (bytes, bytearray)):
+        return 0, bytes(value)
+    return 0, str(value).encode("utf-8")
+
+
+class LiveCluster:
+    """A pool of :class:`RemoteNode` with ketama routing.
+
+    The membership, routing, and client-operation surface mirrors
+    :class:`~repro.memcached.cluster.MemcachedCluster`; values returned
+    by ``get`` are the wire's ``(flags, payload)`` tuples.
+
+    Parameters
+    ----------
+    endpoints:
+        ``{node_name: (host, port)}`` for every reachable live node,
+        including spares that start outside the ring --
+        :meth:`provision` can only attach nodes registered here, because
+        a client cannot boot a remote VM.
+    active:
+        Names initially on the hash ring; defaults to every endpoint.
+    vnodes / min_chunk / growth_factor:
+        Ring and slab-geometry parameters; must match the servers'.
+    timeout_s / retry / backoff_scale / pool_size:
+        Per-node client transport settings
+        (see :class:`~repro.net.client.NodeClient`).
+    """
+
+    def __init__(
+        self,
+        endpoints: dict[str, tuple[str, int]],
+        active: Iterable[str] | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        min_chunk: int = 96,
+        growth_factor: float = 1.25,
+        pool_size: int = 2,
+        timeout_s: float = 5.0,
+        retry: RetryPolicy | None = None,
+        backoff_scale: float = 1.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if not endpoints:
+            raise ConfigurationError("LiveCluster needs at least one endpoint")
+        self._endpoints = dict(endpoints)
+        self.vnodes = vnodes
+        self._min_chunk = min_chunk
+        self._growth_factor = growth_factor
+        self._pool_size = pool_size
+        self._timeout_s = timeout_s
+        self._retry = retry
+        self._backoff_scale = backoff_scale
+        self._telemetry = telemetry or NULL_TELEMETRY
+        self.loop = EventLoopThread(name="live-cluster").start()
+        self.nodes: dict[str, RemoteNode] = {}
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self._remap: dict[str, str] = {}
+        names = list(active) if active is not None else sorted(endpoints)
+        for name in self._endpoints:
+            self.provision(name)
+        for name in names:
+            self.activate(name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def active_members(self) -> frozenset[str]:
+        return self.ring.members
+
+    @property
+    def active_nodes(self) -> list[RemoteNode]:
+        return [self.nodes[name] for name in sorted(self.ring.members)]
+
+    def provision(self, name: str) -> RemoteNode:
+        """Connect a registered endpoint as a cold node (off the ring)."""
+        if name in self.nodes:
+            raise MembershipError(f"node {name!r} already provisioned")
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise MembershipError(
+                f"node {name!r} has no registered endpoint; a live "
+                "cluster cannot boot servers, only attach to them"
+            )
+        host, port = endpoint
+        client = NodeClient(
+            name,
+            host,
+            port,
+            pool_size=self._pool_size,
+            timeout_s=self._timeout_s,
+            retry=self._retry,
+            backoff_scale=self._backoff_scale,
+            telemetry=self._telemetry,
+        )
+        node = RemoteNode(
+            name,
+            client,
+            self.loop,
+            min_chunk=self._min_chunk,
+            growth_factor=self._growth_factor,
+        )
+        self.nodes[name] = node
+        return node
+
+    def activate(self, name: str) -> None:
+        if name not in self.nodes:
+            raise MembershipError(f"node {name!r} not provisioned")
+        self.ring.add_node(name)
+
+    def deactivate(self, name: str) -> None:
+        self.ring.remove_node(name)
+        self._drop_stale_remaps()
+
+    def destroy(self, name: str) -> None:
+        """Flush the remote node and drop the connection (the live
+        analogue of turning the VM off)."""
+        node = self.nodes.pop(name, None)
+        if node is None:
+            raise MembershipError(f"node {name!r} not provisioned")
+        if name in self.ring:
+            self.ring.remove_node(name)
+            self._drop_stale_remaps()
+        try:
+            node.flush_all()
+        except TransportError:
+            pass  # a crashed node is already as flushed as it gets
+        node.close()
+
+    def set_membership(self, names: Iterable[str]) -> None:
+        names = list(names)
+        missing = [name for name in names if name not in self.nodes]
+        if missing:
+            raise MembershipError(f"nodes not provisioned: {missing}")
+        self.ring.set_members(names)
+        self._drop_stale_remaps()
+
+    # ------------------------------------------------------------------
+    # Routing overrides (parity with MemcachedCluster)
+    # ------------------------------------------------------------------
+
+    def set_remap(self, key: str, node: str) -> None:
+        if node not in self.ring:
+            raise MembershipError(f"remap target {node!r} not active")
+        if self.ring.node_for_key(key) == node:
+            self._remap.pop(key, None)
+        else:
+            self._remap[key] = node
+
+    def clear_remap(self, key: str) -> None:
+        self._remap.pop(key, None)
+
+    def clear_all_remaps(self) -> None:
+        self._remap.clear()
+
+    @property
+    def remap_count(self) -> int:
+        return len(self._remap)
+
+    def _drop_stale_remaps(self) -> None:
+        members = self.ring.members
+        stale = [
+            key
+            for key, node in self._remap.items()
+            if node not in members
+        ]
+        for key in stale:
+            del self._remap[key]
+
+    def ring_for(self, members: Iterable[str]) -> ConsistentHashRing:
+        return ConsistentHashRing(members, vnodes=self.vnodes)
+
+    # ------------------------------------------------------------------
+    # Client operations (over the wire)
+    # ------------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        if self._remap:
+            override = self._remap.get(key)
+            if override is not None:
+                return override
+        return self.ring.node_for_key(key)
+
+    def route_many(self, keys: list[str]) -> list[str]:
+        if not self._remap:
+            return self.ring.lookup_many(keys)
+        remap_get = self._remap.get
+        lookup = self.ring.node_for_key
+        owners: list[str] = []
+        for key in keys:
+            override = remap_get(key)
+            owners.append(override if override is not None else lookup(key))
+        return owners
+
+    def get(self, key: str, now: float = 0.0) -> Any | None:
+        return self.nodes[self.route(key)].get(key, now)
+
+    def set(
+        self, key: str, value: Any, value_size: int, now: float = 0.0
+    ) -> bool:
+        return self.nodes[self.route(key)].set(key, value, value_size, now)
+
+    def delete(self, key: str) -> bool:
+        return self.nodes[self.route(key)].delete(key)
+
+    def get_many(
+        self, keys: Iterable[str], now: float = 0.0
+    ) -> list[Any | None]:
+        keys = list(keys)
+        owners = self.route_many(keys)
+        groups: dict[str, list[str]] = {}
+        for key, owner in zip(keys, owners):
+            groups.setdefault(owner, []).append(key)
+        cursors = {
+            owner: iter(self.nodes[owner].get_many(bucket, now))
+            for owner, bucket in groups.items()
+        }
+        return [next(cursors[owner]) for owner in owners]
+
+    def set_many(
+        self, entries: Iterable[tuple[str, Any, int]], now: float = 0.0
+    ) -> int:
+        entries = list(entries)
+        owners = self.route_many([entry[0] for entry in entries])
+        groups: dict[str, list[tuple[str, Any, int]]] = {}
+        for entry, owner in zip(entries, owners):
+            groups.setdefault(owner, []).append(entry)
+        return sum(
+            self.nodes[owner].set_many(batch, now)
+            for owner, batch in groups.items()
+        )
+
+    def delete_many(self, keys: Iterable[str]) -> int:
+        keys = list(keys)
+        owners = self.route_many(keys)
+        groups: dict[str, list[str]] = {}
+        for key, owner in zip(keys, owners):
+            groups.setdefault(owner, []).append(key)
+        return sum(
+            self.nodes[owner].delete_many(batch)
+            for owner, batch in groups.items()
+        )
+
+    def multiget(
+        self, keys: Iterable[str], now: float = 0.0
+    ) -> tuple[dict[str, Any], list[str]]:
+        keys = list(keys)
+        hits: dict[str, Any] = {}
+        misses: list[str] = []
+        for key, value in zip(keys, self.get_many(keys, now)):
+            if value is None:
+                misses.append(key)
+            else:
+                hits[key] = value
+        return hits, misses
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_items(self) -> int:
+        return sum(len(node) for node in self.active_nodes)
+
+    def aggregate_stats(self) -> NodeStats:
+        """Wire counters summed over the pool, mapped onto NodeStats."""
+        total = NodeStats()
+        for node in self.nodes.values():
+            stats = node.wire_stats()
+            total.get_hits += stats.get("get_hits", 0)
+            total.get_misses += stats.get("get_misses", 0)
+            total.sets += stats.get("cmd_set", 0)
+            total.deletes += stats.get("delete_hits", 0)
+            total.evictions += stats.get("evictions", 0)
+            total.expired += stats.get("expired_unfetched", 0)
+        return total
+
+    def refresh_all(self) -> None:
+        """Force a fresh metadata snapshot on every node."""
+        for node in self.nodes.values():
+            node.refresh()
+
+    def close(self) -> None:
+        """Close every client connection and the I/O loop; idempotent."""
+        for node in self.nodes.values():
+            try:
+                node.close()
+            except Exception:
+                continue  # a dead node must not block teardown
+        self.loop.stop()
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "LiveCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LiveCluster(active={sorted(self.ring.members)}, "
+            f"pool={len(self.nodes)})"
+        )

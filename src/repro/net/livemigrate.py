@@ -1,0 +1,250 @@
+"""Scripted live scale-in: boot, seed, migrate over TCP, verify.
+
+This is the end-to-end story the CLI (``repro live-migrate``) and the
+CI live-smoke job run: boot a localhost cluster of asyncio node
+servers, seed it with a deterministic keyset, and let the *unmodified*
+:class:`~repro.core.master.Master` retire nodes through a
+:class:`~repro.net.cluster.LiveCluster` -- every ``ts_dump``,
+``mig_export``, and ``batch_import`` crossing a real socket.
+
+With ``verify=True`` the same workload is replayed on an in-process
+:class:`~repro.memcached.cluster.MemcachedCluster` twin and the final
+per-node cache contents are compared byte for byte: identical seeding,
+identical ketama rings, and a wire format that round-trips floats and
+flags exactly mean the socket path must land the same items with the
+same payloads and the same hotness timestamps as the in-process path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.master import Master, MigrationReport
+from repro.errors import ConfigurationError
+from repro.faults.sockets import SocketFaultPolicy
+from repro.memcached.cluster import MemcachedCluster
+from repro.memcached.node import MigratedItem
+from repro.memcached.slab import PAGE_SIZE
+from repro.net.cluster import LiveCluster
+from repro.net.server import LiveClusterHarness
+from repro.obs import Telemetry
+
+ContentSignature = list[tuple[str, int, bytes, float]]
+"""Sorted ``(key, flags, payload, last_access)`` rows of one node."""
+
+
+@dataclass
+class LiveMigrationResult:
+    """What a scripted live scale-in did, plus the equivalence verdict."""
+
+    node_names: list[str]
+    retired: list[str]
+    membership_after: list[str]
+    outcome: str
+    items_seeded: int
+    items_exported: int
+    items_imported: int
+    completed_pairs: int
+    failed_flows: int
+    wall_seconds: float
+    # None when verification was skipped; otherwise whether every
+    # retained node's contents matched the in-process twin exactly.
+    verified: bool | None = None
+    mismatched_nodes: list[str] = field(default_factory=list)
+
+    @property
+    def warm(self) -> bool:
+        """True when every planned pair migrated cleanly."""
+        return self.outcome == "warm"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary (CLI / CI artifact)."""
+        return {
+            "node_names": self.node_names,
+            "retired": self.retired,
+            "membership_after": self.membership_after,
+            "outcome": self.outcome,
+            "items_seeded": self.items_seeded,
+            "items_exported": self.items_exported,
+            "items_imported": self.items_imported,
+            "completed_pairs": self.completed_pairs,
+            "failed_flows": self.failed_flows,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "verified": self.verified,
+            "mismatched_nodes": self.mismatched_nodes,
+        }
+
+
+def seed_records(
+    items: int, value_bytes: int, seed: int
+) -> list[MigratedItem]:
+    """A deterministic keyset with random payloads, flags, and hotness."""
+    rng = random.Random(seed)
+    records = []
+    for index in range(items):
+        payload = rng.randbytes(value_bytes)
+        records.append(
+            MigratedItem(
+                key=f"key-{index:06d}",
+                value=(index % 16, payload),
+                value_size=value_bytes,
+                last_access=round(rng.uniform(0.0, 600.0), 3),
+            )
+        )
+    return records
+
+
+def node_signature(node: Any) -> ContentSignature:
+    """Sorted full contents of one node via its public dump/export API.
+
+    Works on both :class:`~repro.memcached.node.MemcachedNode` and
+    :class:`~repro.net.cluster.RemoteNode` (where each call crosses the
+    wire), so live and in-process caches can be compared byte for byte.
+    """
+    keys = [
+        key
+        for rows in node.dump_metadata().values()
+        for key, _ in rows
+    ]
+    signature: ContentSignature = []
+    for record in node.export_items(keys):
+        value = record.value
+        if (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and isinstance(value[1], (bytes, bytearray))
+        ):
+            flags, payload = int(value[0]), bytes(value[1])
+        else:
+            flags, payload = 0, bytes(str(value), "utf-8")
+        signature.append((record.key, flags, payload, record.last_access))
+    signature.sort()
+    return signature
+
+
+def _seed_cluster(
+    groups: dict[str, list[MigratedItem]], nodes: dict[str, Any]
+) -> int:
+    """Batch-import each node's records; returns total imported."""
+    total = 0
+    for name in sorted(groups):
+        total += nodes[name].batch_import(groups[name], mode="merge")
+    return total
+
+
+def run_live_migration(
+    nodes: int = 4,
+    retire: int = 1,
+    items: int = 2000,
+    value_bytes: int = 64,
+    seed: int = 7,
+    memory_per_node: int = 8 * PAGE_SIZE,
+    verify: bool = True,
+    fault_schedule=None,
+    fault_base_delay_s: float = 0.05,
+    timeout_s: float = 5.0,
+    backoff_scale: float = 1.0,
+    telemetry: Telemetry | None = None,
+) -> LiveMigrationResult:
+    """Boot ``nodes`` asyncio servers, seed them, retire ``retire`` of
+    them through a socket-backed three-phase migration.
+
+    Parameters mirror the CLI flags.  ``fault_schedule`` (a
+    :class:`~repro.faults.spec.FaultSchedule`) attaches a
+    :class:`~repro.faults.sockets.SocketFaultPolicy` to every server;
+    combine it with a small ``timeout_s``/``backoff_scale`` to exercise
+    the degrade-to-cold path over real sockets.  ``verify`` replays the
+    workload on an in-process twin and compares final contents.
+    """
+    if nodes < 2:
+        raise ConfigurationError("a live migration needs at least 2 nodes")
+    if not 0 < retire < nodes:
+        raise ConfigurationError(
+            f"retire must be in [1, {nodes - 1}], got {retire}"
+        )
+    names = [f"live-{index:02d}" for index in range(nodes)]
+    records = seed_records(items, value_bytes, seed)
+
+    fault_policy = None
+    if fault_schedule is not None:
+        fault_policy = SocketFaultPolicy(
+            fault_schedule, base_delay_s=fault_base_delay_s
+        )
+    harness = LiveClusterHarness(
+        names, memory_per_node, fault_policy=fault_policy
+    )
+    started = time.monotonic()
+    with harness:
+        live = LiveCluster(
+            harness.endpoints,
+            timeout_s=timeout_s,
+            backoff_scale=backoff_scale,
+            telemetry=telemetry,
+        )
+        try:
+            owners = live.route_many([record.key for record in records])
+            groups: dict[str, list[MigratedItem]] = {}
+            for record, owner in zip(records, owners):
+                groups.setdefault(owner, []).append(record)
+            seeded = _seed_cluster(groups, live.nodes)
+
+            master = Master(live, telemetry=telemetry)
+            retiring = master.choose_retiring(retire)
+            plan = master.plan_scale_in(retiring)
+            report = master.execute(plan)
+
+            result = LiveMigrationResult(
+                node_names=names,
+                retired=list(plan.retiring),
+                membership_after=report.membership_after,
+                outcome=report.outcome,
+                items_seeded=seeded,
+                items_exported=report.items_exported,
+                items_imported=report.items_imported,
+                completed_pairs=report.completed_pairs,
+                failed_flows=len(report.failed_flows),
+                wall_seconds=time.monotonic() - started,
+            )
+            if verify:
+                _verify_against_twin(
+                    result, live, groups, retiring, memory_per_node
+                )
+        finally:
+            live.close()
+    result.wall_seconds = time.monotonic() - started
+    return result
+
+
+def _verify_against_twin(
+    result: LiveMigrationResult,
+    live: LiveCluster,
+    groups: dict[str, list[MigratedItem]],
+    retiring: list[str],
+    memory_per_node: int,
+) -> None:
+    """Replay the migration in-process and compare final contents."""
+    twin = MemcachedCluster(result.node_names, memory_per_node)
+    _seed_cluster(groups, twin.nodes)
+    twin_master = Master(twin)
+    twin_report: MigrationReport = twin_master.execute(
+        twin_master.plan_scale_in(list(retiring))
+    )
+    mismatched: list[str] = []
+    for name in twin_report.membership_after:
+        live_node = live.nodes.get(name)
+        twin_node = twin.nodes.get(name)
+        if live_node is None or twin_node is None:
+            mismatched.append(name)
+            continue
+        live_node.refresh()
+        if node_signature(live_node) != node_signature(twin_node):
+            mismatched.append(name)
+    if sorted(result.membership_after) != sorted(
+        twin_report.membership_after
+    ):
+        mismatched.append("<membership>")
+    result.mismatched_nodes = mismatched
+    result.verified = not mismatched

@@ -7,6 +7,8 @@ exact top-n -- and document where it deviates from the corrected
 :func:`fuse_cache`.
 """
 
+from collections import Counter
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -64,12 +66,15 @@ class TestApproximation:
         """The printed algorithm's selection differs from the exact
         top-n by at most one boundary item per list per commit round --
         bounded here as a quarter of the selection (plus slack for tiny
-        n)."""
+        n).  Compared as multisets: a positional ``zip`` would let one
+        extra boundary item shift every later element and count the
+        whole tail as mismatched."""
         picks = fuse_cache_algorithm1(lists, n)
-        selected = selected_multiset(lists, picks)
-        exact = selected_multiset(lists, fuse_cache(lists, n))
-        mismatches = sum(1 for a, b in zip(selected, exact) if a != b)
-        assert mismatches <= max(2 * len(lists), len(selected) // 2)
+        selected = Counter(selected_multiset(lists, picks))
+        exact = Counter(selected_multiset(lists, fuse_cache(lists, n)))
+        mismatches = sum((selected - exact).values())
+        total = sum(selected.values())
+        assert mismatches <= max(2 * len(lists), total // 2)
 
     def test_exact_on_single_list(self):
         lst = [float(x) for x in range(50, 0, -1)]

@@ -1,0 +1,207 @@
+"""Wire-layer tests for the live tier's protocol framing.
+
+The asyncio server hands the incremental parser whatever chunks the
+socket delivers, so correctness hinges on two properties exercised
+here: (1) byte-at-a-time and mid-payload fragmentation produce exactly
+the same responses as one big write, and (2) pipelined bursts answer
+every command in order.  The migration commands (``ts_dump``,
+``mig_export``, ``batch_import``) get the same treatment, plus a
+flags round-trip across an export/import hop.
+"""
+
+import pytest
+
+from repro.memcached.node import MemcachedNode
+from repro.memcached.protocol import TextProtocolServer
+from repro.memcached.slab import PAGE_SIZE
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def node() -> MemcachedNode:
+    return MemcachedNode("n0", 8 * PAGE_SIZE)
+
+
+@pytest.fixture
+def server(node, clock) -> TextProtocolServer:
+    return TextProtocolServer(node, clock)
+
+
+def storage_wire(key: str, payload: bytes, flags: int = 0) -> bytes:
+    return (
+        f"set {key} {flags} 0 {len(payload)}".encode()
+        + b"\r\n"
+        + payload
+        + b"\r\n"
+    )
+
+
+def feed_in_chunks(server, wire: bytes, chunk_size: int) -> bytes:
+    out = []
+    for start in range(0, len(wire), chunk_size):
+        out.append(server.feed(wire[start : start + chunk_size]))
+    return b"".join(out)
+
+
+class TestFragmentation:
+    """Responses must not depend on where the stream is split."""
+
+    WIRE = (
+        storage_wire("greeting", b"Hello, world!", flags=7)
+        + b"get greeting\r\n"
+        + b"delete greeting\r\n"
+        + b"get greeting\r\n"
+    )
+
+    def expected(self, clock) -> bytes:
+        reference = TextProtocolServer(
+            MemcachedNode("ref", 8 * PAGE_SIZE), clock
+        )
+        return reference.feed(self.WIRE)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 5, 7, 64])
+    def test_chunked_equals_whole(self, server, clock, chunk_size):
+        assert (
+            feed_in_chunks(server, self.WIRE, chunk_size)
+            == self.expected(clock)
+        )
+
+    def test_split_mid_payload(self, server):
+        wire = storage_wire("k", b"0123456789")
+        head, tail = wire[:20], wire[20:]
+        assert server.feed(head) == b""
+        assert server.feed(tail) == b"STORED\r\n"
+
+    def test_split_mid_command_line(self, server):
+        assert server.feed(b"ver") == b""
+        assert server.feed(b"sion\r\n").startswith(b"VERSION")
+
+    def test_split_between_payload_and_crlf(self, server):
+        wire = storage_wire("k", b"abc")
+        assert server.feed(wire[:-2]) == b""
+        assert server.feed(wire[-2:]) == b"STORED\r\n"
+
+
+class TestPipelining:
+    def test_burst_answers_in_order(self, server):
+        wire = (
+            storage_wire("a", b"1")
+            + storage_wire("b", b"22")
+            + b"get a\r\n"
+            + b"get b\r\n"
+            + b"get ghost\r\n"
+        )
+        assert server.feed(wire) == (
+            b"STORED\r\nSTORED\r\n"
+            b"VALUE a 0 1\r\n1\r\nEND\r\n"
+            b"VALUE b 0 2\r\n22\r\nEND\r\n"
+            b"END\r\n"
+        )
+
+    def test_error_does_not_derail_pipeline(self, server):
+        wire = b"bogus_command\r\n" + storage_wire("k", b"v") + b"get k\r\n"
+        assert server.feed(wire) == (
+            b"ERROR\r\nSTORED\r\nVALUE k 0 1\r\nv\r\nEND\r\n"
+        )
+
+
+class TestMigrationFraming:
+    def seed(self, server, clock):
+        for i in range(4):
+            clock.now = float(i)
+            assert (
+                server.feed(storage_wire(f"key-{i}", b"x" * 16, flags=i))
+                == b"STORED\r\n"
+            )
+
+    def test_ts_dump_fragmented(self, server, clock):
+        self.seed(server, clock)
+        out = feed_in_chunks(server, b"ts_dump 0\r\n", 1)
+        lines = out.splitlines()
+        assert lines[-1] == b"END"
+        keys = [line.split()[1] for line in lines[:-1]]
+        assert keys == [b"key-3", b"key-2", b"key-1", b"key-0"]
+
+    def test_mig_export_fragmented_keys(self, server, clock):
+        """Key lines of an in-flight mig_export may arrive split."""
+        self.seed(server, clock)
+        wire = b"mig_export 2\r\nkey-1\r\nkey-3\r\n"
+        out = feed_in_chunks(server, wire, 3)
+        assert out == (
+            b"ITEM key-1 1 1.0 16\r\n" + b"x" * 16 + b"\r\n"
+            b"ITEM key-3 3 3.0 16\r\n" + b"x" * 16 + b"\r\n"
+            b"END\r\n"
+        )
+
+    def test_mig_export_skips_missing_keys(self, server, clock):
+        self.seed(server, clock)
+        out = server.feed(b"mig_export 2\r\nghost\r\nkey-0\r\n")
+        assert out.startswith(b"ITEM key-0 ")
+        assert b"ghost" not in out
+
+    def test_batch_import_fragmented_payload(self, server, clock):
+        clock.now = 9.0
+        wire = (
+            b"batch_import merge 2\r\n"
+            b"alpha 1.5 4 11\r\nAAAA\r\n"
+            b"beta 2.5 4 0\r\nBBBB\r\n"
+        )
+        out = feed_in_chunks(server, wire, 5)
+        assert out == b"IMPORTED 2\r\n"
+        assert server.feed(b"get alpha\r\n") == (
+            b"VALUE alpha 11 4\r\nAAAA\r\nEND\r\n"
+        )
+
+    def test_flags_survive_export_import_hop(self, node, server, clock):
+        """flags set on the source come back out of the destination."""
+        self.seed(server, clock)
+        exported = server.feed(b"mig_export 1\r\nkey-2\r\n")
+        assert exported.startswith(b"ITEM key-2 2 2.0 16\r\n")
+        dst = TextProtocolServer(
+            MemcachedNode("dst", 8 * PAGE_SIZE), clock
+        )
+        # Re-frame the export as a batch_import, as LiveCluster does.
+        header = exported.splitlines()[0].split()
+        _, key, flags, last_access, size = header
+        import_wire = (
+            b"batch_import merge 1\r\n"
+            + b" ".join([key, last_access, size, flags])
+            + b"\r\n"
+            + b"x" * 16
+            + b"\r\n"
+        )
+        assert dst.feed(import_wire) == b"IMPORTED 1\r\n"
+        assert dst.feed(b"get key-2\r\n") == (
+            b"VALUE key-2 2 16\r\n" + b"x" * 16 + b"\r\nEND\r\n"
+        )
+
+    def test_import_timestamps_ignore_server_clock(self, server, clock):
+        """merge-mode installs keep the shipped last_access, which is
+        what makes socket and in-process migrations byte-identical."""
+        clock.now = 500.0
+        server.feed(
+            b"batch_import merge 1\r\nold 12.25 3 0\r\nabc\r\n"
+        )
+        assert server.feed(b"ts_dump 0\r\n") == (
+            b"TS old 12.25 3\r\nEND\r\n"
+        )
+
+    def test_duplicate_import_keys_rejected(self, server):
+        out = server.feed(
+            b"batch_import merge 2\r\n"
+            b"dup 1.0 1 0\r\nA\r\n"
+            b"dup 2.0 1 0\r\nB\r\n"
+        )
+        assert out.startswith(b"CLIENT_ERROR duplicate key")
