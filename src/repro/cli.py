@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``):
     python -m repro cost
     python -m repro check src/repro
     python -m repro serve --nodes 4 --port 11300
+    python -m repro proxy --nodes 4 --port 11311
+    python -m repro proxy-chaos --nodes 4 --json chaos.json
     python -m repro live-migrate --nodes 4 --retire 1
 
 Every subcommand prints a human-readable report to stdout; ``run`` can
@@ -19,10 +21,15 @@ additionally export the per-second metrics as CSV/JSON.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Iterator
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -362,6 +369,42 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _shutdown_signals() -> "Iterator[Callable[[float | None], str]]":
+    """Install SIGINT/SIGTERM handlers; yield a blocking wait function.
+
+    The handlers must be live *before* the serving banner is printed —
+    a supervisor that reacts to the banner may fire its TERM within
+    microseconds, and the default disposition would kill the process
+    mid-connection.  The yielded callable blocks until a signal arrives
+    or the given duration elapses, returning the signal name or ``""``.
+    The previous handlers are restored on exit.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+    received = {"name": ""}
+
+    def handler(signum: int, frame: object) -> None:
+        received["name"] = signal.Signals(signum).name
+        stop.set()
+
+    def wait(duration: float | None) -> str:
+        stop.wait(timeout=duration)
+        return received["name"]
+
+    previous = {
+        sig: signal.signal(sig, handler)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        yield wait
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.memcached.slab import PAGE_SIZE
     from repro.net import LiveClusterHarness
@@ -373,22 +416,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port_base=args.port,
     )
-    with harness:
-        print(f"live cluster up ({args.nodes} nodes):")
-        for name, (host, port) in sorted(harness.endpoints.items()):
-            print(f"  {name}  {host}:{port}")
-        try:
+    harness.start()
+    try:
+        with _shutdown_signals() as wait_for_signal:
+            print(f"live cluster up ({args.nodes} nodes):", flush=True)
+            for name, (host, port) in sorted(harness.endpoints.items()):
+                print(f"  {name}  {host}:{port}", flush=True)
             if args.duration is not None:
-                print(f"serving for {args.duration:.0f}s...")
-                time.sleep(args.duration)
+                print(f"serving for {args.duration:.0f}s...", flush=True)
             else:
-                print("serving; Ctrl-C to stop")
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            pass
-    print("stopped.")
+                print("serving; SIGINT/SIGTERM to stop", flush=True)
+            signal_name = wait_for_signal(args.duration)
+        if signal_name:
+            print(f"received {signal_name}; draining...", flush=True)
+    finally:
+        harness.stop()
+    print("stopped.", flush=True)
     return 0
+
+
+def _cmd_proxy(args: argparse.Namespace) -> int:
+    from repro.memcached.slab import PAGE_SIZE
+    from repro.proxy import ProxyConfig, ProxyHarness
+
+    names = [f"live-{index:02d}" for index in range(args.nodes)]
+    config = ProxyConfig(
+        replication_factor=args.replicas,
+        failure_threshold=args.failure_threshold,
+        open_duration_s=args.open_duration,
+    )
+    harness = ProxyHarness(
+        names,
+        memory_per_node=args.memory_mb * PAGE_SIZE,
+        config=config,
+        host=args.host,
+        proxy_port=args.port,
+    )
+    harness.start()
+    try:
+        with _shutdown_signals() as wait_for_signal:
+            host, port = harness.proxy_endpoint
+            print(
+                f"proxy up at {host}:{port} over {args.nodes} backends:",
+                flush=True,
+            )
+            for name, (bhost, bport) in sorted(
+                harness.backends.endpoints.items()
+            ):
+                print(f"  {name}  {bhost}:{bport}", flush=True)
+            if args.duration is not None:
+                print(f"serving for {args.duration:.0f}s...", flush=True)
+            else:
+                print("serving; SIGINT/SIGTERM to stop", flush=True)
+            signal_name = wait_for_signal(args.duration)
+        if signal_name:
+            print(f"received {signal_name}; draining...", flush=True)
+    finally:
+        harness.stop()
+    print("stopped.", flush=True)
+    return 0
+
+
+def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
+    from repro.proxy import run_proxy_chaos
+
+    print(
+        f"proxy chaos: {args.nodes} backends, kill+restart one "
+        f"mid-traffic (seed {args.seed})..."
+    )
+    result = run_proxy_chaos(
+        nodes=args.nodes,
+        keys=args.keys,
+        healthy_ops=args.ops,
+        dead_ops=args.ops,
+        seed=args.seed,
+    )
+    print(f"  requests          {result.requests_total}")
+    print(f"  transport errors  {result.client_transport_errors}")
+    print(
+        f"  hits/misses       {result.hits}/{result.misses} "
+        f"(stored {result.stored}, rejected sets {result.rejected_sets})"
+    )
+    print(
+        f"  breaker           opened={result.breaker_opened} "
+        f"recovered={result.breaker_recovered} "
+        f"transitions={result.transitions}"
+    )
+    print(
+        f"  victim            {result.victim} "
+        f"(served after restart: {result.victim_served_after_restart})"
+    )
+    print(f"  wall clock        {result.elapsed_s:.2f}s")
+    print(f"  verdict           {'OK' if result.ok else 'FAILED'}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"  wrote {args.json}")
+    return 0 if result.ok else 1
 
 
 def _cmd_live_migrate(args: argparse.Namespace) -> int:
@@ -588,6 +714,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve for N seconds then exit (default: until Ctrl-C)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    proxy = sub.add_parser(
+        "proxy",
+        help="boot a live cluster behind an mcrouter-style proxy",
+    )
+    proxy.add_argument(
+        "--nodes", type=int, default=4, help="backend servers to boot"
+    )
+    proxy.add_argument(
+        "--memory-mb", type=int, default=8, help="cache MB per backend"
+    )
+    proxy.add_argument("--host", default="127.0.0.1", help="bind address")
+    proxy.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="proxy listen port; 0 picks a free port",
+    )
+    proxy.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="extra copies per promoted hot key (0 disables)",
+    )
+    proxy.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=3,
+        help="consecutive failures that trip a backend's breaker",
+    )
+    proxy.add_argument(
+        "--open-duration",
+        type=float,
+        default=1.0,
+        help="seconds a tripped breaker stays open before probing",
+    )
+    proxy.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then exit (default: until a signal)",
+    )
+    proxy.set_defaults(func=_cmd_proxy)
+
+    chaos = sub.add_parser(
+        "proxy-chaos",
+        help="kill+recover a backend behind the proxy; assert clean clients",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=4, help="backend servers to boot"
+    )
+    chaos.add_argument(
+        "--keys", type=int, default=64, help="keyspace size"
+    )
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=200,
+        help="client operations per phase (healthy / dead)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="traffic seed")
+    chaos.add_argument(
+        "--json", default=None, help="write the chaos report to a file"
+    )
+    chaos.set_defaults(func=_cmd_proxy_chaos)
 
     live = sub.add_parser(
         "live-migrate",

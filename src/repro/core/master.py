@@ -25,7 +25,7 @@ baseline would have.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.agent import Agent
 from repro.core.fusecache import fuse_cache_detailed
@@ -283,6 +283,35 @@ class Master:
         # non-merge import lands, after which the sortedness invariant is
         # no longer checkable (the paper's prepend import gives it up).
         self._mru_sorted = True
+        # Membership-change consumers (proxy routers, dashboards):
+        # called with the post-switch member list after every migration.
+        self._membership_listeners: list[Callable[[list[str]], None]] = []
+
+    def subscribe_membership(
+        self, listener: Callable[[list[str]], None]
+    ) -> None:
+        """Register a callback for post-switch membership changes.
+
+        ``listener`` receives the sorted active member list after every
+        executed migration's switch phase -- the hook a proxy tier uses
+        to swap its routing ring the moment the Master commits a scale
+        event.  Listeners are invoked synchronously in subscription
+        order; a listener that raises aborts the migration report with
+        its own exception (the switch itself has already committed), so
+        listeners are expected to be robust.
+        """
+        self._membership_listeners.append(listener)
+
+    def unsubscribe_membership(
+        self, listener: Callable[[list[str]], None]
+    ) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._membership_listeners:
+            self._membership_listeners.remove(listener)
+
+    def _notify_membership(self, members: list[str]) -> None:
+        for listener in list(self._membership_listeners):
+            listener(list(members))
 
     def agent(self, name: str) -> Agent:
         """The Agent on node ``name``."""
@@ -773,6 +802,7 @@ class Master:
                 if name in self.cluster.nodes:
                     self.cluster.activate(name)
         report.membership_after = sorted(self.cluster.active_members)
+        self._notify_membership(report.membership_after)
         switch_span.set(membership=report.membership_after)
         switch_span.end(sim_s=clock)
         self._finish_migration_trace(span, report, clock)

@@ -9,9 +9,13 @@ recorded in :class:`~repro.core.master.PhaseTimings` and the
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+
+JITTER_MODES = ("none", "decorrelated")
+"""Supported jitter strategies for :class:`RetryPolicy`."""
 
 
 @dataclass(frozen=True)
@@ -28,12 +32,22 @@ class RetryPolicy:
         Growth factor between consecutive backoffs.
     max_backoff_s:
         Cap on any single backoff.
+    jitter:
+        ``"none"`` (default) keeps the deterministic exponential
+        schedule.  ``"decorrelated"`` draws each backoff uniformly from
+        ``[base, min(cap, 3 * previous)]`` (the AWS "decorrelated
+        jitter" chain), which de-synchronises clients that all failed at
+        the same instant so their retries do not stampede a recovering
+        backend.  Jittered delays are still fully deterministic: the
+        chain is derived from the ``seed`` passed to :meth:`backoff_s`
+        (callers give each client its own seed).
     """
 
     max_attempts: int = 3
     base_backoff_s: float = 0.5
     backoff_multiplier: float = 2.0
     max_backoff_s: float = 30.0
+    jitter: str = "none"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -46,20 +60,59 @@ class RetryPolicy:
             raise ConfigurationError(
                 "max_backoff_s must be >= base_backoff_s"
             )
+        if self.jitter not in JITTER_MODES:
+            raise ConfigurationError(
+                f"jitter must be one of {JITTER_MODES}, got {self.jitter!r}"
+            )
 
-    def backoff_s(self, failures: int) -> float:
-        """Modeled wait after the ``failures``-th consecutive failure."""
+    def backoff_s(self, failures: int, seed: int | None = None) -> float:
+        """Modeled wait after the ``failures``-th consecutive failure.
+
+        With ``jitter="decorrelated"`` the delay is drawn from a seeded
+        decorrelated-jitter chain: the same ``(policy, seed, failures)``
+        triple always yields the identical delay, so simulations and
+        tests stay reproducible while distinct seeds (one per client)
+        spread simultaneous retries apart.  ``seed`` is ignored when
+        jitter is off; a jittered policy with no seed uses seed 0.
+        """
         if failures < 1:
             raise ConfigurationError("failures must be >= 1")
-        delay = self.base_backoff_s * self.backoff_multiplier ** (failures - 1)
-        return min(delay, self.max_backoff_s)
+        if self.jitter == "none":
+            delay = self.base_backoff_s * self.backoff_multiplier ** (
+                failures - 1
+            )
+            return min(delay, self.max_backoff_s)
+        rng = random.Random(0 if seed is None else seed)
+        delay = self.base_backoff_s
+        for _ in range(failures):
+            ceiling = min(
+                self.max_backoff_s,
+                max(self.base_backoff_s, 3.0 * delay),
+            )
+            delay = rng.uniform(self.base_backoff_s, ceiling)
+        return delay
 
     def total_backoff_s(self) -> float:
-        """Worst-case modeled wait if every attempt fails."""
-        return sum(
-            self.backoff_s(failure)
-            for failure in range(1, self.max_attempts)
-        )
+        """Worst-case modeled wait if every attempt fails.
+
+        For jittered policies this is the upper envelope of the
+        decorrelated chain (each draw is at most ``3x`` the previous,
+        capped), not any particular seed's realisation.
+        """
+        if self.jitter == "none":
+            return sum(
+                self.backoff_s(failure)
+                for failure in range(1, self.max_attempts)
+            )
+        total = 0.0
+        ceiling = self.base_backoff_s
+        for _ in range(1, self.max_attempts):
+            ceiling = min(
+                self.max_backoff_s,
+                max(self.base_backoff_s, 3.0 * ceiling),
+            )
+            total += ceiling
+        return total
 
 
 NO_RETRY = RetryPolicy(max_attempts=1)

@@ -227,6 +227,12 @@ class NodeClient:
     retry:
         Transport retry schedule; backoffs are real ``asyncio.sleep``
         waits scaled by ``backoff_scale`` (tests shrink it).
+    retry_seed:
+        Seed for jittered retry policies
+        (``RetryPolicy(jitter="decorrelated")``): give every client its
+        own seed and simultaneous failures back off on decorrelated
+        schedules instead of stampeding the backend in lockstep.
+        Ignored by non-jittered policies.
     """
 
     def __init__(
@@ -238,6 +244,7 @@ class NodeClient:
         timeout_s: float = 5.0,
         retry: RetryPolicy | None = None,
         backoff_scale: float = 1.0,
+        retry_seed: int | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.name = name
@@ -247,6 +254,7 @@ class NodeClient:
         self.timeout_s = timeout_s
         self.retry = retry or DEFAULT_CLIENT_RETRY
         self.backoff_scale = backoff_scale
+        self.retry_seed = retry_seed
         self._idle: deque[_Conn] = deque()
         self._sem = asyncio.Semaphore(self.pool_size)
         self._closed = False
@@ -357,8 +365,16 @@ class NodeClient:
                     ) from exc
                 self._m_retries.inc()
                 await asyncio.sleep(
-                    self.retry.backoff_s(failures) * self.backoff_scale
+                    self.retry.backoff_s(failures, seed=self.retry_seed)
+                    * self.backoff_scale
                 )
+            except BaseException:
+                # Cancellation (e.g. a proxy fan-out losing the race)
+                # must not leak the pooled connection or its semaphore
+                # slot; the connection state is unknown, so drop it.
+                if conn is not None:
+                    self._discard(conn)
+                raise
             else:
                 self._release(conn)
                 return results

@@ -307,6 +307,26 @@ class LiveClusterHarness:
         self.loop.stop()
         self._started = False
 
+    def stop_node(self, name: str) -> None:
+        """Kill one node's listener; its cached data stays in memory.
+
+        New connections get refused and pooled ones see EOF, which is
+        how proxy/failover tests simulate a backend dying mid-traffic.
+        Idempotent; :meth:`start_node` brings the listener back on the
+        same port with the data intact (a warm restart).
+        """
+        if not self._started:
+            raise ConfigurationError("harness is not started")
+        self.loop.call(self.servers[name].stop(), timeout=30.0)
+
+    def start_node(self, name: str) -> tuple[str, int]:
+        """Restart a node's listener on its previous port."""
+        if not self._started:
+            raise ConfigurationError("harness is not started")
+        server = self.servers[name]
+        self.loop.call(server.start(), timeout=10.0)
+        return server.endpoint
+
     # -- context manager -------------------------------------------------
 
     def __enter__(self) -> "LiveClusterHarness":

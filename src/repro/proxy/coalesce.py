@@ -1,0 +1,83 @@
+"""In-flight get coalescing: one backend fetch per hot key.
+
+When many clients miss on the same key at the same moment, a naive
+proxy forwards every one of them -- the *thundering herd* that turns a
+single hot-key expiry into a backend (and ultimately database) storm.
+:class:`GetCoalescer` collapses those concurrent fetches: the first
+request for a key becomes the **leader** and actually goes to the
+backend; every request that arrives while the leader is in flight
+becomes a **follower** and simply awaits the leader's result.
+
+The coalescer is deliberately memoryless: the moment the leader's fetch
+resolves, the key leaves the in-flight table, so sequential requests are
+never served a cached answer -- this is request collapsing, not a cache.
+Leader failures propagate to every follower (they would all have hit the
+same dead backend), and a cancelled follower never cancels the shared
+fetch.
+
+``proxy_coalesce_leaders_total`` / ``proxy_coalesce_followers_total``
+count the split; the hot-key-storm test asserts the follower share --
+the *collapse ratio* -- stays above 90%.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+
+class GetCoalescer:
+    """Collapses concurrent same-key fetches behind one loader call."""
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        metrics = (telemetry or NULL_TELEMETRY).metrics
+        self._m_leaders = metrics.counter(
+            "proxy_coalesce_leaders_total",
+            "Key fetches that actually went to a backend",
+        )
+        self._m_followers = metrics.counter(
+            "proxy_coalesce_followers_total",
+            "Key fetches collapsed onto an in-flight leader",
+        )
+
+    @property
+    def inflight(self) -> int:
+        """Number of keys with a leader fetch currently in flight."""
+        return len(self._inflight)
+
+    async def fetch(
+        self, key: str, loader: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Return ``loader()``'s result, sharing it with concurrent callers.
+
+        The first caller for ``key`` runs ``loader`` for real; callers
+        arriving before it resolves await the same outcome (result or
+        exception) without touching the backend.
+        """
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self._m_followers.inc()
+            # shield(): a follower timing out / being cancelled must not
+            # cancel the shared future out from under the leader.
+            return await asyncio.shield(pending)
+        self._m_leaders.inc()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await loader()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_exception(exc)
+                # Mark the exception retrieved so a leader with no
+                # followers does not log "exception never retrieved".
+                future.exception()
+            raise
+        else:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_result(result)
+            return result

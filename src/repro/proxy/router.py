@@ -1,0 +1,611 @@
+"""Request routing for the proxy tier: breakers, coalescing, replication.
+
+:class:`ProxyRouter` owns everything between the proxy's client-facing
+listener and the backend fleet:
+
+- a ketama ring over the *active* backends (the same
+  :class:`~repro.hashing.ketama.ConsistentHashRing` the cluster facades
+  use, so the proxy and the Master route identically);
+- one pooled :class:`~repro.net.client.NodeClient` per backend, with a
+  short jittered retry schedule seeded per backend;
+- one :class:`~repro.proxy.breaker.CircuitBreaker` per backend: a dead
+  backend fails fast, gets degrade to misses and sets to no-ops
+  (``NOT_STORED``) instead of surfacing transport errors to clients;
+- a :class:`~repro.proxy.coalesce.GetCoalescer` collapsing concurrent
+  same-key fetches behind a single backend round trip;
+- hot-key replication: a sampled detector promotes the top keys onto R
+  extra backends, reads fan out first-hit-wins across the copies (so a
+  dead primary is *invisible* for replicated keys), and writes
+  invalidate every replica before acknowledging (write-through
+  invalidation).
+
+The router is also a membership-change consumer: hand
+:meth:`membership_listener` to
+:meth:`~repro.core.master.Master.subscribe_membership` and every
+post-switch ring lands here thread-safely, so scale events happen behind
+a stable client surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.retry import RetryPolicy
+from repro.errors import (
+    ConfigurationError,
+    MembershipError,
+    TransportError,
+)
+from repro.hashing.hashutil import hash32
+from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
+from repro.net.client import NodeClient
+from repro.obs import Telemetry, create_telemetry
+from repro.proxy.breaker import STATE_CODES, CircuitBreaker
+from repro.proxy.coalesce import GetCoalescer
+from repro.proxy.hotkeys import HotKeyDetector, ReplicaRegistry
+
+Value = tuple[int, bytes]
+"""Wire values are ``(flags, payload)`` pairs, as NodeClient returns."""
+
+DEFAULT_PROXY_RETRY = RetryPolicy(
+    max_attempts=2,
+    base_backoff_s=0.02,
+    max_backoff_s=0.2,
+    jitter="decorrelated",
+)
+"""Short, jittered backend retry: fail over to degradation quickly."""
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Tunables for one proxy instance.
+
+    Parameters
+    ----------
+    replication_factor:
+        Extra copies per promoted hot key (0 disables replication).
+    max_hot_keys:
+        Bound on simultaneously promoted keys.
+    promote_threshold / sample_every / decay_every:
+        Hot-key detector knobs (see
+        :class:`~repro.proxy.hotkeys.HotKeyDetector`).
+    failure_threshold / open_duration_s / close_after:
+        Circuit-breaker knobs (see
+        :class:`~repro.proxy.breaker.CircuitBreaker`).
+    timeout_s / retry / backoff_scale / pool_size:
+        Backend client transport settings; the retry policy defaults to
+        a short decorrelated-jitter schedule, seeded per backend.
+    vnodes:
+        Ring geometry; must match the cluster facades' so the proxy and
+        the Master agree on key placement.
+    """
+
+    replication_factor: int = 1
+    max_hot_keys: int = 8
+    promote_threshold: int = 32
+    sample_every: int = 1
+    decay_every: int = 10_000
+    failure_threshold: int = 3
+    open_duration_s: float = 1.0
+    close_after: int = 1
+    timeout_s: float = 1.0
+    retry: RetryPolicy | None = None
+    backoff_scale: float = 1.0
+    pool_size: int = 4
+    vnodes: int = DEFAULT_VNODES
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 0:
+            raise ConfigurationError("replication_factor must be >= 0")
+
+
+class ProxyRouter:
+    """Routes client operations to backends with robustness mechanisms.
+
+    Parameters
+    ----------
+    endpoints:
+        ``{backend_name: (host, port)}`` for every reachable backend,
+        including spares currently outside the ring.
+    active:
+        Backends initially on the ring; defaults to every endpoint.
+    config:
+        Robustness tunables (:class:`ProxyConfig`).
+    telemetry:
+        Metrics sink.  Unlike most components the default is an
+        *enabled* registry, because breaker states and coalesce counters
+        are the proxy's primary observable surface (the ``stats`` wire
+        command reads them back).
+    """
+
+    def __init__(
+        self,
+        endpoints: dict[str, tuple[str, int]],
+        active: Iterable[str] | None = None,
+        config: ProxyConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if not endpoints:
+            raise ConfigurationError("ProxyRouter needs at least one backend")
+        self.config = config or ProxyConfig()
+        self.telemetry = telemetry or create_telemetry()
+        self._endpoints = dict(endpoints)
+        names = sorted(active) if active is not None else sorted(endpoints)
+        unknown = [name for name in names if name not in self._endpoints]
+        if unknown:
+            raise MembershipError(f"backends without endpoints: {unknown}")
+        self.ring = ConsistentHashRing(names, vnodes=self.config.vnodes)
+        self.clients: dict[str, NodeClient] = {}
+        self.breakers: dict[str, CircuitBreaker] = {
+            name: self._make_breaker(name) for name in self._endpoints
+        }
+        self.coalescer = GetCoalescer(self.telemetry)
+        self.detector = HotKeyDetector(
+            promote_threshold=self.config.promote_threshold,
+            sample_every=self.config.sample_every,
+            decay_every=self.config.decay_every,
+        )
+        self.replicas = ReplicaRegistry(
+            max_hot_keys=self.config.max_hot_keys,
+            telemetry=self.telemetry,
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._background: set[asyncio.Task] = set()
+        self._closed = False
+        metrics = self.telemetry.metrics
+        self._m_ops = {
+            op: metrics.counter(
+                "proxy_requests_total", "Client operations routed", op=op
+            )
+            for op in ("get", "set", "delete", "incr")
+        }
+        self._m_degraded = {
+            op: metrics.counter(
+                "proxy_degraded_total",
+                "Operations degraded to miss/no-op by breakers or dead "
+                "backends",
+                op=op,
+            )
+            for op in ("get", "set", "delete", "incr")
+        }
+        self._m_fanout = metrics.counter(
+            "proxy_fanout_reads_total",
+            "Replicated-key reads fanned out to several backends",
+        )
+        self._m_stale = metrics.counter(
+            "proxy_stale_serves_total",
+            "Replicated-key reads served while the primary was rejected "
+            "by its breaker",
+        )
+        self._m_repairs = metrics.counter(
+            "proxy_read_repairs_total",
+            "Background replica refreshes after a fan-out miss",
+        )
+        self._m_switches = metrics.counter(
+            "proxy_membership_switches_total",
+            "Membership updates applied to the proxy ring",
+        )
+        self._m_members = metrics.gauge(
+            "proxy_active_backends", "Backends currently on the proxy ring"
+        )
+        self._m_members.set(len(names))
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _make_breaker(self, name: str) -> CircuitBreaker:
+        return CircuitBreaker(
+            name,
+            failure_threshold=self.config.failure_threshold,
+            open_duration_s=self.config.open_duration_s,
+            close_after=self.config.close_after,
+            telemetry=self.telemetry,
+        )
+
+    def client(self, name: str) -> NodeClient:
+        """The (lazily created) pooled client for backend ``name``."""
+        client = self.clients.get(name)
+        if client is None:
+            host, port = self._endpoints[name]
+            client = NodeClient(
+                name,
+                host,
+                port,
+                pool_size=self.config.pool_size,
+                timeout_s=self.config.timeout_s,
+                retry=self.config.retry or DEFAULT_PROXY_RETRY,
+                backoff_scale=self.config.backoff_scale,
+                retry_seed=hash32(name),
+                telemetry=self.telemetry,
+            )
+            self.clients[name] = client
+        return client
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Pin the router to the event loop its coroutines run on."""
+        self._loop = loop
+
+    @property
+    def active_members(self) -> frozenset[str]:
+        return self.ring.members
+
+    def primary_for(self, key: str) -> str:
+        """The ring owner of ``key`` under current membership."""
+        return self.ring.node_for_key(key)
+
+    def _spawn(self, coro: Any) -> None:
+        """Track a fire-and-forget task (read repair, fan-out losers)."""
+        task = asyncio.get_running_loop().create_task(coro)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    async def close(self) -> None:
+        """Settle background tasks and close every backend client."""
+        self._closed = True
+        if self._background:
+            await asyncio.gather(
+                *list(self._background), return_exceptions=True
+            )
+        for client in self.clients.values():
+            await client.close()
+
+    # ------------------------------------------------------------------
+    # Breaker-guarded backend primitives
+    # ------------------------------------------------------------------
+
+    async def _admitted_get(self, backend: str, key: str) -> Value | None:
+        """One backend ``get`` whose breaker already admitted it."""
+        breaker = self.breakers[backend]
+        try:
+            value = await self.client(backend).get(key)
+        except TransportError:
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        return value
+
+    async def _guarded_set(
+        self,
+        backend: str,
+        key: str,
+        payload: bytes,
+        flags: int,
+        exptime: float,
+    ) -> bool | None:
+        """Breaker-guarded ``set``; None when rejected or failed."""
+        breaker = self.breakers[backend]
+        if not breaker.allow():
+            return None
+        try:
+            stored = await self.client(backend).set(
+                key, payload, flags=flags, exptime=exptime
+            )
+        except TransportError:
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        return stored
+
+    async def _guarded_delete(self, backend: str, key: str) -> bool | None:
+        """Breaker-guarded ``delete``; None when rejected or failed."""
+        breaker = self.breakers[backend]
+        if not breaker.allow():
+            return None
+        try:
+            existed = await self.client(backend).delete(key)
+        except TransportError:
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        return existed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    async def get(self, key: str) -> Value | None:
+        """Routed ``get``: coalesced, replicated, breaker-degraded.
+
+        Never raises for backend trouble -- a dead or open backend reads
+        as a miss (or is papered over by a replica for hot keys).
+        """
+        self._m_ops["get"].inc()
+        if not self.ring.members:
+            self._m_degraded["get"].inc()
+            return None
+        primary = self.ring.node_for_key(key)
+        hot = self.detector.observe(key)
+        replicas = self.replicas.replicas_for(key)
+        if hot and not replicas and self.config.replication_factor > 0:
+            replicas = await self._promote(key, primary)
+        return await self.coalescer.fetch(
+            key, lambda: self._fetch(key, primary, replicas)
+        )
+
+    async def _fetch(
+        self, key: str, primary: str, replicas: tuple[str, ...]
+    ) -> Value | None:
+        """The coalesced leader fetch: single-path or fan-out."""
+        primary_admitted = self.breakers[primary].allow()
+        if not replicas:
+            if not primary_admitted:
+                self._m_degraded["get"].inc()
+                return None
+            # A transport failure reads as a miss too -- the breaker,
+            # not the client, decides when to stop trying.
+            return await self._admitted_get(primary, key)
+        candidates = [primary] if primary_admitted else []
+        for backend in replicas:
+            if backend in self.ring.members and self.breakers[
+                backend
+            ].allow():
+                candidates.append(backend)
+        if not candidates:
+            self._m_degraded["get"].inc()
+            return None
+        if len(candidates) > 1:
+            self._m_fanout.inc()
+        value, missed = await self._first_hit(key, candidates)
+        if value is not None and not primary_admitted:
+            self._m_stale.inc()
+        if value is not None:
+            repair = [b for b in missed if b != primary and b in replicas]
+            if repair:
+                self._spawn(self._read_repair(key, repair, value))
+        return value
+
+    async def _first_hit(
+        self, key: str, candidates: list[str]
+    ) -> tuple[Value | None, list[str]]:
+        """Fan out ``get`` to every candidate; first *hit* wins.
+
+        Returns the winning value (or None when everyone missed) plus
+        the backends that had answered with a miss by decision time.
+        Losers still in flight are left to finish in the background --
+        NOT cancelled -- so a dead primary's transport failures still
+        reach its breaker even when a healthy replica answers first
+        (cancelling them would keep the breaker blind forever).
+        """
+        tasks = {
+            asyncio.ensure_future(self._admitted_get(backend, key)): backend
+            for backend in candidates
+        }
+        pending: set = set(tasks)
+        winner: Value | None = None
+        missed: list[str] = []
+        while pending and winner is None:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                value = task.result()
+                if value is not None and winner is None:
+                    winner = value
+                elif value is None:
+                    missed.append(tasks[task])
+        for task in pending:
+            self._background.add(task)
+            task.add_done_callback(self._background.discard)
+        return winner, missed
+
+    async def _read_repair(
+        self, key: str, backends: list[str], value: Value
+    ) -> None:
+        """Refresh replicas that missed during a winning fan-out."""
+        flags, payload = value
+        for backend in backends:
+            stored = await self._guarded_set(
+                backend, key, payload, flags, 0.0
+            )
+            if stored:
+                self._m_repairs.inc()
+
+    # ------------------------------------------------------------------
+    # Hot-key promotion
+    # ------------------------------------------------------------------
+
+    def _replica_targets(self, primary: str) -> tuple[str, ...]:
+        """R distinct backends after ``primary`` in sorted member order."""
+        members = sorted(self.ring.members)
+        if len(members) < 2:
+            return ()
+        start = members.index(primary) if primary in members else 0
+        targets = []
+        for offset in range(1, len(members)):
+            if len(targets) >= self.config.replication_factor:
+                break
+            candidate = members[(start + offset) % len(members)]
+            if candidate != primary:
+                targets.append(candidate)
+        return tuple(targets)
+
+    async def _promote(self, key: str, primary: str) -> tuple[str, ...]:
+        """Copy a hot key onto its replica set and register it."""
+        if self.replicas.full:
+            return ()
+        targets = self._replica_targets(primary)
+        if not targets:
+            return ()
+        if not self.breakers[primary].allow():
+            return ()
+        value = await self._admitted_get(primary, key)
+        if value is None:
+            return ()
+        flags, payload = value
+        copied = []
+        for backend in targets:
+            stored = await self._guarded_set(
+                backend, key, payload, flags, 0.0
+            )
+            if stored:
+                copied.append(backend)
+        if copied:
+            self.replicas.promote(key, copied)
+        return tuple(copied)
+
+    # ------------------------------------------------------------------
+    # Writes (write-through invalidation)
+    # ------------------------------------------------------------------
+
+    async def set(
+        self,
+        key: str,
+        payload: bytes,
+        flags: int = 0,
+        exptime: float = 0.0,
+    ) -> bool:
+        """Routed ``set``; False (a no-op) when the owner is unreachable.
+
+        Registered replicas are invalidated *before* the call returns,
+        so a read that follows a write can never be served a stale
+        replica copy.  A replica that cannot be invalidated is demoted
+        instead -- correctness over availability for that key.
+        """
+        self._m_ops["set"].inc()
+        if not self.ring.members:
+            self._m_degraded["set"].inc()
+            return False
+        primary = self.ring.node_for_key(key)
+        stored = await self._guarded_set(
+            primary, key, payload, flags, exptime
+        )
+        if stored is None:
+            self._m_degraded["set"].inc()
+            stored = False
+        await self._invalidate_replicas(key)
+        return bool(stored)
+
+    async def delete(self, key: str) -> bool:
+        """Routed ``delete``; False when degraded or absent."""
+        self._m_ops["delete"].inc()
+        if not self.ring.members:
+            self._m_degraded["delete"].inc()
+            return False
+        primary = self.ring.node_for_key(key)
+        existed = await self._guarded_delete(primary, key)
+        if existed is None:
+            self._m_degraded["delete"].inc()
+            existed = False
+        await self._invalidate_replicas(key)
+        return bool(existed)
+
+    async def _invalidate_replicas(self, key: str) -> None:
+        """Write-through invalidation: drop every replica copy of ``key``."""
+        for backend in self.replicas.replicas_for(key):
+            removed = await self._guarded_delete(backend, key)
+            if removed is None:
+                # The copy could not be removed; stop serving from it.
+                self.replicas.demote(key)
+
+    async def incr(self, key: str, delta: int = 1) -> int | None:
+        """Routed ``incr``; None when absent or degraded."""
+        self._m_ops["incr"].inc()
+        if not self.ring.members:
+            self._m_degraded["incr"].inc()
+            return None
+        primary = self.ring.node_for_key(key)
+        breaker = self.breakers[primary]
+        if not breaker.allow():
+            self._m_degraded["incr"].inc()
+            return None
+        try:
+            value = await self.client(primary).incr(key, delta)
+        except TransportError:
+            breaker.record_failure()
+            self._m_degraded["incr"].inc()
+            return None
+        breaker.record_success()
+        await self._invalidate_replicas(key)
+        return value
+
+    async def flush_all(self) -> None:
+        """Best-effort ``flush_all`` on every active backend."""
+        for backend in sorted(self.ring.members):
+            breaker = self.breakers[backend]
+            if not breaker.allow():
+                continue
+            try:
+                await self.client(backend).flush_all()
+            except TransportError:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        self.replicas.clear()
+
+    # ------------------------------------------------------------------
+    # Membership (the Master's post-switch ring lands here)
+    # ------------------------------------------------------------------
+
+    async def update_membership(self, members: Iterable[str]) -> None:
+        """Swap the routing ring to ``members`` (known backends only)."""
+        names = sorted(members)
+        if not names:
+            raise MembershipError("proxy membership cannot be empty")
+        unknown = [name for name in names if name not in self._endpoints]
+        if unknown:
+            raise MembershipError(
+                f"membership names unknown to the proxy: {unknown}"
+            )
+        self.ring.set_members(names)
+        self.replicas.retain_backends(names)
+        for name in names:
+            # A backend rejoining the ring deserves a fresh breaker
+            # verdict rather than a stale open state.
+            self.breakers[name].reset()
+        self._m_switches.inc()
+        self._m_members.set(len(names))
+
+    def membership_listener(self) -> Callable[[Iterable[str]], None]:
+        """A synchronous callback for
+        :meth:`~repro.core.master.Master.subscribe_membership`.
+
+        Safe to invoke from any thread; blocks until the proxy ring has
+        switched, so the Master's post-switch world and the proxy's
+        routing agree before the migration report returns.
+        """
+
+        def listener(members: Iterable[str]) -> None:
+            loop = self._loop
+            if loop is None:
+                raise ConfigurationError(
+                    "proxy router is not bound to a running event loop"
+                )
+            asyncio.run_coroutine_threadsafe(
+                self.update_membership(list(members)), loop
+            ).result(timeout=30.0)
+
+        return listener
+
+    # ------------------------------------------------------------------
+    # Introspection (the `stats` wire command)
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Integer-valued proxy counters for the ``stats`` command."""
+        metrics = self.telemetry.metrics
+        snapshot: dict[str, int] = {
+            "proxy_gets": int(self._m_ops["get"].value),
+            "proxy_sets": int(self._m_ops["set"].value),
+            "proxy_deletes": int(self._m_ops["delete"].value),
+            "degraded_gets": int(self._m_degraded["get"].value),
+            "degraded_sets": int(self._m_degraded["set"].value),
+            "coalesce_leaders": int(
+                metrics.counter("proxy_coalesce_leaders_total").value
+            ),
+            "coalesce_followers": int(
+                metrics.counter("proxy_coalesce_followers_total").value
+            ),
+            "coalesce_inflight": self.coalescer.inflight,
+            "fanout_reads": int(self._m_fanout.value),
+            "stale_serves": int(self._m_stale.value),
+            "read_repairs": int(self._m_repairs.value),
+            "hot_keys": len(self.replicas),
+            "active_backends": len(self.ring.members),
+            "membership_switches": int(self._m_switches.value),
+        }
+        for name, breaker in sorted(self.breakers.items()):
+            snapshot[f"breaker_state_{name}"] = STATE_CODES[breaker.state]
+        return snapshot

@@ -1,0 +1,423 @@
+"""Client-facing listener for the proxy tier, plus a full harness.
+
+:class:`ProxyServer` accepts the same memcached text dialect
+:class:`~repro.net.server.NodeServer` speaks, so any existing client
+(including :class:`~repro.net.client.NodeClient`) can point at the proxy
+instead of a node without changing a line.  Each parsed command is
+executed through a :class:`~repro.proxy.router.ProxyRouter`, which is
+where coalescing, hot-key replication, and circuit breaking happen; the
+listener itself stays a thin protocol adapter.
+
+Commands are handled sequentially per connection (the protocol is
+request/response ordered) but concurrently *across* connections, which
+is what lets the coalescer collapse a thundering herd of clients.
+
+Unlike a node server, the proxy never surfaces backend trouble to a
+client: a dead backend degrades ``get`` to a miss and ``set`` to
+``NOT_STORED``, so the client-visible stream stays error-free while the
+fleet churns underneath -- the property the chaos suite asserts.
+
+:class:`ProxyHarness` composes a backend
+:class:`~repro.net.server.LiveClusterHarness` with a router and a proxy
+listener on its own event loop, and is synchronous on the outside like
+every other harness in the repo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.faults.sockets import SocketFaultPolicy
+from repro.net.runtime import EventLoopThread
+from repro.net.server import LiveClusterHarness
+from repro.obs import Telemetry, create_telemetry
+from repro.proxy.router import ProxyConfig, ProxyRouter
+
+CRLF = b"\r\n"
+MAX_LINE = 8192
+"""Longest accepted command line (multi-key gets stay well under it)."""
+
+PROXY_VERSION = b"VERSION repro-proxy-1.0-elmem" + CRLF
+
+
+class ProxyServer:
+    """One asyncio TCP listener executing commands through a router.
+
+    Parameters
+    ----------
+    router:
+        The routing core; must live on the same event loop.
+    host / port:
+        Bind address; port 0 picks a free port, read back from
+        :attr:`port` after :meth:`start`.
+    drain_grace_s:
+        How long :meth:`stop` waits for open connections to finish.
+    """
+
+    def __init__(
+        self,
+        router: ProxyRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_grace_s: float = 2.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self.drain_grace_s = drain_grace_s
+        self._server: asyncio.Server | None = None
+        self._closing = False
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        telemetry = telemetry or router.telemetry
+        metrics = telemetry.metrics
+        self._m_conns = metrics.counter(
+            "proxy_connections_total",
+            "Client connections accepted by the proxy",
+        )
+        self._m_commands = metrics.counter(
+            "proxy_commands_total", "Wire commands parsed by the proxy"
+        )
+        self._m_protocol_errors = metrics.counter(
+            "proxy_protocol_errors_total",
+            "Malformed client commands answered with an error line",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ProxyServer":
+        """Bind and start accepting connections; idempotent."""
+        if self._server is not None:
+            return self
+        self._closing = False
+        self.router.bind_loop(asyncio.get_running_loop())
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """``(host, port)`` the proxy is reachable at."""
+        if self._server is None:
+            raise ConfigurationError("proxy server is not started")
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, drain open connections, then force-close."""
+        server = self._server
+        if server is None:
+            return
+        self._closing = True
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        if self._tasks:
+            done, pending = await asyncio.wait(
+                self._tasks, timeout=self.drain_grace_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.router.close()
+        self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        self._writers.add(writer)
+        self._m_conns.inc()
+        try:
+            await self._serve_connection(reader, writer)
+        except (OSError, EOFError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-command; nothing left to answer
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while not self._closing:
+            try:
+                line = await reader.readuntil(CRLF)
+            except asyncio.IncompleteReadError:
+                return
+            except asyncio.LimitOverrunError:
+                writer.write(b"CLIENT_ERROR line too long" + CRLF)
+                await writer.drain()
+                return
+            self._m_commands.inc()
+            response = await self._execute(
+                line[:-2].decode("utf-8", "replace"), reader
+            )
+            if response is None:
+                return  # quit
+            if response:
+                writer.write(response)
+                await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+
+    async def _execute(
+        self, line: str, reader: asyncio.StreamReader
+    ) -> bytes | None:
+        """Run one command line; ``None`` means close the connection."""
+        parts = line.split()
+        if not parts:
+            return b"ERROR" + CRLF
+        command = parts[0].lower()
+        args = parts[1:]
+        if command in ("get", "gets"):
+            return await self._cmd_get(args, with_cas=command == "gets")
+        if command == "set":
+            return await self._cmd_set(args, reader)
+        if command == "delete":
+            return await self._cmd_delete(args)
+        if command in ("incr", "decr"):
+            return await self._cmd_arith(args, command)
+        if command == "stats":
+            return self._cmd_stats()
+        if command == "version":
+            return PROXY_VERSION
+        if command == "flush_all":
+            await self.router.flush_all()
+            return b"OK" + CRLF
+        if command == "quit":
+            return None
+        self._m_protocol_errors.inc()
+        return b"ERROR" + CRLF
+
+    async def _cmd_get(self, keys: list[str], with_cas: bool) -> bytes:
+        if not keys:
+            self._m_protocol_errors.inc()
+            return b"ERROR" + CRLF
+        chunks: list[bytes] = []
+        for key in keys:
+            value = await self.router.get(key)
+            if value is None:
+                continue
+            flags, payload = value
+            header = f"VALUE {key} {flags} {len(payload)}"
+            if with_cas:
+                # The proxy does not route cas tokens (replicated keys
+                # have several); a zero token keeps gets parseable while
+                # making any cas attempt through the proxy a clean miss.
+                header += " 0"
+            chunks.append(header.encode("utf-8") + CRLF + payload + CRLF)
+        chunks.append(b"END" + CRLF)
+        return b"".join(chunks)
+
+    async def _cmd_set(
+        self, args: list[str], reader: asyncio.StreamReader
+    ) -> bytes:
+        # set <key> <flags> <exptime> <bytes> [noreply-token ignored]
+        if len(args) not in (4, 5):
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        key = args[0]
+        try:
+            flags = int(args[1])
+            exptime = float(args[2])
+            size = int(args[3])
+        except ValueError:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        if size < 0:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad data chunk" + CRLF
+        block = await reader.readexactly(size + 2)
+        if block[-2:] != CRLF:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad data chunk" + CRLF
+        stored = await self.router.set(
+            key, block[:-2], flags=flags, exptime=exptime
+        )
+        return (b"STORED" if stored else b"NOT_STORED") + CRLF
+
+    async def _cmd_delete(self, args: list[str]) -> bytes:
+        if len(args) != 1:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        existed = await self.router.delete(args[0])
+        return (b"DELETED" if existed else b"NOT_FOUND") + CRLF
+
+    async def _cmd_arith(self, args: list[str], command: str) -> bytes:
+        if len(args) != 2:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR bad command line format" + CRLF
+        try:
+            delta = int(args[1])
+        except ValueError:
+            self._m_protocol_errors.inc()
+            return b"CLIENT_ERROR invalid numeric delta argument" + CRLF
+        if command == "decr":
+            delta = -delta
+        value = await self.router.incr(args[0], delta)
+        if value is None:
+            return b"NOT_FOUND" + CRLF
+        return str(value).encode("utf-8") + CRLF
+
+    def _cmd_stats(self) -> bytes:
+        body = b"".join(
+            f"STAT {name} {value}".encode("utf-8") + CRLF
+            for name, value in sorted(
+                self.router.stats_snapshot().items()
+            )
+        )
+        return body + b"END" + CRLF
+
+
+class ProxyHarness:
+    """Backends + router + proxy listener, synchronous on the outside.
+
+    Boots a :class:`~repro.net.server.LiveClusterHarness` for the
+    backend fleet, then a :class:`ProxyServer` on its own event loop
+    fronting them.  Clients connect to :attr:`proxy_endpoint`; scale
+    events go through :meth:`router`'s membership listener; backend
+    failures are injected with :meth:`kill_backend` /
+    :meth:`restart_backend`.
+
+    Parameters
+    ----------
+    node_names:
+        Backends to boot (all start on the proxy ring unless ``active``
+        narrows it).
+    memory_per_node:
+        Bytes of cache per backend.
+    active:
+        Initial ring membership; defaults to every backend.
+    config:
+        Router tunables (:class:`~repro.proxy.router.ProxyConfig`).
+    fault_policy:
+        Optional socket fault schedule applied to the *backend* servers
+        (the proxy's own listener is never faulted -- the point is that
+        clients behind the proxy stay clean while backends misbehave).
+    """
+
+    def __init__(
+        self,
+        node_names: Iterable[str],
+        memory_per_node: int,
+        active: Iterable[str] | None = None,
+        config: ProxyConfig | None = None,
+        host: str = "127.0.0.1",
+        proxy_port: int = 0,
+        fault_policy: SocketFaultPolicy | None = None,
+        drain_grace_s: float = 2.0,
+        telemetry: Telemetry | None = None,
+        min_chunk: int = 96,
+        growth_factor: float = 1.25,
+    ) -> None:
+        self.telemetry = telemetry or create_telemetry()
+        self.backends = LiveClusterHarness(
+            node_names,
+            memory_per_node,
+            host=host,
+            min_chunk=min_chunk,
+            growth_factor=growth_factor,
+            fault_policy=fault_policy,
+            drain_grace_s=drain_grace_s,
+        )
+        self._active = list(active) if active is not None else None
+        self._config = config
+        self._host = host
+        self._proxy_port = proxy_port
+        self._drain_grace_s = drain_grace_s
+        self.loop = EventLoopThread(name="proxy-harness")
+        self.router: ProxyRouter | None = None
+        self.server: ProxyServer | None = None
+        self._started = False
+
+    @property
+    def proxy_endpoint(self) -> tuple[str, int]:
+        """``(host, port)`` clients should connect to."""
+        if self.server is None:
+            raise ConfigurationError("proxy harness is not started")
+        return self.server.endpoint
+
+    def start(self) -> "ProxyHarness":
+        """Boot backends, router, and the proxy listener; idempotent."""
+        if self._started:
+            return self
+        self.backends.start()
+        self.router = ProxyRouter(
+            self.backends.endpoints,
+            active=self._active,
+            config=self._config,
+            telemetry=self.telemetry,
+        )
+        self.server = ProxyServer(
+            self.router,
+            host=self._host,
+            port=self._proxy_port,
+            drain_grace_s=self._drain_grace_s,
+            telemetry=self.telemetry,
+        )
+        self.loop.start()
+        self.loop.call(self.server.start(), timeout=10.0)
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop the proxy, then the backends; idempotent."""
+        if not self._started:
+            return
+        if self.server is not None:
+            self.loop.call(self.server.stop(), timeout=30.0)
+        self.loop.stop()
+        self.backends.stop()
+        self._started = False
+
+    def kill_backend(self, name: str) -> None:
+        """Stop one backend's listener (data survives for restart)."""
+        self.backends.stop_node(name)
+
+    def restart_backend(self, name: str) -> tuple[str, int]:
+        """Bring a killed backend's listener back on the same port."""
+        return self.backends.start_node(name)
+
+    def set_membership(self, members: Iterable[str]) -> None:
+        """Switch the proxy ring synchronously (testing convenience)."""
+        if self.router is None:
+            raise ConfigurationError("proxy harness is not started")
+        self.loop.call(
+            self.router.update_membership(list(members)), timeout=10.0
+        )
+
+    def breaker_state(self, backend: str) -> str:
+        """Current breaker state for ``backend`` (reads the gauge side)."""
+        if self.router is None:
+            raise ConfigurationError("proxy harness is not started")
+        return self.router.breakers[backend].state
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "ProxyHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -15,6 +15,7 @@ reported numbers).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.core.policies import MigrationPolicy
@@ -175,3 +176,85 @@ def fault_sweep_config(
     config.migration_deadline_s = migration_deadline_s
     config.flow_timeout_s = flow_timeout_s
     return config
+
+
+# ----------------------------------------------------------------------
+# Hot-key storm (proxy-tier evaluation, beyond the paper's testbed)
+# ----------------------------------------------------------------------
+
+MAX_STORM_HOT_KEYS = 8
+"""A storm concentrates on at most this many keys -- the regime where a
+single node melts while the fleet idles, which is what the proxy tier's
+coalescing and hot-key replication are built for."""
+
+
+@dataclass(frozen=True)
+class HotKeyStorm:
+    """One seeded hot-key access burst.
+
+    ``requests`` is the full access sequence, ready to replay against a
+    cluster, a proxy router, or a live proxy; ``hot_keys`` are the storm
+    targets, hottest first.
+    """
+
+    hot_keys: tuple[str, ...]
+    cold_keys: tuple[str, ...]
+    requests: tuple[str, ...]
+    seed: int
+
+    @property
+    def hot_share(self) -> float:
+        """Realised fraction of requests that land on a hot key."""
+        if not self.requests:
+            return 0.0
+        hot = frozenset(self.hot_keys)
+        return sum(1 for key in self.requests if key in hot) / len(
+            self.requests
+        )
+
+
+def hot_key_storm(
+    requests: int = 1000,
+    hot_keys: int = 4,
+    cold_keys: int = 256,
+    hot_fraction: float = 0.9,
+    seed: int = 0,
+    key_prefix: str = "storm",
+) -> HotKeyStorm:
+    """A Zipf-like spike concentrating traffic onto ``hot_keys`` keys.
+
+    Each request lands on the hot set with probability ``hot_fraction``;
+    within the hot set, key ``k`` (rank ``r``, 1-based) is drawn with
+    weight ``1/r`` -- the head of a Zipf(1) distribution, the shape
+    measured for real Memcached workloads (ETC in Atikoglu et al.).  The
+    remainder spreads uniformly over a cold keyspace.  The same
+    ``(requests, hot_keys, cold_keys, hot_fraction, seed)`` tuple always
+    yields the identical sequence.
+
+    ``hot_keys`` is capped at :data:`MAX_STORM_HOT_KEYS`: a "storm" that
+    spreads over dozens of keys is just a workload, not a storm, and the
+    proxy tests rely on the hot set fitting the replica registry.
+    """
+    if not 1 <= hot_keys <= MAX_STORM_HOT_KEYS:
+        raise ConfigurationError(
+            f"hot_keys must be in [1, {MAX_STORM_HOT_KEYS}], got {hot_keys}"
+        )
+    if cold_keys < 1:
+        raise ConfigurationError("cold_keys must be >= 1")
+    if requests < 0:
+        raise ConfigurationError("requests must be >= 0")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigurationError("hot_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    hot = tuple(f"{key_prefix}:hot:{i:02d}" for i in range(hot_keys))
+    cold = tuple(f"{key_prefix}:cold:{i:05d}" for i in range(cold_keys))
+    weights = [1.0 / rank for rank in range(1, hot_keys + 1)]
+    sequence = tuple(
+        rng.choices(hot, weights=weights)[0]
+        if rng.random() < hot_fraction
+        else cold[rng.randrange(cold_keys)]
+        for _ in range(requests)
+    )
+    return HotKeyStorm(
+        hot_keys=hot, cold_keys=cold, requests=sequence, seed=seed
+    )

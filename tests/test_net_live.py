@@ -260,6 +260,160 @@ class TestTimeoutAndRetry:
         loop.call(client.close())
 
 
+class TickClock:
+    """A wall clock that advances a fixed step per reading, so a timed
+    fault window expires after a known number of policy consultations
+    without any real sleeping."""
+
+    def __init__(self, step: float) -> None:
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestMidStreamChunkDelays:
+    """SocketFaultPolicy delay dispositions against a *pipelined* client.
+
+    A large pipelined batch spans several RECV_CHUNK reads at the
+    server, and the policy delays each chunk mid-stream -- the slow-node
+    regime between "healthy" and "dead".  The client must either ride
+    it out within its timeout, retry on a fresh connection, or give up
+    with TransportError after the retry budget.
+    """
+
+    def big_batch(self, entries=300, value_bytes=512):
+        # ~150 KB of wire bytes: at least three 64 KB server reads, so
+        # the per-chunk delay is applied mid-request, not just once.
+        return [
+            (f"bulk:{i:04d}", i % 8, bytes([i % 251]) * value_bytes)
+            for i in range(entries)
+        ]
+
+    def test_cumulative_chunk_delays_exhaust_retries(self, loop):
+        """Per-chunk delays that sum past the timeout on every attempt
+        end in TransportError, one timeout per attempt."""
+        policy = SocketFaultPolicy(
+            FaultSchedule(
+                [FaultSpec(0.0, "node_stall", node="n0", factor=0.25)]
+            ),
+            base_delay_s=0.1,  # 0.1 * (1/0.25 - 1) = 0.3s per chunk
+        )
+        telemetry = create_telemetry()
+        with LiveClusterHarness(
+            ["n0"], MEMORY, fault_policy=policy, drain_grace_s=0.1
+        ) as harness:
+            host, port = harness.endpoints["n0"]
+            client = NodeClient(
+                "n0",
+                host,
+                port,
+                timeout_s=0.4,
+                retry=FAST_RETRY,
+                backoff_scale=0.1,
+                telemetry=telemetry,
+            )
+            started = time.monotonic()
+            with pytest.raises(TransportError, match="after 2 attempt"):
+                loop.call(client.set_many(self.big_batch()))
+            elapsed = time.monotonic() - started
+            # Two 0.4s timeouts plus backoff and slack, not the full
+            # ~0.9s-per-attempt the delays would add up to.
+            assert elapsed < 3.0
+            metrics = telemetry.metrics
+            assert (
+                metrics.counter("net_client_retries_total", node="n0").value
+                == 1
+            )
+            assert (
+                metrics.counter(
+                    "net_client_transport_errors_total", node="n0"
+                ).value
+                == 1
+            )
+            loop.call(client.close())
+
+    def test_stall_window_expiring_lets_the_retry_succeed(self, loop):
+        """First attempt lands inside the stall window and times out;
+        the retry's fresh connection arrives after the window expired
+        and the whole pipelined batch goes through."""
+        clock = TickClock(step=3.0)
+        policy = SocketFaultPolicy(
+            FaultSchedule(
+                [
+                    FaultSpec(
+                        0.0,
+                        "node_stall",
+                        node="n0",
+                        factor=0.0,  # dead stop while active
+                        duration_s=5.0,
+                    )
+                ]
+            ),
+            clock=clock,
+        )
+        telemetry = create_telemetry()
+        with LiveClusterHarness(
+            ["n0"], MEMORY, fault_policy=policy, drain_grace_s=0.1
+        ) as harness:
+            host, port = harness.endpoints["n0"]
+            client = NodeClient(
+                "n0",
+                host,
+                port,
+                timeout_s=0.3,
+                retry=FAST_RETRY,
+                backoff_scale=0.1,
+                telemetry=telemetry,
+            )
+            entries = self.big_batch(entries=40, value_bytes=64)
+            # Attempt 1: policy reads elapsed=3.0 < 5.0 -> dead stop ->
+            # client times out.  Attempt 2 (fresh connection): policy
+            # reads elapsed=6.0 > 5.0 -> pass -> success.
+            assert loop.call(client.set_many(entries)) == len(entries)
+            assert (
+                telemetry.metrics.counter(
+                    "net_client_retries_total", node="n0"
+                ).value
+                == 1
+            )
+            values = loop.call(
+                client.get_many([key for key, _, _ in entries])
+            )
+            assert values == [
+                (flags, payload) for _, flags, payload in entries
+            ]
+            loop.call(client.close())
+
+
+class TestHarnessNodeLifecycle:
+    def test_stop_node_refuses_connections_and_restart_is_warm(self, loop):
+        """stop_node kills only the listener: the cache survives, and
+        start_node brings it back on the same port."""
+        with LiveClusterHarness(
+            ["n0", "n1"], MEMORY, drain_grace_s=0.2
+        ) as harness:
+            host, port = harness.endpoints["n0"]
+            client = NodeClient(
+                "n0",
+                host,
+                port,
+                timeout_s=0.5,
+                retry=FAST_RETRY,
+                backoff_scale=0.1,
+            )
+            assert loop.call(client.set("k", b"v"))
+            harness.stop_node("n0")
+            with pytest.raises(TransportError):
+                loop.call(client.get("k"))
+            restarted = harness.start_node("n0")
+            assert restarted == (host, port)
+            assert loop.call(client.get("k")) == (0, b"v")
+            loop.call(client.close())
+
+
 class TestDegradeToColdOverSockets:
     def test_failed_import_flows_degrade_but_membership_switches(self):
         """Kill the import flows into one retained node mid-execution:

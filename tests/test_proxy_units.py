@@ -1,0 +1,392 @@
+"""Unit tests for the proxy tier's building blocks.
+
+Everything here is event-loop-local (``asyncio.run``) or purely
+synchronous; the socket-crossing proxy tests live in
+``test_proxy_live.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import create_telemetry
+from repro.proxy import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    GetCoalescer,
+    HotKeyDetector,
+    ProxyConfig,
+    ProxyRouter,
+    ReplicaRegistry,
+)
+
+
+class StepClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = StepClock()
+        telemetry = create_telemetry()
+        breaker = CircuitBreaker(
+            "n0", clock=clock, telemetry=telemetry, **kwargs
+        )
+        return breaker, clock, telemetry.metrics
+
+    def test_starts_closed_and_allows(self):
+        breaker, _, metrics = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert (
+            metrics.gauge("proxy_breaker_state", backend="n0").value == 0
+        )
+
+    def test_trips_open_after_threshold_consecutive_failures(self):
+        breaker, _, metrics = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        # A success resets the consecutive count.
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert (
+            metrics.gauge("proxy_breaker_state", backend="n0").value == 1
+        )
+        assert (
+            metrics.counter(
+                "proxy_breaker_transitions_total", backend="n0", to=OPEN
+            ).value
+            == 1
+        )
+
+    def test_open_rejects_and_counts(self):
+        breaker, _, metrics = self.make(failure_threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert (
+            metrics.counter(
+                "proxy_breaker_rejections_total", backend="n0"
+            ).value
+            == 2
+        )
+
+    def test_half_open_after_duration_single_probe_slot(self):
+        breaker, clock, _ = self.make(
+            failure_threshold=1, open_duration_s=1.0
+        )
+        breaker.record_failure()
+        clock.now = 0.5
+        assert not breaker.allow()
+        clock.now = 1.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # claims the probe slot
+        assert not breaker.allow()  # slot taken
+
+    def test_probe_success_closes(self):
+        breaker, clock, metrics = self.make(
+            failure_threshold=1, open_duration_s=1.0, close_after=1
+        )
+        breaker.record_failure()
+        clock.now = 1.5
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert (
+            metrics.counter(
+                "proxy_breaker_transitions_total", backend="n0", to=CLOSED
+            ).value
+            == 1
+        )
+
+    def test_probe_failure_reopens_and_restarts_timer(self):
+        breaker, clock, _ = self.make(
+            failure_threshold=1, open_duration_s=1.0
+        )
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 1.5  # only 0.5s since the re-open
+        assert not breaker.allow()
+        clock.now = 2.0
+        assert breaker.allow()
+
+    def test_close_after_requires_consecutive_probe_successes(self):
+        breaker, clock, _ = self.make(
+            failure_threshold=1, open_duration_s=1.0, close_after=2
+        )
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_reset_forces_closed(self):
+        breaker, _, _ = self.make(failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("n0", failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("n0", open_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("n0", close_after=0)
+
+
+class TestGetCoalescer:
+    def test_concurrent_same_key_fetches_share_one_loader_call(self):
+        async def scenario():
+            telemetry = create_telemetry()
+            coalescer = GetCoalescer(telemetry)
+            gate = asyncio.Event()
+            calls = 0
+
+            async def loader():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return (0, b"value")
+
+            tasks = [
+                asyncio.ensure_future(coalescer.fetch("k", loader))
+                for _ in range(10)
+            ]
+            await asyncio.sleep(0)  # let every fetch register
+            assert coalescer.inflight == 1
+            gate.set()
+            results = await asyncio.gather(*tasks)
+            metrics = telemetry.metrics
+            return calls, results, metrics
+
+        calls, results, metrics = asyncio.run(scenario())
+        assert calls == 1
+        assert results == [(0, b"value")] * 10
+        assert metrics.counter("proxy_coalesce_leaders_total").value == 1
+        assert metrics.counter("proxy_coalesce_followers_total").value == 9
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = GetCoalescer()
+
+            async def loader_for(key):
+                await asyncio.sleep(0)
+                return key
+
+            return await asyncio.gather(
+                coalescer.fetch("a", lambda: loader_for("a")),
+                coalescer.fetch("b", lambda: loader_for("b")),
+            )
+
+        assert asyncio.run(scenario()) == ["a", "b"]
+
+    def test_leader_failure_propagates_to_followers(self):
+        async def scenario():
+            coalescer = GetCoalescer()
+            gate = asyncio.Event()
+
+            async def loader():
+                await gate.wait()
+                raise RuntimeError("backend died")
+
+            tasks = [
+                asyncio.ensure_future(coalescer.fetch("k", loader))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            gate.set()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_memoryless_sequential_fetches_each_lead(self):
+        async def scenario():
+            telemetry = create_telemetry()
+            coalescer = GetCoalescer(telemetry)
+
+            async def loader():
+                return 1
+
+            await coalescer.fetch("k", loader)
+            await coalescer.fetch("k", loader)
+            return telemetry.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.counter("proxy_coalesce_leaders_total").value == 2
+        assert metrics.counter("proxy_coalesce_followers_total").value == 0
+
+    def test_cancelled_follower_does_not_cancel_leader(self):
+        async def scenario():
+            coalescer = GetCoalescer()
+            gate = asyncio.Event()
+
+            async def loader():
+                await gate.wait()
+                return "ok"
+
+            leader = asyncio.ensure_future(coalescer.fetch("k", loader))
+            await asyncio.sleep(0)
+            follower = asyncio.ensure_future(coalescer.fetch("k", loader))
+            await asyncio.sleep(0)
+            follower.cancel()
+            gate.set()
+            result = await leader
+            assert follower.cancelled() or isinstance(
+                follower.exception(), asyncio.CancelledError
+            )
+            return result
+
+        assert asyncio.run(scenario()) == "ok"
+
+
+class TestHotKeyDetector:
+    def test_promotes_at_threshold(self):
+        detector = HotKeyDetector(promote_threshold=3)
+        assert not detector.observe("k")
+        assert not detector.observe("k")
+        assert detector.observe("k")
+        assert detector.is_hot("k")
+        assert not detector.is_hot("other")
+
+    def test_sampling_is_deterministic_modulo(self):
+        detector = HotKeyDetector(promote_threshold=2, sample_every=2)
+        # Only every second observation is tallied.
+        for _ in range(4):
+            detector.observe("k")
+        assert detector.count("k") == 2
+        assert detector.is_hot("k")
+
+    def test_decay_halves_and_drops_zeros(self):
+        detector = HotKeyDetector(promote_threshold=10)
+        for _ in range(8):
+            detector.observe("hot")
+        detector.observe("cold")
+        detector.decay()
+        assert detector.count("hot") == 4
+        assert detector.count("cold") == 0
+        assert not detector.is_hot("hot")
+
+    def test_automatic_decay_cadence(self):
+        detector = HotKeyDetector(promote_threshold=100, decay_every=10)
+        for _ in range(10):
+            detector.observe("k")
+        # The tenth tally triggered a decay sweep: 10 // 2 = 5.
+        assert detector.count("k") == 5
+
+    def test_max_tracked_admission_cap(self):
+        detector = HotKeyDetector(promote_threshold=2, max_tracked=2)
+        detector.observe("a")
+        detector.observe("b")
+        detector.observe("c")  # table full; not admitted
+        assert detector.count("c") == 0
+        assert detector.observe("a")  # existing keys still tallied
+
+    def test_top_orders_hottest_first(self):
+        detector = HotKeyDetector(promote_threshold=100)
+        for key, count in (("a", 3), ("b", 5), ("c", 1)):
+            for _ in range(count):
+                detector.observe(key)
+        assert detector.top(2) == ["b", "a"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotKeyDetector(promote_threshold=0)
+        with pytest.raises(ConfigurationError):
+            HotKeyDetector(sample_every=0)
+
+
+class TestReplicaRegistry:
+    def test_promote_demote_roundtrip(self):
+        telemetry = create_telemetry()
+        registry = ReplicaRegistry(max_hot_keys=2, telemetry=telemetry)
+        registry.promote("k", ("n1", "n2"))
+        assert "k" in registry
+        assert registry.replicas_for("k") == ("n1", "n2")
+        registry.demote("k")
+        assert "k" not in registry
+        assert registry.replicas_for("k") == ()
+        metrics = telemetry.metrics
+        assert metrics.counter("proxy_replica_promotions_total").value == 1
+        assert metrics.counter("proxy_replica_demotions_total").value == 1
+
+    def test_capacity_bound(self):
+        registry = ReplicaRegistry(max_hot_keys=1)
+        registry.promote("a", ("n1",))
+        registry.promote("b", ("n1",))  # full; ignored
+        assert registry.full
+        assert "b" not in registry
+        # Re-promoting an existing key is always allowed.
+        registry.promote("a", ("n2",))
+        assert registry.replicas_for("a") == ("n2",)
+
+    def test_retain_backends_drops_stale_entries(self):
+        registry = ReplicaRegistry(max_hot_keys=4)
+        registry.promote("a", ("n1",))
+        registry.promote("b", ("n2", "n3"))
+        registry.retain_backends(["n1", "n2"])  # n3 departed
+        assert "a" in registry
+        assert "b" not in registry
+
+    def test_empty_promotion_is_ignored(self):
+        registry = ReplicaRegistry()
+        registry.promote("a", ())
+        assert "a" not in registry
+
+
+class TestProxyConfig:
+    def test_rejects_negative_replication(self):
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(replication_factor=-1)
+
+    def test_router_requires_backends(self):
+        with pytest.raises(ConfigurationError):
+            ProxyRouter({})
+
+    def test_router_rejects_unknown_active_names(self):
+        from repro.errors import MembershipError
+
+        with pytest.raises(MembershipError):
+            ProxyRouter(
+                {"n0": ("127.0.0.1", 1)}, active=["n0", "ghost"]
+            )
+
+    def test_replica_targets_walk_the_ring_members(self):
+        endpoints = {
+            f"n{i}": ("127.0.0.1", 1000 + i) for i in range(4)
+        }
+        router = ProxyRouter(
+            endpoints, config=ProxyConfig(replication_factor=2)
+        )
+        targets = router._replica_targets("n1")
+        assert len(targets) == 2
+        assert "n1" not in targets
+
+    def test_single_backend_has_no_replica_targets(self):
+        router = ProxyRouter(
+            {"n0": ("127.0.0.1", 1)},
+            config=ProxyConfig(replication_factor=2),
+        )
+        assert router._replica_targets("n0") == ()

@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.scenarios import (
+    MAX_STORM_HOT_KEYS,
     PAPER_SCENARIOS,
+    hot_key_storm,
     paper_config,
     scale_action_times,
 )
@@ -73,3 +75,62 @@ class TestPaperConfig:
         policy = CacheScalePolicy(discard_after_s=33.0)
         config = paper_config("sys", policy)
         assert config.policy is policy
+
+
+class TestHotKeyStorm:
+    def test_deterministic_for_same_seed(self):
+        a = hot_key_storm(requests=500, hot_keys=4, seed=11)
+        b = hot_key_storm(requests=500, hot_keys=4, seed=11)
+        assert a.requests == b.requests
+        assert a.hot_keys == b.hot_keys
+        c = hot_key_storm(requests=500, hot_keys=4, seed=12)
+        assert c.requests != a.requests
+
+    def test_hot_share_matches_requested_fraction(self):
+        storm = hot_key_storm(
+            requests=4000, hot_keys=4, hot_fraction=0.9, seed=3
+        )
+        assert storm.hot_share == pytest.approx(0.9, abs=0.03)
+
+    def test_zipf_head_hottest_key_dominates(self):
+        storm = hot_key_storm(
+            requests=4000, hot_keys=4, hot_fraction=1.0, seed=3
+        )
+        counts = {
+            key: storm.requests.count(key) for key in storm.hot_keys
+        }
+        ranked = sorted(counts.values(), reverse=True)
+        # 1/r weights: rank 1 sees roughly twice rank 2's traffic.
+        assert counts[storm.hot_keys[0]] == ranked[0]
+        assert ranked[0] > 1.5 * ranked[1]
+
+    def test_hot_keys_capped_at_eight(self):
+        assert MAX_STORM_HOT_KEYS == 8
+        storm = hot_key_storm(requests=10, hot_keys=8, seed=0)
+        assert len(storm.hot_keys) == 8
+        with pytest.raises(ConfigurationError):
+            hot_key_storm(hot_keys=9)
+        with pytest.raises(ConfigurationError):
+            hot_key_storm(hot_keys=0)
+
+    def test_requests_only_use_declared_keys(self):
+        storm = hot_key_storm(
+            requests=300, hot_keys=2, cold_keys=10, seed=5
+        )
+        keyspace = set(storm.hot_keys) | set(storm.cold_keys)
+        assert set(storm.requests) <= keyspace
+
+    def test_pure_hot_fraction(self):
+        storm = hot_key_storm(
+            requests=100, hot_keys=3, hot_fraction=1.0, seed=1
+        )
+        assert storm.hot_share == 1.0
+        assert set(storm.requests) <= set(storm.hot_keys)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hot_key_storm(hot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            hot_key_storm(cold_keys=0)
+        with pytest.raises(ConfigurationError):
+            hot_key_storm(requests=-1)
