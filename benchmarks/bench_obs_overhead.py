@@ -130,3 +130,31 @@ def test_disabled_overhead_under_three_percent():
     assert disabled_overhead < 0.03
     # And the null registry must never be slower than a live one.
     assert off_get <= on_get * 1.10
+
+
+def test_live_proxy_disabled_overhead_under_five_percent():
+    """Live-path variant: proxy get p99 over a real socket round trip.
+
+    Reuses the perf-gate measurement (interleaved blocks on one
+    harness, pooled p99 ratio, best of three passes -- see
+    ``repro.analysis.perfgate.bench_live_proxy``) so the bound asserted
+    here is exactly the one ``repro bench --gate`` enforces and records
+    in ``BENCH_latest.json``.
+    """
+    from repro.analysis.perfgate import bench_live_proxy
+
+    metrics = bench_live_proxy(quick=True)
+    overhead = metrics["live_proxy_p99_overhead"]
+    lines = [
+        f"proxy get p99    disabled {metrics['live_proxy_get_p99_ms']:8.3f} ms"
+        f" ({overhead - 1.0:+.1%} vs uninstrumented router)",
+        f"proxy get p99    traced   "
+        f"{metrics['live_proxy_traced_p99_ms']:8.3f} ms"
+        " (live metrics + 1% trace sampling)",
+        "bound: disabled telemetry must cost <5% proxy get p99.",
+    ]
+    write_report("obs_overhead_live", lines)
+
+    # Acceptance: disabled-mode overhead on the live proxy get path
+    # stays under 5% of the uninstrumented p99.
+    assert overhead < 1.05

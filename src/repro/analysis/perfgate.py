@@ -142,6 +142,21 @@ SPECS: tuple[MetricSpec, ...] = (
         "e2e_ticks_per_s",
         "simulated seconds per wall second, Fig. 2 mini scenario",
     ),
+    MetricSpec(
+        "live_proxy_p99_overhead",
+        "proxy get p99 with disabled telemetry vs the uninstrumented "
+        "router path (ratio; the live-obs instrumentation tax)",
+        higher_is_better=False,
+        floor=1.05,
+    ),
+    MetricSpec(
+        "live_proxy_get_p99_ms",
+        "proxy get p99 over localhost TCP, disabled telemetry (ms)",
+    ),
+    MetricSpec(
+        "live_proxy_traced_p99_ms",
+        "proxy get p99 with live metrics + 1% trace sampling (ms)",
+    ),
 )
 
 SPEC_INDEX = {spec.name: spec for spec in SPECS}
@@ -328,6 +343,146 @@ def bench_e2e(quick: bool) -> dict[str, float]:
     return {"e2e_ticks_per_s": duration / elapsed}
 
 
+_BENCH_KEYS = [f"bench:{i:04d}" for i in range(64)]
+
+
+async def _bench_seed(client: Any) -> None:
+    payload = b"x" * 64
+    for key in _BENCH_KEYS:
+        await client.set(key, payload)
+
+
+async def _bench_drive(client: Any, count: int) -> list[float]:
+    """Per-op ``get`` latencies, timed inside the event loop."""
+    latencies = []
+    get = client.get
+    perf = time.perf_counter
+    keys = _BENCH_KEYS
+    for i in range(count):
+        key = keys[i % len(keys)]
+        start = perf()
+        await get(key)
+        latencies.append(perf() - start)
+    return latencies
+
+
+def _p99(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def _live_proxy_p99_s(telemetry: Any, ops: int) -> float:
+    """p99 of a proxied ``get`` over localhost TCP with ``telemetry``."""
+    from repro.net.client import NodeClient
+    from repro.proxy.server import ProxyHarness
+
+    harness = ProxyHarness(
+        ["bench-00", "bench-01"],
+        memory_per_node=1 << 20,
+        telemetry=telemetry,
+    )
+    with harness:
+        host, port = harness.proxy_endpoint
+        client = NodeClient("bench", host, port, timeout_s=5.0)
+        loop = harness.loop
+        try:
+            loop.call(_bench_seed(client), timeout=30.0)
+            loop.call(_bench_drive(client, max(ops // 4, 50)), timeout=60.0)
+            return _p99(loop.call(_bench_drive(client, ops), timeout=300.0))
+        finally:
+            loop.call(client.close(), timeout=5.0)
+
+
+def bench_live_proxy(quick: bool) -> dict[str, float]:
+    """Observability tax on the live proxy ``get`` path (p99 ratio).
+
+    The gated ``live_proxy_p99_overhead`` compares the shipped
+    "observability off" configuration (disabled telemetry through the
+    normal entry points) against an *uninstrumented* router whose
+    timing wrapper is monkeypatched away -- the same trick
+    ``benchmarks/bench_obs_overhead.py`` plays on ``MemcachedNode``.
+
+    Localhost socket p99 is noisy (scheduler jitter dwarfs the
+    nanosecond instrumentation branches), so the two modes are
+    interleaved in small alternating blocks on ONE harness -- both
+    pools sample the same machine conditions -- and the ratio of pooled
+    p99s is taken per pass, best (min) of three passes.  The traced
+    mode (live metrics + 1% sampling) boots its own harness because
+    telemetry is bound at construction; its p99 is informational only,
+    as is the absolute disabled-mode p99 (absolute numbers track
+    machine speed, not code changes).
+    """
+    import types
+
+    from repro.net.client import NodeClient
+    from repro.obs import NULL_TELEMETRY, create_telemetry
+    from repro.proxy.router import ProxyRouter
+    from repro.proxy.server import ProxyHarness
+
+    blocks = 40 if quick else 60
+    block_ops = 150 if quick else 250
+    passes = 3
+
+    def _toggle(router: Any, uninstrumented: bool) -> None:
+        if uninstrumented:
+            router.get = types.MethodType(ProxyRouter._get_inner, router)
+        else:
+            try:
+                del router.get  # back to the class's instrumented wrapper
+            except AttributeError:
+                pass
+
+    harness = ProxyHarness(
+        ["bench-00", "bench-01"],
+        memory_per_node=1 << 20,
+        telemetry=NULL_TELEMETRY,
+    )
+    ratio = math.inf
+    disabled_pool: list[float] = []
+    with harness:
+        host, port = harness.proxy_endpoint
+        client = NodeClient("bench", host, port, timeout_s=5.0)
+        loop = harness.loop
+        router = harness.router
+        try:
+            loop.call(_bench_seed(client), timeout=30.0)
+            loop.call(_bench_drive(client, 600), timeout=60.0)
+            for _ in range(passes):
+                upool: list[float] = []
+                dpool: list[float] = []
+                for block in range(blocks):
+                    order = (
+                        (True, upool), (False, dpool)
+                    ) if block % 2 == 0 else (
+                        (False, dpool), (True, upool)
+                    )
+                    for uninstrumented, pool in order:
+                        _toggle(router, uninstrumented)
+                        pool.extend(
+                            loop.call(
+                                _bench_drive(client, block_ops),
+                                timeout=120.0,
+                            )
+                        )
+                _toggle(router, False)
+                ratio = min(ratio, _p99(dpool) / _p99(upool))
+                disabled_pool.extend(dpool)
+        finally:
+            loop.call(client.close(), timeout=5.0)
+
+    traced = _live_proxy_p99_s(
+        create_telemetry(
+            "bench-proxy", live_trace=True, trace_sample=0.01, trace_seed=17
+        ),
+        blocks * block_ops,
+    )
+    return {
+        "live_proxy_p99_overhead": ratio,
+        "live_proxy_get_p99_ms": _p99(disabled_pool) * 1e3,
+        "live_proxy_traced_p99_ms": traced * 1e3,
+    }
+
+
 def run_benchmarks(quick: bool = False) -> dict[str, float]:
     """Run every micro-benchmark and merge the metric dicts."""
     metrics: dict[str, float] = {}
@@ -335,6 +490,7 @@ def run_benchmarks(quick: bool = False) -> dict[str, float]:
     metrics.update(bench_ring(quick))
     metrics.update(bench_fusecache(quick))
     metrics.update(bench_e2e(quick))
+    metrics.update(bench_live_proxy(quick))
     return metrics
 
 

@@ -117,10 +117,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.livetrace import read_live_spans
     from repro.obs.export import read_jsonl
     from repro.obs.timeline import render_timeline, summary_table
 
-    dump = read_jsonl(args.jsonl)
+    live_spans = read_live_spans(args.jsonl)
+    if live_spans:
+        return _obs_stitch(args, live_spans)
+    if len(args.jsonl) != 1:
+        print("multiple files given but none contain live spans")
+        return 1
+    dump = read_jsonl(args.jsonl[0])
     meta = {k: v for k, v in dump.meta.items() if k != "version"}
     if meta:
         print("run: " + ", ".join(f"{k}={v}" for k, v in meta.items()))
@@ -169,6 +176,39 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     f"  {sample['name']}{label_text} "
                     f"{sample.get('value', 0):g}"
                 )
+    return 0
+
+
+def _obs_stitch(args: argparse.Namespace, live_spans: list) -> int:
+    """Merge live-trace JSONL files and render stitched span trees."""
+    from repro.obs.livetrace import stitch_spans, trace_to_span_tree
+    from repro.obs.timeline import render_timeline
+
+    traces = stitch_spans(live_spans)
+    print(
+        f"stitched {len(live_spans)} live span(s) from "
+        f"{len(args.jsonl)} file(s) into {len(traces)} trace(s)"
+    )
+    shown = traces if args.limit <= 0 else traces[: args.limit]
+    for trace in shown:
+        print()
+        print(
+            f"trace {trace.trace_id}  "
+            f"processes: {', '.join(trace.processes)}  "
+            f"spans: {len(trace.spans)}  "
+            f"wall: {(trace.end_s - trace.start_s) * 1000:.2f}ms"
+        )
+        print(
+            render_timeline(
+                trace_to_span_tree(trace), width=args.width, clock="wall"
+            )
+        )
+    if len(shown) < len(traces):
+        print()
+        print(
+            f"... {len(traces) - len(shown)} more trace(s); "
+            "raise --limit to render them"
+        )
     return 0
 
 
@@ -405,16 +445,44 @@ def _shutdown_signals() -> "Iterator[Callable[[float | None], str]]":
             signal.signal(sig, old)
 
 
+def _live_telemetry(args: argparse.Namespace, process: str):
+    """Telemetry for a live serving command, or None when obs is off."""
+    if not (args.obs or args.obs_jsonl):
+        return None
+    from repro.obs import create_telemetry
+
+    return create_telemetry(
+        process,
+        live_trace=True,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
+    )
+
+
+def _export_live_jsonl(telemetry, path: str | None) -> None:
+    if telemetry is None or path is None:
+        return
+    from repro.obs.livetrace import write_live_jsonl
+
+    count = write_live_jsonl(
+        path, telemetry.live, metrics=telemetry.metrics
+    )
+    print(f"live spans -> {path} ({count} spans)", flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.memcached.slab import PAGE_SIZE
     from repro.net import LiveClusterHarness
 
     names = [f"live-{index:02d}" for index in range(args.nodes)]
+    telemetry = _live_telemetry(args, "serve")
     harness = LiveClusterHarness(
         names,
         memory_per_node=args.memory_mb * PAGE_SIZE,
         host=args.host,
         port_base=args.port,
+        telemetry=telemetry,
+        metrics=telemetry.metrics if telemetry is not None else None,
     )
     harness.start()
     try:
@@ -431,6 +499,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"received {signal_name}; draining...", flush=True)
     finally:
         harness.stop()
+    _export_live_jsonl(telemetry, args.obs_jsonl)
     print("stopped.", flush=True)
     return 0
 
@@ -445,12 +514,14 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
         failure_threshold=args.failure_threshold,
         open_duration_s=args.open_duration,
     )
+    telemetry = _live_telemetry(args, "proxy")
     harness = ProxyHarness(
         names,
         memory_per_node=args.memory_mb * PAGE_SIZE,
         config=config,
         host=args.host,
         proxy_port=args.port,
+        telemetry=telemetry,
     )
     harness.start()
     try:
@@ -473,8 +544,41 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
             print(f"received {signal_name}; draining...", flush=True)
     finally:
         harness.stop()
+    _export_live_jsonl(telemetry, args.obs_jsonl)
     print("stopped.", flush=True)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import TopDashboard
+
+    proxy = _parse_endpoint(args.proxy)
+    nodes = {}
+    for spec in args.node or []:
+        name, _, endpoint = spec.partition("=")
+        if not endpoint:
+            name, endpoint = spec, spec
+        nodes[name] = _parse_endpoint(endpoint)
+    dashboard = TopDashboard(proxy, nodes, timeout_s=args.timeout)
+    frames = 0
+    with _shutdown_signals() as wait_for_signal:
+        while True:
+            snapshot = dashboard.sample()
+            print(dashboard.render(snapshot, width=args.width), flush=True)
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                break
+            print(flush=True)
+            if wait_for_signal(args.interval):
+                break
+    return 0
+
+
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
 
 
 def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
@@ -490,6 +594,8 @@ def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
         healthy_ops=args.ops,
         dead_ops=args.ops,
         seed=args.seed,
+        trace_sample=args.trace_sample,
+        trace_jsonl=args.trace_jsonl,
     )
     print(f"  requests          {result.requests_total}")
     print(f"  transport errors  {result.client_transport_errors}")
@@ -506,6 +612,25 @@ def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
         f"  victim            {result.victim} "
         f"(served after restart: {result.victim_served_after_restart})"
     )
+    window = result.degradation.get("window_s")
+    window_text = f"{window:.3f}s" if window is not None else "unmeasured"
+    print(
+        f"  degradation       window {window_text} "
+        f"(killed at {result.degradation.get('killed_at_s')}s, "
+        f"recovered at {result.degradation.get('recovered_at_s')}s)"
+    )
+    for phase, numbers in result.degradation.get("phases", {}).items():
+        print(
+            f"    {phase:<9} p99 {numbers.get('p99_ms')}ms  "
+            f"hit rate {numbers.get('hit_rate')}"
+        )
+    scrape = result.obs_scrape
+    print(
+        f"  obs scrape        ok={scrape.get('ok')} "
+        f"({scrape.get('samples', 0)} samples, "
+        f"missing: {scrape.get('missing', []) or 'none'})"
+    )
+    print(f"  trace spans       {result.trace_spans}")
     print(f"  wall clock        {result.elapsed_s:.2f}s")
     print(f"  verdict           {'OK' if result.ok else 'FAILED'}")
     if args.json:
@@ -514,6 +639,21 @@ def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"  wrote {args.json}")
+    if args.window_json:
+        import json
+
+        with open(args.window_json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "degradation": result.degradation,
+                    "obs_scrape": result.obs_scrape,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"  wrote {args.window_json}")
+    if args.trace_jsonl:
+        print(f"  wrote {args.trace_jsonl}")
     return 0 if result.ok else 1
 
 
@@ -525,6 +665,16 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         f"live scale-in: {args.nodes} nodes -> retire {args.retire}, "
         f"{args.items} items over localhost TCP..."
     )
+    telemetry = None
+    if args.trace_jsonl:
+        from repro.obs import create_telemetry
+
+        telemetry = create_telemetry(
+            "live-migrate",
+            live_trace=True,
+            trace_sample=1.0,
+            trace_seed=args.seed,
+        )
     result = run_live_migration(
         nodes=args.nodes,
         retire=args.retire,
@@ -534,6 +684,8 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         memory_per_node=args.memory_mb * PAGE_SIZE,
         verify=not args.no_verify,
         timeout_s=args.timeout,
+        telemetry=telemetry,
+        trace_jsonl=args.trace_jsonl,
     )
     print(
         f"  outcome      {result.outcome} "
@@ -547,6 +699,13 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         f"{result.items_exported} exported, "
         f"{result.items_imported} imported"
     )
+    if result.degradation_window_s is not None:
+        print(
+            f"  degradation  {result.degradation_window_s:.3f}s "
+            "(membership in flux during execute)"
+        )
+    if result.trace_spans:
+        print(f"  trace spans  {result.trace_spans}")
     print(f"  wall clock   {result.wall_seconds:.2f}s")
     if result.verified is None:
         print("  equivalence  skipped (--no-verify)")
@@ -564,6 +723,8 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"  wrote {args.json}")
+    if args.trace_jsonl:
+        print(f"  wrote {args.trace_jsonl}")
     ok = result.warm and result.verified is not False
     return 0 if ok else 1
 
@@ -580,6 +741,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(report)
     return 0 if ok else 1
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """Shared live-observability flags for serving commands."""
+    command.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable live metrics + tracing (stats obs scrape surface)",
+    )
+    command.add_argument(
+        "--obs-jsonl",
+        default=None,
+        help="export live spans + metrics on shutdown (implies --obs)",
+    )
+    command.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of requests that start a live trace",
+    )
+    command.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed for the trace sampling/id generator",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -620,11 +807,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     obs = sub.add_parser(
-        "obs", help="render a telemetry JSONL file as ASCII timelines"
+        "obs",
+        help="render telemetry JSONL as ASCII timelines; multiple "
+        "live-trace files are stitched by trace id",
     )
-    obs.add_argument("jsonl", help="file written by run --trace-jsonl")
+    obs.add_argument(
+        "jsonl",
+        nargs="+",
+        help="file(s) written by run --trace-jsonl / --obs-jsonl",
+    )
     obs.add_argument("--width", type=int, default=60)
     obs.add_argument("--clock", choices=["sim", "wall"], default="sim")
+    obs.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="stitched traces to render (0 renders all)",
+    )
     obs.set_defaults(func=_cmd_obs)
 
     scenario = sub.add_parser(
@@ -713,6 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for N seconds then exit (default: until Ctrl-C)",
     )
+    _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     proxy = sub.add_parser(
@@ -756,7 +956,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for N seconds then exit (default: until a signal)",
     )
+    _add_obs_flags(proxy)
     proxy.set_defaults(func=_cmd_proxy)
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a live proxy's stats obs page",
+    )
+    top.add_argument(
+        "--proxy",
+        required=True,
+        metavar="HOST:PORT",
+        help="proxy endpoint to scrape",
+    )
+    top.add_argument(
+        "--node",
+        action="append",
+        metavar="NAME=HOST:PORT",
+        help="backend to scrape plain stats from (repeatable)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="frames to render then exit (default: until a signal)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_const",
+        dest="iterations",
+        const=1,
+        help="render a single frame and exit",
+    )
+    top.add_argument("--timeout", type=float, default=5.0)
+    top.add_argument("--width", type=int, default=78)
+    top.set_defaults(func=_cmd_top)
 
     chaos = sub.add_parser(
         "proxy-chaos",
@@ -777,6 +1017,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0, help="traffic seed")
     chaos.add_argument(
         "--json", default=None, help="write the chaos report to a file"
+    )
+    chaos.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.05,
+        help="fraction of proxy requests that start a live trace",
+    )
+    chaos.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="export the run's sampled live spans as JSON lines",
+    )
+    chaos.add_argument(
+        "--window-json",
+        default=None,
+        help="write the degradation window + scrape verdict to a file",
     )
     chaos.set_defaults(func=_cmd_proxy_chaos)
 
@@ -810,6 +1066,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live.add_argument(
         "--json", default=None, help="write the result summary to a file"
+    )
+    live.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="trace the migration and export its live spans",
     )
     live.set_defaults(func=_cmd_live_migrate)
 

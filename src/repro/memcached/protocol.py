@@ -41,9 +41,13 @@ modeled.
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import Any, Callable
 
 from repro.memcached.node import MemcachedNode, MigratedItem
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.livetrace import TraceContext, parse_trace_args
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
 
 CRLF = b"\r\n"
 MAX_KEY_LENGTH = 250
@@ -109,21 +113,50 @@ class TextProtocolServer:
     clock:
         Zero-argument callable returning the current simulation time;
         every operation is stamped with it.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  When its metrics layer
+        is enabled each dispatched command is timed into
+        ``net_server_execute_seconds``; when its live tracer is enabled
+        an incoming ``trace <trace_id> <span_id>`` framing line makes the
+        next command record a ``server.<command>`` span joined to the
+        caller's trace.
     """
 
     def __init__(
-        self, node: MemcachedNode, clock: Callable[[], float]
+        self,
+        node: MemcachedNode,
+        clock: Callable[[], float],
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.node = node
         self.clock = clock
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._buffer = b""
         # When a storage command header has been read, this holds
-        # (command line parts, payload bytes expected).
-        self._pending: tuple[list[str], int] | None = None
+        # (command line parts, payload bytes expected, trace context).
+        self._pending: tuple[list[str], int, TraceContext | None] | None = None
         # In-flight batch_import command, if any.
         self._import: _ImportState | None = None
         # In-flight mig_export command, if any.
         self._export: _ExportState | None = None
+        # Trace context announced by a `trace` frame, consumed by the
+        # next dispatched command.
+        self._trace: TraceContext | None = None
+        metrics = self.telemetry.metrics
+        self._obs: bool = bool(getattr(metrics, "enabled", False))
+        self._live: Any = self.telemetry.live
+        if self._obs:
+            self._m_execute: Any = metrics.histogram(
+                "net_server_execute_seconds",
+                "Command execution time inside the protocol handler.",
+                buckets=LATENCY_SECONDS_BUCKETS,
+                node=node.name,
+            )
+        else:
+            self._m_execute = None
+        # Total seconds spent executing commands, so the owning server
+        # can derive parse time as (feed wall time - execute delta).
+        self.execute_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -135,7 +168,7 @@ class TextProtocolServer:
         responses: list[bytes] = []
         while True:
             if self._pending is not None:
-                parts, size = self._pending
+                parts, size, ctx = self._pending
                 # Payload plus its trailing CRLF must be available.
                 if len(self._buffer) < size + 2:
                     break
@@ -146,7 +179,7 @@ class TextProtocolServer:
                 if trailer != CRLF:
                     responses.append(b"CLIENT_ERROR bad data chunk" + CRLF)
                 else:
-                    responses.append(self._store(parts, payload))
+                    responses.append(self._run_store(parts, payload, ctx))
                 continue
             if self._import is not None and self._import.header is not None:
                 key, last_access, size, flags = self._import.header
@@ -201,16 +234,85 @@ class TextProtocolServer:
     def _dispatch(self, line: str) -> bytes | None:
         parts = line.split()
         if not parts:
+            self._trace = None
             return b"ERROR" + CRLF
         command = parts[0].lower()
+        if command == "trace":
+            return self._trace_frame(parts[1:])
+        # The context announced by a preceding `trace` frame applies to
+        # exactly one command.
+        ctx, self._trace = self._trace, None
         if command in STORAGE_COMMANDS:
-            return self._begin_storage(parts)
+            return self._begin_storage(parts, ctx)
         handler = getattr(self, f"_cmd_{command}", None)
         if handler is None:
             return b"ERROR" + CRLF
+        if self._obs or ctx is not None:
+            return self._run_timed(command, handler, parts[1:], ctx)
         return handler(parts[1:])
 
-    def _begin_storage(self, parts: list[str]) -> bytes | None:
+    def _trace_frame(self, args: list[str]) -> bytes | None:
+        """Handle a ``trace <trace_id> <span_id>`` framing line."""
+        ctx = parse_trace_args(args)
+        if ctx is None:
+            self._trace = None
+            return b"CLIENT_ERROR bad trace frame" + CRLF
+        self._trace = ctx
+        return None
+
+    def _run_timed(
+        self,
+        command: str,
+        handler: Callable[[list[str]], bytes | None],
+        args: list[str],
+        ctx: TraceContext | None,
+    ) -> bytes | None:
+        # live-path timing, not sim time
+        start = time.perf_counter()  # repro: allow[REP001]
+        try:
+            return handler(args)
+        finally:
+            elapsed = time.perf_counter() - start  # repro: allow[REP001]
+            self.execute_seconds += elapsed
+            if self._m_execute is not None:
+                self._m_execute.observe(elapsed)
+            if ctx is not None and self._live.enabled:
+                wall_end = time.time()  # repro: allow[REP001]
+                span = self._live.start_span(
+                    f"server.{command}",
+                    ctx,
+                    start_s=wall_end - elapsed,
+                    node=self.node.name,
+                )
+                span.end(wall_end)
+
+    def _run_store(
+        self, parts: list[str], payload: bytes, ctx: TraceContext | None
+    ) -> bytes:
+        if not (self._obs or ctx is not None):
+            return self._store(parts, payload)
+        # live-path timing, not sim time
+        start = time.perf_counter()  # repro: allow[REP001]
+        try:
+            return self._store(parts, payload)
+        finally:
+            elapsed = time.perf_counter() - start  # repro: allow[REP001]
+            self.execute_seconds += elapsed
+            if self._m_execute is not None:
+                self._m_execute.observe(elapsed)
+            if ctx is not None and self._live.enabled:
+                wall_end = time.time()  # repro: allow[REP001]
+                span = self._live.start_span(
+                    f"server.{parts[0].lower()}",
+                    ctx,
+                    start_s=wall_end - elapsed,
+                    node=self.node.name,
+                )
+                span.end(wall_end)
+
+    def _begin_storage(
+        self, parts: list[str], ctx: TraceContext | None = None
+    ) -> bytes | None:
         command = parts[0].lower()
         expected = 6 if command == "cas" else 5
         if len(parts) not in (expected, expected + 1):
@@ -223,7 +325,7 @@ class TextProtocolServer:
             return b"CLIENT_ERROR bad data chunk" + CRLF
         if len(parts[1]) > MAX_KEY_LENGTH:
             return b"CLIENT_ERROR key too long" + CRLF
-        self._pending = (parts, size)
+        self._pending = (parts, size, ctx)
         return None
 
     def _store(self, parts: list[str], payload: bytes) -> bytes:
@@ -361,6 +463,8 @@ class TextProtocolServer:
     def _cmd_stats(self, args: list[str]) -> bytes:
         if args and args[0] == "slabs":
             return self._stats_slabs()
+        if args and args[0] == "obs":
+            return self._stats_obs()
         stats = self.node.stats
         pairs = [
             ("curr_items", self.node.curr_items),
@@ -379,6 +483,24 @@ class TextProtocolServer:
             for name, value in pairs
         )
         return body + b"END" + CRLF
+
+    def _stats_obs(self) -> bytes:
+        """``stats obs``: this process's metrics in Prometheus text.
+
+        The payload rides in standard ``VALUE`` framing so any client
+        that can read a ``get`` response (including
+        :meth:`repro.net.client.NodeClient.execute`) can scrape it.
+        With metrics disabled the payload is empty.
+        """
+        from repro.obs.export import to_prometheus
+
+        metrics = self.telemetry.metrics
+        if getattr(metrics, "enabled", False):
+            payload = to_prometheus(metrics).encode("utf-8")
+        else:
+            payload = b""
+        header = f"VALUE obs 0 {len(payload)}".encode("utf-8")
+        return header + CRLF + payload + CRLF + b"END" + CRLF
 
     def _stats_slabs(self) -> bytes:
         chunks: list[bytes] = []

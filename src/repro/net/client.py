@@ -20,6 +20,7 @@ state), and ``batch_import`` (install with hotness metadata).
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Iterable
@@ -28,6 +29,8 @@ from repro.core.retry import RetryPolicy
 from repro.errors import TransportError, WireProtocolError
 from repro.memcached.node import MigratedItem
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.livetrace import TraceContext, current_context
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
 
 CRLF = b"\r\n"
 
@@ -280,6 +283,25 @@ class NodeClient:
             "Commands per pipelined round trip",
             node=name,
         )
+        self._obs = bool(metrics.enabled)
+        self._m_queue_wait = metrics.histogram(
+            "net_client_queue_wait_seconds",
+            "Time spent waiting for a pooled connection slot",
+            buckets=LATENCY_SECONDS_BUCKETS,
+            node=name,
+        )
+        self._m_round_trip = metrics.histogram(
+            "net_client_roundtrip_seconds",
+            "Wire round-trip time of successful pipelined batches",
+            buckets=LATENCY_SECONDS_BUCKETS,
+            node=name,
+        )
+        self._live = telemetry.live
+        # Explicit trace context override for callers that bridge event
+        # loops through threads (contextvars do not cross
+        # run_coroutine_threadsafe); when set it wins over the ambient
+        # CURRENT_CONTEXT.
+        self.trace_context: TraceContext | None = None
 
     # ------------------------------------------------------------------
     # Connection pool
@@ -324,9 +346,11 @@ class NodeClient:
     # ------------------------------------------------------------------
 
     async def _round_trip(
-        self, conn: _Conn, requests: list[_Request]
+        self, conn: _Conn, requests: list[_Request], prefix: bytes = b""
     ) -> list[Any]:
-        conn.writer.write(b"".join(request.wire for request in requests))
+        conn.writer.write(
+            prefix + b"".join(request.wire for request in requests)
+        )
         await conn.writer.drain()
         return [await request.reader(conn) for request in requests]
 
@@ -337,47 +361,85 @@ class NodeClient:
             return []
         self._m_requests.inc()
         self._m_depth.observe(len(requests))
+        ctx = self.trace_context or current_context()
+        span = None
+        prefix = b""
+        if ctx is not None:
+            if self._live.enabled:
+                span = self._live.start_span(
+                    "client.rpc",
+                    ctx,
+                    node=self.name,
+                    commands=len(requests),
+                )
+                ctx = span.context
+            # The trace frame applies to the batch's first command; the
+            # server consumes one context per dispatched command.
+            prefix = ctx.wire_prefix()
         failures = 0
-        while True:
-            conn: _Conn | None = None
-            try:
-                conn = await self._acquire()
-                results = await asyncio.wait_for(
-                    self._round_trip(conn, requests), self.timeout_s
-                )
-            except WireProtocolError:
-                # Deterministic server-side rejection: the connection's
-                # remaining responses are unparseable, drop it, but do
-                # not retry the same doomed bytes.
-                if conn is not None:
-                    self._discard(conn)
-                raise
-            except (OSError, EOFError, asyncio.TimeoutError) as exc:
-                if conn is not None:
-                    self._discard(conn)
-                failures += 1
-                if failures >= self.retry.max_attempts:
-                    self._m_errors.inc()
-                    raise TransportError(
-                        f"node {self.name!r} at "
-                        f"{self.host}:{self.port}: request failed after "
-                        f"{failures} attempt(s): {exc!r}"
-                    ) from exc
-                self._m_retries.inc()
-                await asyncio.sleep(
-                    self.retry.backoff_s(failures, seed=self.retry_seed)
-                    * self.backoff_scale
-                )
-            except BaseException:
-                # Cancellation (e.g. a proxy fan-out losing the race)
-                # must not leak the pooled connection or its semaphore
-                # slot; the connection state is unknown, so drop it.
-                if conn is not None:
-                    self._discard(conn)
-                raise
-            else:
-                self._release(conn)
-                return results
+        try:
+            while True:
+                conn: _Conn | None = None
+                try:
+                    if self._obs:
+                        wait_start = time.perf_counter()
+                        conn = await self._acquire()
+                        self._m_queue_wait.observe(
+                            time.perf_counter() - wait_start
+                        )
+                        rt_start = time.perf_counter()
+                        results = await asyncio.wait_for(
+                            self._round_trip(conn, requests, prefix),
+                            self.timeout_s,
+                        )
+                        self._m_round_trip.observe(
+                            time.perf_counter() - rt_start
+                        )
+                    else:
+                        conn = await self._acquire()
+                        results = await asyncio.wait_for(
+                            self._round_trip(conn, requests, prefix),
+                            self.timeout_s,
+                        )
+                except WireProtocolError:
+                    # Deterministic server-side rejection: the connection's
+                    # remaining responses are unparseable, drop it, but do
+                    # not retry the same doomed bytes.
+                    if conn is not None:
+                        self._discard(conn)
+                    raise
+                except (OSError, EOFError, asyncio.TimeoutError) as exc:
+                    if conn is not None:
+                        self._discard(conn)
+                    failures += 1
+                    if failures >= self.retry.max_attempts:
+                        self._m_errors.inc()
+                        if span is not None:
+                            span.set_attribute("error", repr(exc))
+                        raise TransportError(
+                            f"node {self.name!r} at "
+                            f"{self.host}:{self.port}: request failed after "
+                            f"{failures} attempt(s): {exc!r}"
+                        ) from exc
+                    self._m_retries.inc()
+                    await asyncio.sleep(
+                        self.retry.backoff_s(failures, seed=self.retry_seed)
+                        * self.backoff_scale
+                    )
+                except BaseException:
+                    # Cancellation (e.g. a proxy fan-out losing the race)
+                    # must not leak the pooled connection or its semaphore
+                    # slot; the connection state is unknown, so drop it.
+                    if conn is not None:
+                        self._discard(conn)
+                    raise
+                else:
+                    self._release(conn)
+                    return results
+        finally:
+            if span is not None:
+                span.set_attribute("retries", failures)
+                span.end()
 
     # ------------------------------------------------------------------
     # Client operations
@@ -483,6 +545,19 @@ class NodeClient:
             )
         )[0]
         return {name: int(value) for name, value in raw.items()}
+
+    async def stats_obs(self) -> str:
+        """``stats obs``: the server process's Prometheus text page.
+
+        Empty string when the server runs with metrics disabled.
+        """
+        values = (
+            await self._request(
+                [_Request(_command("stats obs"), _read_values)]
+            )
+        )[0]
+        entry = values.get("obs")
+        return entry[1].decode("utf-8") if entry else ""
 
     async def execute(
         self, command: str, payload: bytes | None = None

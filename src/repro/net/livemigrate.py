@@ -31,6 +31,7 @@ from repro.memcached.slab import PAGE_SIZE
 from repro.net.cluster import LiveCluster
 from repro.net.server import LiveClusterHarness
 from repro.obs import Telemetry
+from repro.obs.livetrace import TraceContext, write_live_jsonl
 
 ContentSignature = list[tuple[str, int, bytes, float]]
 """Sorted ``(key, flags, payload, last_access)`` rows of one node."""
@@ -54,6 +55,10 @@ class LiveMigrationResult:
     # retained node's contents matched the in-process twin exactly.
     verified: bool | None = None
     mismatched_nodes: list[str] = field(default_factory=list)
+    # Wall time the cluster spent inside the three-phase execute -- the
+    # window during which routing/membership is in flux.
+    degradation_window_s: float | None = None
+    trace_spans: int = 0
 
     @property
     def warm(self) -> bool:
@@ -75,6 +80,12 @@ class LiveMigrationResult:
             "wall_seconds": round(self.wall_seconds, 3),
             "verified": self.verified,
             "mismatched_nodes": self.mismatched_nodes,
+            "degradation_window_s": (
+                round(self.degradation_window_s, 3)
+                if self.degradation_window_s is not None
+                else None
+            ),
+            "trace_spans": self.trace_spans,
         }
 
 
@@ -148,6 +159,7 @@ def run_live_migration(
     timeout_s: float = 5.0,
     backoff_scale: float = 1.0,
     telemetry: Telemetry | None = None,
+    trace_jsonl: str | None = None,
 ) -> LiveMigrationResult:
     """Boot ``nodes`` asyncio servers, seed them, retire ``retire`` of
     them through a socket-backed three-phase migration.
@@ -158,6 +170,13 @@ def run_live_migration(
     combine it with a small ``timeout_s``/``backoff_scale`` to exercise
     the degrade-to-cold path over real sockets.  ``verify`` replays the
     workload on an in-process twin and compares final contents.
+
+    With a live-tracing ``telemetry`` the whole migration becomes one
+    stitched trace -- a ``live_migration`` root with ``seed`` / ``plan``
+    / ``execute`` phase spans, each phase's wire operations (``ts_dump``
+    / ``mig_export`` / ``batch_import`` round trips and the servers'
+    execute spans) joined through the ``trace`` wire frame.
+    ``trace_jsonl`` exports this process's spans for ``repro obs``.
     """
     if nodes < 2:
         raise ConfigurationError("a live migration needs at least 2 nodes")
@@ -173,10 +192,27 @@ def run_live_migration(
         fault_policy = SocketFaultPolicy(
             fault_schedule, base_delay_s=fault_base_delay_s
         )
+    tracer: Any = getattr(telemetry, "live", None)
+    tracing = bool(getattr(tracer, "enabled", False))
     harness = LiveClusterHarness(
-        names, memory_per_node, fault_policy=fault_policy
+        names,
+        memory_per_node,
+        fault_policy=fault_policy,
+        telemetry=telemetry,
+        metrics=telemetry.metrics if telemetry is not None else None,
     )
     started = time.monotonic()
+    root = (
+        tracer.start_trace("live_migration", nodes=nodes, retire=retire)
+        if tracing
+        else None
+    )
+
+    def _phase(name: str) -> Any:
+        if root is None:
+            return None
+        return tracer.start_span(name, root.context)
+
     with harness:
         live = LiveCluster(
             harness.endpoints,
@@ -184,17 +220,43 @@ def run_live_migration(
             backoff_scale=backoff_scale,
             telemetry=telemetry,
         )
+
+        def _join_clients(ctx: TraceContext | None) -> None:
+            # Master runs on this thread while client I/O lives on the
+            # cluster's loop thread; contextvars do not cross that
+            # boundary, so phases join the trace via the clients'
+            # explicit override attribute.
+            for remote in live.nodes.values():
+                remote.client.trace_context = ctx
+
+        def _run_phase(name: str, work: Any) -> Any:
+            span = _phase(name)
+            if span is not None:
+                _join_clients(span.context)
+            try:
+                return work()
+            finally:
+                if span is not None:
+                    _join_clients(None)
+                    span.end()
+
         try:
             owners = live.route_many([record.key for record in records])
             groups: dict[str, list[MigratedItem]] = {}
             for record, owner in zip(records, owners):
                 groups.setdefault(owner, []).append(record)
-            seeded = _seed_cluster(groups, live.nodes)
+            seeded = _run_phase(
+                "seed", lambda: _seed_cluster(groups, live.nodes)
+            )
 
             master = Master(live, telemetry=telemetry)
             retiring = master.choose_retiring(retire)
-            plan = master.plan_scale_in(retiring)
-            report = master.execute(plan)
+            plan = _run_phase(
+                "plan", lambda: master.plan_scale_in(retiring)
+            )
+            execute_started = time.monotonic()
+            report = _run_phase("execute", lambda: master.execute(plan))
+            degradation_window_s = time.monotonic() - execute_started
 
             result = LiveMigrationResult(
                 node_names=names,
@@ -207,6 +269,7 @@ def run_live_migration(
                 completed_pairs=report.completed_pairs,
                 failed_flows=len(report.failed_flows),
                 wall_seconds=time.monotonic() - started,
+                degradation_window_s=degradation_window_s,
             )
             if verify:
                 _verify_against_twin(
@@ -214,6 +277,20 @@ def run_live_migration(
                 )
         finally:
             live.close()
+    if root is not None:
+        root.set_attribute("outcome", result.outcome)
+        root.set_attribute(
+            "window_s", round(result.degradation_window_s or 0.0, 6)
+        )
+        root.end()
+    if tracing:
+        result.trace_spans = len(tracer.spans)
+        if trace_jsonl is not None:
+            write_live_jsonl(
+                trace_jsonl,
+                tracer,
+                metrics=telemetry.metrics if telemetry is not None else None,
+            )
     result.wall_seconds = time.monotonic() - started
     return result
 

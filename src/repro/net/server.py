@@ -33,6 +33,7 @@ from repro.memcached.node import MemcachedNode
 from repro.memcached.protocol import TextProtocolServer
 from repro.net.runtime import EventLoopThread
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
 
 RECV_CHUNK = 65536
 """Bytes per socket read."""
@@ -79,7 +80,9 @@ class NodeServer:
         self._tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry = telemetry
         metrics = telemetry.metrics
+        self._obs = bool(metrics.enabled)
         self._m_conns = metrics.counter(
             "net_server_connections_total",
             "Connections accepted by live node servers",
@@ -98,6 +101,18 @@ class NodeServer:
         self._m_bytes_out = metrics.counter(
             "net_server_bytes_sent_total",
             "Response bytes written by live node servers",
+            node=node.name,
+        )
+        self._m_parse = metrics.histogram(
+            "net_server_parse_seconds",
+            "Protocol parse time per received chunk (feed minus execute)",
+            buckets=LATENCY_SECONDS_BUCKETS,
+            node=node.name,
+        )
+        self._m_write = metrics.histogram(
+            "net_server_write_seconds",
+            "Response write+drain time per chunk",
+            buckets=LATENCY_SECONDS_BUCKETS,
             node=node.name,
         )
 
@@ -160,7 +175,9 @@ class NodeServer:
             self._tasks.add(task)
         self._writers.add(writer)
         self._m_conns.inc()
-        protocol = TextProtocolServer(self.node, self.clock)
+        protocol = TextProtocolServer(
+            self.node, self.clock, telemetry=self.telemetry
+        )
         try:
             await self._serve_connection(reader, writer, protocol)
         except (OSError, EOFError, asyncio.IncompleteReadError):
@@ -198,11 +215,26 @@ class NodeServer:
                     await asyncio.sleep(delay)
                     if self._closing:
                         return
-            responses = protocol.feed(chunk)
+            if self._obs:
+                execute_before = protocol.execute_seconds
+                feed_start = time.perf_counter()
+                responses = protocol.feed(chunk)
+                feed_elapsed = time.perf_counter() - feed_start
+                execute_delta = protocol.execute_seconds - execute_before
+                self._m_parse.observe(max(0.0, feed_elapsed - execute_delta))
+            else:
+                responses = protocol.feed(chunk)
             if responses:
-                writer.write(responses)
-                self._m_bytes_out.inc(len(responses))
-                await writer.drain()
+                if self._obs:
+                    write_start = time.perf_counter()
+                    writer.write(responses)
+                    self._m_bytes_out.inc(len(responses))
+                    await writer.drain()
+                    self._m_write.observe(time.perf_counter() - write_start)
+                else:
+                    writer.write(responses)
+                    self._m_bytes_out.inc(len(responses))
+                    await writer.drain()
 
 
 class LiveClusterHarness:

@@ -1,32 +1,46 @@
 """Observability for the ElMem reproduction.
 
-The package bundles three layers:
+The package bundles four layers:
 
 - :mod:`repro.obs.trace` -- nested spans with wall- and sim-clock
   durations, recording each migration as a tree;
+- :mod:`repro.obs.livetrace` -- sampled cross-process spans propagated
+  over the wire (``trace <trace_id> <span_id>`` framing) and stitched
+  back together by trace id;
 - :mod:`repro.obs.metrics` -- named counters/gauges/histograms with a
-  no-op disabled mode;
-- :mod:`repro.obs.export` / :mod:`repro.obs.timeline` -- JSONL and
-  Prometheus exporters plus an ASCII span-timeline renderer (the
-  ``repro obs`` CLI subcommand).
+  no-op disabled mode and bucket-interpolated quantiles;
+- :mod:`repro.obs.export` / :mod:`repro.obs.timeline` /
+  :mod:`repro.obs.scrape` -- JSONL and Prometheus exporters, an ASCII
+  span-timeline renderer (the ``repro obs`` CLI subcommand), and the
+  ``stats obs`` fleet scraper behind ``repro top``.
 
-Components take a :class:`Telemetry` handle (tracer + registry pair).
-The default is :data:`NULL_TELEMETRY`, whose members absorb every call,
-so instrumentation costs almost nothing unless a run opts in via
-:func:`create_telemetry`.
+Components take a :class:`Telemetry` handle (tracer + registry + live
+tracer triple).  The default is :data:`NULL_TELEMETRY`, whose members
+absorb every call, so instrumentation costs almost nothing unless a run
+opts in via :func:`create_telemetry`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.livetrace import (
+    CURRENT_CONTEXT,
+    LiveSpan,
+    LiveTracer,
+    NULL_LIVE_TRACER,
+    TraceContext,
+    current_context,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_SECONDS_BUCKETS,
     MetricsRegistry,
     NULL_METRIC,
     NULL_METRICS,
+    bucket_quantile,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -39,31 +53,53 @@ from repro.obs.trace import (
 
 @dataclass(frozen=True)
 class Telemetry:
-    """A tracer + metrics registry pair threaded through the stack."""
+    """A tracer + metrics registry + live tracer threaded through the stack."""
 
     tracer: object = NULL_TRACER
     metrics: object = NULL_METRICS
+    live: object = NULL_LIVE_TRACER
 
     @property
     def enabled(self) -> bool:
-        """True when either layer actually records."""
-        return bool(self.tracer.enabled or self.metrics.enabled)
+        """True when any layer actually records."""
+        return bool(
+            self.tracer.enabled or self.metrics.enabled or self.live.enabled
+        )
 
 
 NULL_TELEMETRY = Telemetry()
 """Disabled telemetry: every recording call is a no-op."""
 
 
-def create_telemetry() -> Telemetry:
-    """A fresh enabled tracer + registry for one run."""
-    return Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+def create_telemetry(
+    process: str = "repro",
+    *,
+    live_trace: bool = False,
+    trace_sample: float = 1.0,
+    trace_seed: int = 0,
+) -> Telemetry:
+    """A fresh enabled tracer + registry for one run.
+
+    ``live_trace=True`` additionally attaches a :class:`LiveTracer` for
+    cross-process wire tracing, sampling at ``trace_sample`` with a
+    deterministic ``trace_seed``.
+    """
+    live: object = NULL_LIVE_TRACER
+    if live_trace:
+        live = LiveTracer(process, sample_rate=trace_sample, seed=trace_seed)
+    return Telemetry(tracer=Tracer(), metrics=MetricsRegistry(), live=live)
 
 
 __all__ = [
+    "CURRENT_CONTEXT",
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_SECONDS_BUCKETS",
+    "LiveSpan",
+    "LiveTracer",
     "MetricsRegistry",
+    "NULL_LIVE_TRACER",
     "NULL_METRIC",
     "NULL_METRICS",
     "NULL_SPAN",
@@ -72,6 +108,9 @@ __all__ = [
     "Span",
     "SpanEvent",
     "Telemetry",
+    "TraceContext",
     "Tracer",
+    "bucket_quantile",
     "create_telemetry",
+    "current_context",
 ]

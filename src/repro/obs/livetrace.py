@@ -1,0 +1,422 @@
+"""Cross-process trace propagation for the live tier.
+
+The simulator tracer in :mod:`repro.obs.trace` records a single in-process
+span tree against the simulated clock.  The live tier (``repro.net``,
+``repro.proxy``) spans multiple OS processes connected by the memcached text
+protocol, so it needs a different shape:
+
+* a request entering :class:`~repro.proxy.server.ProxyServer` draws a
+  ``trace_id`` (sampled, seeded, deterministic),
+* the proxy's :class:`~repro.net.client.NodeClient` prepends an optional
+  ``trace <trace_id> <span_id>\\r\\n`` framing line to the wire request,
+* the backend's :class:`~repro.memcached.protocol.TextProtocolServer` parses
+  the frame and records a server-side span parented on the client span,
+* every process exports its spans as JSONL and ``repro obs`` stitches the
+  files back into one tree per trace id.
+
+Span timestamps use ``time.time()`` (unix wall clock) rather than
+``perf_counter`` so spans recorded by different processes on the same host
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "CURRENT_CONTEXT",
+    "NULL_LIVE_TRACER",
+    "SPAN_ID_MAX",
+    "TRACE_ID_MAX",
+    "LiveSpan",
+    "LiveTracer",
+    "StitchedTrace",
+    "TraceContext",
+    "current_context",
+    "parse_trace_args",
+    "read_live_spans",
+    "stitch_spans",
+    "trace_to_span_tree",
+    "write_live_jsonl",
+]
+
+#: Maximum accepted lengths for the hex ids in a ``trace`` wire frame.  Our
+#: generator emits 16 hex chars; the caps leave headroom for W3C-style 128-bit
+#: trace ids while still bounding hostile input.
+TRACE_ID_MAX = 32
+SPAN_ID_MAX = 16
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The (trace_id, span_id) pair carried across a process boundary."""
+
+    trace_id: str
+    span_id: str
+
+    def wire_prefix(self) -> bytes:
+        """Render the ``trace`` framing line prepended to a wire request."""
+        return f"trace {self.trace_id} {self.span_id}\r\n".encode("ascii")
+
+
+def _valid_hex(token: str, max_len: int) -> bool:
+    return 0 < len(token) <= max_len and all(ch in _HEX_DIGITS for ch in token)
+
+
+def parse_trace_args(args: Sequence[str]) -> TraceContext | None:
+    """Validate the arguments of a ``trace`` wire frame.
+
+    Returns ``None`` for anything malformed: wrong arity, non-hex digits,
+    uppercase (the wire format is lowercase-only), or oversized fields.
+    Rejection is deterministic -- no partial parses.
+    """
+    if len(args) != 2:
+        return None
+    trace_id, span_id = args
+    if not _valid_hex(trace_id, TRACE_ID_MAX):
+        return None
+    if not _valid_hex(span_id, SPAN_ID_MAX):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+#: Ambient trace context for the current asyncio task.  ``ProxyServer`` sets
+#: it around request dispatch; ``NodeClient`` reads it when writing to the
+#: wire.  Context vars propagate through ``await`` within one task but not
+#: across threads, so thread-bridged callers (live migration) pass contexts
+#: explicitly instead.
+CURRENT_CONTEXT: ContextVar[TraceContext | None] = ContextVar(
+    "repro_live_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """Return the ambient :class:`TraceContext`, if any."""
+    return CURRENT_CONTEXT.get()
+
+
+class LiveSpan:
+    """A single span recorded by one process, stitched later by trace id."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "process",
+        "attributes",
+        "start_s",
+        "end_s",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        *,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        process: str,
+        tracer: "LiveTracer | None" = None,
+        start_s: float | None = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.process = process
+        self.attributes = attributes or {}
+        self.start_s = time.time() if start_s is None else start_s
+        self.end_s: float | None = None
+        self._tracer = tracer
+
+    @property
+    def context(self) -> TraceContext:
+        """The context a child process should be handed for this span."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def end(self, end_s: float | None = None) -> None:
+        if self.end_s is not None:
+            return
+        self.end_s = time.time() if end_s is None else end_s
+        if self._tracer is not None:
+            self._tracer._record(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "live_span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "process": self.process,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LiveSpan":
+        span = cls(
+            trace_id=str(data["trace_id"]),
+            span_id=str(data["span_id"]),
+            parent_id=data.get("parent_id"),
+            name=str(data.get("name", "?")),
+            process=str(data.get("process", "?")),
+            start_s=float(data.get("start_s", 0.0)),
+            attributes=dict(data.get("attributes") or {}),
+        )
+        span.end_s = data.get("end_s")
+        if span.end_s is not None:
+            span.end_s = float(span.end_s)
+        return span
+
+
+class LiveTracer:
+    """Seeded, sampled recorder of :class:`LiveSpan` objects for one process.
+
+    A single :class:`random.Random` drives both the sampling decision and id
+    generation, so a fixed ``seed`` yields a fully deterministic trace
+    stream for a deterministic workload.
+    """
+
+    __slots__ = ("process", "sample_rate", "spans", "enabled", "_rng")
+
+    def __init__(
+        self,
+        process: str = "repro",
+        *,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.process = process
+        self.sample_rate = max(0.0, min(1.0, sample_rate))
+        self.spans: list[LiveSpan] = []
+        self.enabled = True
+        self._rng = Random(seed)
+
+    def _record(self, span: LiveSpan) -> None:
+        self.spans.append(span)
+
+    def _new_id(self) -> str:
+        return f"{self._rng.getrandbits(64):016x}"
+
+    def start_trace(self, name: str, **attributes: Any) -> LiveSpan | None:
+        """Begin a new sampled trace; returns ``None`` when not sampled."""
+        if self.sample_rate <= 0.0:
+            return None
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            return None
+        trace_id = self._new_id()
+        return LiveSpan(
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=None,
+            name=name,
+            process=self.process,
+            tracer=self,
+            attributes=dict(attributes) if attributes else None,
+        )
+
+    def start_span(
+        self,
+        name: str,
+        parent: TraceContext,
+        *,
+        start_s: float | None = None,
+        **attributes: Any,
+    ) -> LiveSpan:
+        """Begin a child span of an already-sampled trace (always recorded)."""
+        return LiveSpan(
+            trace_id=parent.trace_id,
+            span_id=self._new_id(),
+            parent_id=parent.span_id,
+            name=name,
+            process=self.process,
+            tracer=self,
+            start_s=start_s,
+            attributes=dict(attributes) if attributes else None,
+        )
+
+
+class _NullLiveTracer:
+    """Disabled tracer: never samples, records nothing."""
+
+    __slots__ = ()
+    enabled = False
+    process = "null"
+    sample_rate = 0.0
+    spans: list[LiveSpan] = []
+
+    def start_trace(self, name: str, **attributes: Any) -> LiveSpan | None:
+        return None
+
+    def start_span(
+        self,
+        name: str,
+        parent: TraceContext,
+        *,
+        start_s: float | None = None,
+        **attributes: Any,
+    ) -> LiveSpan:
+        # Reached only if a caller holds a foreign context while local
+        # tracing is off; record nothing but keep the chain intact.
+        return LiveSpan(
+            trace_id=parent.trace_id,
+            span_id=parent.span_id,
+            parent_id=parent.span_id,
+            name=name,
+            process="null",
+            tracer=None,
+            start_s=start_s,
+        )
+
+
+NULL_LIVE_TRACER = _NullLiveTracer()
+
+
+def write_live_jsonl(
+    path: str | Path,
+    tracer: "LiveTracer | _NullLiveTracer",
+    *,
+    metrics: Any = None,
+    append: bool = False,
+) -> int:
+    """Export one process's spans (and optional metrics snapshot) as JSONL.
+
+    Returns the number of span lines written.  ``metrics`` may be a
+    ``MetricsRegistry``; its snapshot is embedded as ``live_metric`` lines so
+    one file carries the whole process's observability output.
+    """
+    target = Path(path)
+    lines: list[str] = []
+    if not append:
+        meta = {
+            "type": "live_meta",
+            "process": getattr(tracer, "process", "?"),
+            "sample_rate": getattr(tracer, "sample_rate", 0.0),
+        }
+        lines.append(json.dumps(meta, sort_keys=True))
+    spans = list(getattr(tracer, "spans", ()))
+    for span in spans:
+        lines.append(json.dumps(span.to_dict(), sort_keys=True))
+    if metrics is not None and getattr(metrics, "enabled", False):
+        for snap in metrics.snapshot():
+            record = {"type": "live_metric", **snap}
+            lines.append(json.dumps(record, sort_keys=True, default=repr))
+    mode = "a" if append else "w"
+    with target.open(mode, encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(spans)
+
+
+def read_live_spans(paths: Iterable[str | Path]) -> list[LiveSpan]:
+    """Read ``live_span`` lines from one or more JSONL files.
+
+    Other line types (``live_meta``, ``live_metric``, simulator trace lines)
+    are skipped, so mixed dumps stitch cleanly.
+    """
+    spans: list[LiveSpan] = []
+    for path in paths:
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    data = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(data, dict) and data.get("type") == "live_span":
+                    spans.append(LiveSpan.from_dict(data))
+    return spans
+
+
+@dataclass(slots=True)
+class StitchedTrace:
+    """All spans sharing one trace id, ordered by start time."""
+
+    trace_id: str
+    spans: list[LiveSpan] = field(default_factory=list)
+
+    @property
+    def processes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.process, None)
+        return list(seen)
+
+    @property
+    def start_s(self) -> float:
+        return min(span.start_s for span in self.spans)
+
+    @property
+    def end_s(self) -> float:
+        return max(span.end_s if span.end_s is not None else span.start_s for span in self.spans)
+
+    def roots(self) -> list[LiveSpan]:
+        ids = {span.span_id for span in self.spans}
+        return [s for s in self.spans if s.parent_id is None or s.parent_id not in ids]
+
+    def children(self, span: LiveSpan) -> list[LiveSpan]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+
+def trace_to_span_tree(trace: StitchedTrace) -> Any:
+    """Convert a stitched trace into a sim :class:`~repro.obs.trace.Span`
+    tree (wall clock rebased to the trace start) so
+    :func:`repro.obs.timeline.render_timeline` can draw it."""
+    from repro.obs.trace import Span
+
+    t0 = trace.start_s
+
+    def convert(span: LiveSpan) -> dict[str, Any]:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        return {
+            "name": f"{span.process}:{span.name}",
+            "start_wall_s": span.start_s - t0,
+            "end_wall_s": end_s - t0,
+            "attributes": dict(span.attributes),
+            "events": [],
+            "children": [convert(c) for c in trace.children(span)],
+        }
+
+    roots = trace.roots()
+    if len(roots) == 1:
+        return Span.from_dict(convert(roots[0]))
+    synthetic = {
+        "name": f"trace {trace.trace_id}",
+        "start_wall_s": 0.0,
+        "end_wall_s": trace.end_s - t0,
+        "attributes": {"spans": len(trace.spans)},
+        "events": [],
+        "children": [convert(root) for root in roots],
+    }
+    return Span.from_dict(synthetic)
+
+
+def stitch_spans(spans: Iterable[LiveSpan]) -> list[StitchedTrace]:
+    """Group spans by trace id into :class:`StitchedTrace` objects."""
+    by_trace: dict[str, StitchedTrace] = {}
+    for span in spans:
+        trace = by_trace.setdefault(span.trace_id, StitchedTrace(trace_id=span.trace_id))
+        trace.spans.append(span)
+    traces = list(by_trace.values())
+    for trace in traces:
+        trace.spans.sort(key=lambda s: (s.start_s, s.span_id))
+    traces.sort(key=lambda t: t.start_s)
+    return traces

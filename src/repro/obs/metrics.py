@@ -38,6 +38,60 @@ DEFAULT_SECONDS_BUCKETS = (
 )
 """Default histogram bounds, sized for migration-phase durations."""
 
+LATENCY_SECONDS_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+"""Fine-grained bounds for per-hop request latencies (100us .. 2.5s)."""
+
+
+def bucket_quantile(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    q: float,
+) -> float | None:
+    """Linear-interpolated quantile from ``le``-bucket counts.
+
+    ``counts`` has ``len(bounds) + 1`` entries (last = +Inf overflow).
+    Returns ``None`` when no observations were recorded.  Observations in
+    the overflow bucket clamp to the highest finite bound -- the histogram
+    cannot know how far past it they landed.  Shared by live histograms
+    and by :mod:`repro.obs.scrape`, which rebuilds bucket counts from
+    Prometheus text.
+    """
+    if count <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("quantile must be within [0, 1]")
+    rank = q * count
+    running = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count <= 0:
+            continue
+        previous = running
+        running += bucket_count
+        if running >= rank:
+            if i >= len(bounds):
+                return bounds[-1]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i]
+            fraction = (rank - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return bounds[-1]
+
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -132,6 +186,10 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (``None`` when empty)."""
+        return bucket_quantile(self.bounds, self.counts, self.count, q)
+
 
 class _NullMetric:
     """Shared sink for every metric call when telemetry is disabled."""
@@ -160,6 +218,9 @@ class _NullMetric:
 
     def cumulative(self) -> list:
         return []
+
+    def quantile(self, q: float) -> None:
+        return None
 
 
 NULL_METRIC = _NullMetric()

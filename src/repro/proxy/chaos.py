@@ -33,12 +33,60 @@ from repro.faults.sockets import SocketFaultPolicy
 from repro.faults.spec import FaultSchedule, FaultSpec
 from repro.net.client import NodeClient
 from repro.net.runtime import EventLoopThread
+from repro.obs import create_telemetry
 from repro.proxy.breaker import CLOSED, OPEN
 from repro.proxy.router import ProxyConfig
 from repro.proxy.server import ProxyHarness
 
 PAYLOAD = b"x" * 64
 """Fixed chaos payload; value content is irrelevant to the story."""
+
+SCRAPE_EXPECTED_METRICS = (
+    "proxy_breaker_state",
+    "proxy_breaker_transitions_total",
+    "proxy_route_seconds",
+    "net_client_roundtrip_seconds",
+)
+"""Metric families the mid-chaos ``stats obs`` scrape must contain."""
+
+
+def _quantile_ms(latencies: list[float], q: float) -> float | None:
+    """Exact quantile of measured client latencies, in milliseconds."""
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return round(ordered[index] * 1000.0, 3)
+
+
+def _scrape_obs(host: str, port: int) -> dict:
+    """Mid-chaos ``stats obs`` scrape of the live proxy endpoint.
+
+    Returns a JSON-able verdict instead of raising: the chaos contract
+    wants the scrape outcome in the artifact either way.
+    """
+    from repro.obs.scrape import parse_prometheus, scrape_text
+
+    try:
+        text = scrape_text(host, port, timeout_s=5.0)
+        samples = parse_prometheus(text)
+    except TransportError as exc:
+        return {"ok": False, "error": str(exc)}
+    present = sorted(
+        {
+            family
+            for family in SCRAPE_EXPECTED_METRICS
+            if any(s.name.startswith(family) for s in samples)
+        }
+    )
+    missing = sorted(set(SCRAPE_EXPECTED_METRICS) - set(present))
+    return {
+        "ok": not missing,
+        "present": present,
+        "missing": missing,
+        "samples": len(samples),
+        "bytes": len(text),
+    }
 
 
 @dataclass
@@ -60,11 +108,15 @@ class ProxyChaosResult:
     victim_served_after_restart: bool = False
     transitions: dict[str, int] = field(default_factory=dict)
     proxy_stats: dict[str, int] = field(default_factory=dict)
+    degradation: dict = field(default_factory=dict)
+    obs_scrape: dict = field(default_factory=dict)
+    trace_spans: int = 0
     elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
-        """The chaos contract: clean clients, observable breaker cycle."""
+        """The chaos contract: clean clients, observable breaker cycle,
+        a live metrics surface, and a measured degradation window."""
         return (
             self.client_transport_errors == 0
             and self.breaker_opened
@@ -73,6 +125,8 @@ class ProxyChaosResult:
             and self.transitions.get("open", 0) >= 1
             and self.transitions.get("half_open", 0) >= 1
             and self.transitions.get("closed", 0) >= 1
+            and bool(self.obs_scrape.get("ok"))
+            and self.degradation.get("window_s") is not None
         )
 
     def to_dict(self) -> dict:
@@ -94,6 +148,9 @@ class ProxyChaosResult:
             "victim_served_after_restart": self.victim_served_after_restart,
             "transitions": dict(self.transitions),
             "proxy_stats": dict(self.proxy_stats),
+            "degradation": dict(self.degradation),
+            "obs_scrape": dict(self.obs_scrape),
+            "trace_spans": self.trace_spans,
             "elapsed_s": round(self.elapsed_s, 3),
         }
 
@@ -106,11 +163,20 @@ def run_proxy_chaos(
     dead_ops: int = 200,
     seed: int = 0,
     recovery_timeout_s: float = 10.0,
+    trace_sample: float = 0.05,
+    trace_jsonl: str | None = None,
 ) -> ProxyChaosResult:
     """Kill-and-recover one backend behind a live proxy; see module doc.
 
     Raises nothing on a failed contract -- inspect ``result.ok`` (the
     CLI and tests do), so a red run still yields a full artifact.
+
+    Beyond the breaker contract this also measures the *degradation
+    window* -- the wall time between killing the victim and recovery
+    (breaker closed + a victim-owned hit) -- along with per-phase
+    client p99 and hit rates, scrapes ``stats obs`` mid-chaos to assert
+    the live metrics surface is up, and (with ``trace_jsonl``) exports
+    the run's sampled cross-process spans.
     """
     names = [f"node-{i:03d}" for i in range(nodes)]
     victim = names[-1]
@@ -135,14 +201,25 @@ def run_proxy_chaos(
         nodes=names, victim=victim, stalled=stalled, seed=seed
     )
     started = time.monotonic()
+    telemetry = create_telemetry(
+        "proxy-chaos",
+        live_trace=True,
+        trace_sample=trace_sample,
+        trace_seed=seed,
+    )
     harness = ProxyHarness(
         names,
         memory_per_node,
         config=config,
         fault_policy=policy,
+        telemetry=telemetry,
     )
     client_loop = EventLoopThread(name="proxy-chaos-client")
     client: NodeClient | None = None
+    phase_latencies: dict[str, list[float]] = {}
+    phase_hits: dict[str, list[int]] = {}
+    killed_at: float | None = None
+    recovered_at: float | None = None
     try:
         harness.start()
         client_loop.start()
@@ -153,7 +230,9 @@ def run_proxy_chaos(
         def call(coro):
             return client_loop.call(coro, timeout=30.0)
 
-        def drive(ops: int) -> None:
+        def drive(ops: int, phase: str) -> None:
+            latencies = phase_latencies.setdefault(phase, [])
+            hits = phase_hits.setdefault(phase, [])
             for _ in range(ops):
                 key = rng.choice(keyspace)
                 result.requests_total += 1
@@ -165,11 +244,15 @@ def run_proxy_chaos(
                         else:
                             result.rejected_sets += 1
                     else:
+                        op_start = time.perf_counter()
                         value = call(client.get(key))
+                        latencies.append(time.perf_counter() - op_start)
                         if value is None:
                             result.misses += 1
+                            hits.append(0)
                         else:
                             result.hits += 1
+                            hits.append(1)
                 except TransportError:
                     result.client_transport_errors += 1
 
@@ -178,11 +261,13 @@ def run_proxy_chaos(
             result.requests_total += 1
             if call(client.set(key, PAYLOAD)):
                 result.stored += 1
-        drive(healthy_ops)
+        drive(healthy_ops, "healthy")
 
         # Phase 2: kill the victim mid-traffic; clients must stay clean.
         harness.kill_backend(victim)
-        drive(dead_ops)
+        killed_at = time.monotonic()
+        drive(dead_ops, "dead")
+        result.obs_scrape = _scrape_obs(host, port)
         router = harness.router
         assert router is not None
         metrics = router.telemetry.metrics
@@ -206,25 +291,32 @@ def run_proxy_chaos(
             key for key in keyspace if router.primary_for(key) == victim
         ] or keyspace
         deadline = time.monotonic() + recovery_timeout_s
+        recovery_latencies = phase_latencies.setdefault("recovery", [])
+        recovery_hits = phase_hits.setdefault("recovery", [])
         while time.monotonic() < deadline:
             key = victim_keys[result.requests_total % len(victim_keys)]
             result.requests_total += 1
             try:
+                op_start = time.perf_counter()
                 value = call(client.get(key))
+                recovery_latencies.append(time.perf_counter() - op_start)
             except TransportError:
                 result.client_transport_errors += 1
                 value = None
             if value is not None:
                 result.hits += 1
+                recovery_hits.append(1)
                 result.victim_served_after_restart = True
             else:
                 result.misses += 1
+                recovery_hits.append(0)
             if (
                 result.victim_served_after_restart
                 and router.breakers[victim].state == CLOSED
                 and gauge.value == 0.0
             ):
                 result.breaker_recovered = True
+                recovered_at = time.monotonic()
                 break
             time.sleep(0.05)
 
@@ -248,4 +340,43 @@ def run_proxy_chaos(
         client_loop.stop()
         harness.stop()
     result.elapsed_s = time.monotonic() - started
+
+    # The degradation window: wall time between killing the victim's
+    # listener and full recovery (breaker closed + victim-owned hit).
+    phases = {
+        phase: {
+            "ops": len(latencies),
+            "p50_ms": _quantile_ms(latencies, 0.50),
+            "p99_ms": _quantile_ms(latencies, 0.99),
+            "hit_rate": (
+                round(sum(phase_hits[phase]) / len(phase_hits[phase]), 4)
+                if phase_hits.get(phase)
+                else None
+            ),
+        }
+        for phase, latencies in phase_latencies.items()
+    }
+    result.degradation = {
+        "killed_at_s": (
+            round(killed_at - started, 3) if killed_at is not None else None
+        ),
+        "recovered_at_s": (
+            round(recovered_at - started, 3)
+            if recovered_at is not None
+            else None
+        ),
+        "window_s": (
+            round(recovered_at - killed_at, 3)
+            if killed_at is not None and recovered_at is not None
+            else None
+        ),
+        "phases": phases,
+    }
+    result.trace_spans = len(getattr(telemetry.live, "spans", ()))
+    if trace_jsonl is not None:
+        from repro.obs.livetrace import write_live_jsonl
+
+        write_live_jsonl(
+            trace_jsonl, telemetry.live, metrics=telemetry.metrics
+        )
     return result

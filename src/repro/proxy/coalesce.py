@@ -23,9 +23,11 @@ the *collapse ratio* -- stays above 90%.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Awaitable, Callable
 
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
 
 
 class GetCoalescer:
@@ -34,6 +36,7 @@ class GetCoalescer:
     def __init__(self, telemetry: Telemetry | None = None) -> None:
         self._inflight: dict[str, asyncio.Future] = {}
         metrics = (telemetry or NULL_TELEMETRY).metrics
+        self._obs = bool(metrics.enabled)
         self._m_leaders = metrics.counter(
             "proxy_coalesce_leaders_total",
             "Key fetches that actually went to a backend",
@@ -41,6 +44,11 @@ class GetCoalescer:
         self._m_followers = metrics.counter(
             "proxy_coalesce_followers_total",
             "Key fetches collapsed onto an in-flight leader",
+        )
+        self._m_wait = metrics.histogram(
+            "proxy_coalesce_wait_seconds",
+            "Time followers spend awaiting an in-flight leader fetch",
+            buckets=LATENCY_SECONDS_BUCKETS,
         )
 
     @property
@@ -62,7 +70,13 @@ class GetCoalescer:
             self._m_followers.inc()
             # shield(): a follower timing out / being cancelled must not
             # cancel the shared future out from under the leader.
-            return await asyncio.shield(pending)
+            if not self._obs:
+                return await asyncio.shield(pending)
+            start = time.perf_counter()
+            try:
+                return await asyncio.shield(pending)
+            finally:
+                self._m_wait.observe(time.perf_counter() - start)
         self._m_leaders.inc()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future

@@ -29,6 +29,7 @@ a stable client surface.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -42,6 +43,7 @@ from repro.hashing.hashutil import hash32
 from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
 from repro.net.client import NodeClient
 from repro.obs import Telemetry, create_telemetry
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS
 from repro.proxy.breaker import STATE_CODES, CircuitBreaker
 from repro.proxy.coalesce import GetCoalescer
 from repro.proxy.hotkeys import HotKeyDetector, ReplicaRegistry
@@ -191,6 +193,26 @@ class ProxyRouter:
             "proxy_active_backends", "Backends currently on the proxy ring"
         )
         self._m_members.set(len(names))
+        self._obs = bool(metrics.enabled)
+        self._m_route = {
+            op: metrics.histogram(
+                "proxy_route_seconds",
+                "End-to-end routing time per client operation",
+                buckets=LATENCY_SECONDS_BUCKETS,
+                op=op,
+            )
+            for op in ("get", "set", "delete", "incr")
+        }
+        self._m_fanout_seconds = metrics.histogram(
+            "proxy_fanout_seconds",
+            "Time to the first hit of a replicated-read fan-out",
+            buckets=LATENCY_SECONDS_BUCKETS,
+        )
+        self._m_breaker_reject_seconds = metrics.histogram(
+            "proxy_breaker_reject_seconds",
+            "Time to degrade a get rejected by circuit breakers",
+            buckets=LATENCY_SECONDS_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -312,6 +334,15 @@ class ProxyRouter:
         Never raises for backend trouble -- a dead or open backend reads
         as a miss (or is papered over by a replica for hot keys).
         """
+        if not self._obs:
+            return await self._get_inner(key)
+        start = time.perf_counter()
+        try:
+            return await self._get_inner(key)
+        finally:
+            self._m_route["get"].observe(time.perf_counter() - start)
+
+    async def _get_inner(self, key: str) -> Value | None:
         self._m_ops["get"].inc()
         if not self.ring.members:
             self._m_degraded["get"].inc()
@@ -329,10 +360,15 @@ class ProxyRouter:
         self, key: str, primary: str, replicas: tuple[str, ...]
     ) -> Value | None:
         """The coalesced leader fetch: single-path or fan-out."""
+        start = time.perf_counter() if self._obs else 0.0
         primary_admitted = self.breakers[primary].allow()
         if not replicas:
             if not primary_admitted:
                 self._m_degraded["get"].inc()
+                if self._obs:
+                    self._m_breaker_reject_seconds.observe(
+                        time.perf_counter() - start
+                    )
                 return None
             # A transport failure reads as a miss too -- the breaker,
             # not the client, decides when to stop trying.
@@ -345,10 +381,37 @@ class ProxyRouter:
                 candidates.append(backend)
         if not candidates:
             self._m_degraded["get"].inc()
+            if self._obs:
+                self._m_breaker_reject_seconds.observe(
+                    time.perf_counter() - start
+                )
             return None
         if len(candidates) > 1:
             self._m_fanout.inc()
+            if self._obs:
+                fan_start = time.perf_counter()
+                value, missed = await self._first_hit(key, candidates)
+                self._m_fanout_seconds.observe(
+                    time.perf_counter() - fan_start
+                )
+                return self._after_fetch(
+                    key, primary, replicas, primary_admitted, value, missed
+                )
         value, missed = await self._first_hit(key, candidates)
+        return self._after_fetch(
+            key, primary, replicas, primary_admitted, value, missed
+        )
+
+    def _after_fetch(
+        self,
+        key: str,
+        primary: str,
+        replicas: tuple[str, ...],
+        primary_admitted: bool,
+        value: Value | None,
+        missed: list[str],
+    ) -> Value | None:
+        """Fan-out epilogue: stale accounting and background repair."""
         if value is not None and not primary_admitted:
             self._m_stale.inc()
         if value is not None:
@@ -464,6 +527,21 @@ class ProxyRouter:
         replica copy.  A replica that cannot be invalidated is demoted
         instead -- correctness over availability for that key.
         """
+        if not self._obs:
+            return await self._set_inner(key, payload, flags, exptime)
+        start = time.perf_counter()
+        try:
+            return await self._set_inner(key, payload, flags, exptime)
+        finally:
+            self._m_route["set"].observe(time.perf_counter() - start)
+
+    async def _set_inner(
+        self,
+        key: str,
+        payload: bytes,
+        flags: int = 0,
+        exptime: float = 0.0,
+    ) -> bool:
         self._m_ops["set"].inc()
         if not self.ring.members:
             self._m_degraded["set"].inc()
@@ -480,6 +558,15 @@ class ProxyRouter:
 
     async def delete(self, key: str) -> bool:
         """Routed ``delete``; False when degraded or absent."""
+        if not self._obs:
+            return await self._delete_inner(key)
+        start = time.perf_counter()
+        try:
+            return await self._delete_inner(key)
+        finally:
+            self._m_route["delete"].observe(time.perf_counter() - start)
+
+    async def _delete_inner(self, key: str) -> bool:
         self._m_ops["delete"].inc()
         if not self.ring.members:
             self._m_degraded["delete"].inc()
@@ -502,6 +589,15 @@ class ProxyRouter:
 
     async def incr(self, key: str, delta: int = 1) -> int | None:
         """Routed ``incr``; None when absent or degraded."""
+        if not self._obs:
+            return await self._incr_inner(key, delta)
+        start = time.perf_counter()
+        try:
+            return await self._incr_inner(key, delta)
+        finally:
+            self._m_route["incr"].observe(time.perf_counter() - start)
+
+    async def _incr_inner(self, key: str, delta: int = 1) -> int | None:
         self._m_ops["incr"].inc()
         if not self.ring.members:
             self._m_degraded["incr"].inc()

@@ -33,7 +33,15 @@ from repro.faults.sockets import SocketFaultPolicy
 from repro.net.runtime import EventLoopThread
 from repro.net.server import LiveClusterHarness
 from repro.obs import Telemetry, create_telemetry
+from repro.obs.livetrace import (
+    CURRENT_CONTEXT,
+    TraceContext,
+    parse_trace_args,
+)
 from repro.proxy.router import ProxyConfig, ProxyRouter
+
+ROUTED_COMMANDS = frozenset({"get", "gets", "set", "delete", "incr", "decr"})
+"""Commands that fan into backends and therefore get traced/spanned."""
 
 CRLF = b"\r\n"
 MAX_LINE = 8192
@@ -159,6 +167,9 @@ class ProxyServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Trace context announced by a `trace` framing line, consumed by
+        # the next command on this connection.
+        pending_trace: TraceContext | None = None
         while not self._closing:
             try:
                 line = await reader.readuntil(CRLF)
@@ -169,9 +180,20 @@ class ProxyServer:
                 await writer.drain()
                 return
             self._m_commands.inc()
-            response = await self._execute(
-                line[:-2].decode("utf-8", "replace"), reader
-            )
+            text = line[:-2].decode("utf-8", "replace")
+            first = text.split(None, 1)[0].lower() if text.split() else ""
+            if first == "trace":
+                ctx = parse_trace_args(text.split()[1:])
+                if ctx is None:
+                    pending_trace = None
+                    self._m_protocol_errors.inc()
+                    writer.write(b"CLIENT_ERROR bad trace frame" + CRLF)
+                    await writer.drain()
+                else:
+                    pending_trace = ctx
+                continue
+            trace_ctx, pending_trace = pending_trace, None
+            response = await self._execute(text, reader, trace_ctx)
             if response is None:
                 return  # quit
             if response:
@@ -183,7 +205,10 @@ class ProxyServer:
     # ------------------------------------------------------------------
 
     async def _execute(
-        self, line: str, reader: asyncio.StreamReader
+        self,
+        line: str,
+        reader: asyncio.StreamReader,
+        trace_ctx: TraceContext | None = None,
     ) -> bytes | None:
         """Run one command line; ``None`` means close the connection."""
         parts = line.split()
@@ -191,15 +216,11 @@ class ProxyServer:
             return b"ERROR" + CRLF
         command = parts[0].lower()
         args = parts[1:]
-        if command in ("get", "gets"):
-            return await self._cmd_get(args, with_cas=command == "gets")
-        if command == "set":
-            return await self._cmd_set(args, reader)
-        if command == "delete":
-            return await self._cmd_delete(args)
-        if command in ("incr", "decr"):
-            return await self._cmd_arith(args, command)
+        if command in ROUTED_COMMANDS:
+            return await self._execute_routed(command, args, reader, trace_ctx)
         if command == "stats":
+            if args and args[0] == "obs":
+                return self._cmd_stats_obs()
             return self._cmd_stats()
         if command == "version":
             return PROXY_VERSION
@@ -210,6 +231,46 @@ class ProxyServer:
             return None
         self._m_protocol_errors.inc()
         return b"ERROR" + CRLF
+
+    async def _execute_routed(
+        self,
+        command: str,
+        args: list[str],
+        reader: asyncio.StreamReader,
+        trace_ctx: TraceContext | None,
+    ) -> bytes:
+        """Run one backend-fanning command under a trace span.
+
+        An incoming context (client-supplied ``trace`` frame) always
+        joins its trace; without one the proxy is the trace root and the
+        sampler decides.  The resulting context rides the ambient
+        :data:`CURRENT_CONTEXT` so :class:`~repro.net.client.NodeClient`
+        picks it up when it hits the backends.
+        """
+        live = self.router.telemetry.live
+        span = None
+        if trace_ctx is not None and live.enabled:
+            span = live.start_span(f"proxy.{command}", trace_ctx)
+        elif trace_ctx is None and live.enabled:
+            span = live.start_trace(f"proxy.{command}")
+        token = None
+        if span is not None:
+            token = CURRENT_CONTEXT.set(span.context)
+        elif trace_ctx is not None:
+            token = CURRENT_CONTEXT.set(trace_ctx)
+        try:
+            if command in ("get", "gets"):
+                return await self._cmd_get(args, with_cas=command == "gets")
+            if command == "set":
+                return await self._cmd_set(args, reader)
+            if command == "delete":
+                return await self._cmd_delete(args)
+            return await self._cmd_arith(args, command)
+        finally:
+            if token is not None:
+                CURRENT_CONTEXT.reset(token)
+            if span is not None:
+                span.end()
 
     async def _cmd_get(self, keys: list[str], with_cas: bool) -> bytes:
         if not keys:
@@ -290,6 +351,22 @@ class ProxyServer:
         )
         return body + b"END" + CRLF
 
+    def _cmd_stats_obs(self) -> bytes:
+        """``stats obs``: this proxy process's Prometheus text page.
+
+        Because the harness shares one registry between the proxy and
+        its in-process backends, a single scrape covers the whole tier.
+        """
+        from repro.obs.export import to_prometheus
+
+        metrics = self.router.telemetry.metrics
+        if getattr(metrics, "enabled", False):
+            payload = to_prometheus(metrics).encode("utf-8")
+        else:
+            payload = b""
+        header = f"VALUE obs 0 {len(payload)}".encode("utf-8")
+        return header + CRLF + payload + CRLF + b"END" + CRLF
+
 
 class ProxyHarness:
     """Backends + router + proxy listener, synchronous on the outside.
@@ -333,6 +410,8 @@ class ProxyHarness:
         growth_factor: float = 1.25,
     ) -> None:
         self.telemetry = telemetry or create_telemetry()
+        # Backends share the proxy's telemetry, so one `stats obs`
+        # scrape of the proxy covers node servers and nodes too.
         self.backends = LiveClusterHarness(
             node_names,
             memory_per_node,
@@ -341,6 +420,8 @@ class ProxyHarness:
             growth_factor=growth_factor,
             fault_policy=fault_policy,
             drain_grace_s=drain_grace_s,
+            telemetry=self.telemetry,
+            metrics=self.telemetry.metrics,
         )
         self._active = list(active) if active is not None else None
         self._config = config

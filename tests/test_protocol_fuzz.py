@@ -230,3 +230,141 @@ def test_ts_dump_rejects_bad_class():
     assert b"CLIENT_ERROR" in server.execute("ts_dump 9999")
     assert b"CLIENT_ERROR" in server.execute("ts_dump about")
     assert b"CLIENT_ERROR" in server.execute("ts_dump")
+
+
+# ---------------------------------------------------------------------------
+# trace framing (the cross-process propagation prefix)
+# ---------------------------------------------------------------------------
+
+
+hex_ids = st.text(alphabet="0123456789abcdef", min_size=1, max_size=32)
+span_ids = st.text(alphabet="0123456789abcdef", min_size=1, max_size=16)
+
+
+# batch_import opens a multi-line exchange whose continuation lines are
+# data, not commands -- a trace frame is only recognised at command
+# position, so the transparency property holds per *command*, not per
+# wire line.
+single_line_commands = command_lines.filter(
+    lambda line: not line.startswith("batch_import")
+)
+
+
+@given(
+    hex_ids, span_ids, st.lists(single_line_commands, min_size=1, max_size=6)
+)
+@settings(max_examples=80, deadline=None)
+def test_trace_prefix_is_response_transparent(trace_id, span_id, lines):
+    """A valid trace frame must never change what the command answers."""
+    plain = make_server()
+    framed = make_server()
+    for line in lines:
+        expected = plain.execute(line)
+        wire = (
+            f"trace {trace_id} {span_id}".encode()
+            + b"\r\n"
+            + line.encode("utf-8", "replace")
+            + b"\r\n"
+        )
+        assert framed.feed(wire) == expected
+
+
+@given(
+    hex_ids,
+    span_ids,
+    st.lists(st.tuples(keys, st.binary(max_size=30)), min_size=1, max_size=4),
+    st.integers(1, 7),
+)
+@settings(max_examples=60, deadline=None)
+def test_trace_frame_survives_any_chunking(
+    trace_id, span_id, pairs, chunk_size
+):
+    """Chunk-split trace frames + storage commands still store cleanly."""
+    server = make_server()
+    wire = b"".join(
+        f"trace {trace_id} {span_id}".encode()
+        + b"\r\n"
+        + f"set {key} 0 0 {len(payload)}".encode()
+        + b"\r\n"
+        + payload
+        + b"\r\n"
+        for key, payload in pairs
+    )
+    responses = b""
+    for start in range(0, len(wire), chunk_size):
+        responses += server.feed(wire[start : start + chunk_size])
+    assert responses.count(b"STORED\r\n") == len(pairs)
+    for key, payload in dict(pairs).items():
+        assert payload in server.execute(f"get {key}")
+
+
+bad_trace_lines = st.one_of(
+    st.just("trace"),
+    st.just("trace abc"),
+    st.just("trace abc def ghi"),
+    st.builds(lambda t: f"trace {t} ab", st.text(max_size=8).filter(
+        lambda s: (
+            s
+            and "\r" not in s
+            and "\n" not in s
+            and " " not in s
+            and not all(c in "0123456789abcdef" for c in s)
+        )
+    )),
+    # Oversized ids: one past the 32/16-char caps.
+    st.just("trace " + "a" * 33 + " ab"),
+    st.just("trace ab " + "b" * 17),
+    # Uppercase hex is rejected; the wire format is lowercase-only.
+    st.just("trace DEADBEEF ab"),
+)
+
+
+@given(bad_trace_lines, st.lists(command_lines, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_malformed_trace_frames_rejected_deterministically(bad, lines):
+    """A bad frame answers CLIENT_ERROR and never wedges the parser."""
+    server = make_server()
+    out = server.execute(bad)
+    assert out.startswith(b"CLIENT_ERROR bad trace frame"), (bad, out)
+    # The connection keeps serving; no stale context survives.
+    assert server.execute("version").startswith(b"VERSION")
+    for line in lines:
+        reply = server.execute(line)
+        if reply:
+            first = reply.split(b"\r\n")[0]
+            assert any(first.startswith(r) for r in KNOWN_REPLIES), first
+
+
+def test_trace_frame_applies_to_exactly_one_command():
+    """The context covers only the next command, then clears."""
+    from repro.obs import create_telemetry
+    from repro.memcached.node import MemcachedNode
+
+    telemetry = create_telemetry("fuzz", live_trace=True)
+    node = MemcachedNode("fuzz", 4 * PAGE_SIZE)
+    server = TextProtocolServer(node, clock=lambda: 1.0, telemetry=telemetry)
+    out = server.feed(
+        b"trace abcd1234 ef01\r\n"
+        b"set k 0 0 1\r\nv\r\n"
+        b"get k\r\n"
+    )
+    assert b"STORED" in out and b"VALUE k" in out
+    spans = telemetry.live.spans
+    assert [s.name for s in spans] == ["server.set"]
+    assert spans[0].trace_id == "abcd1234"
+    assert spans[0].parent_id == "ef01"
+
+
+def test_consecutive_trace_frames_latest_wins():
+    """A trace frame replaces any unconsumed predecessor."""
+    from repro.obs import create_telemetry
+    from repro.memcached.node import MemcachedNode
+
+    telemetry = create_telemetry("fuzz", live_trace=True)
+    node = MemcachedNode("fuzz", 4 * PAGE_SIZE)
+    server = TextProtocolServer(node, clock=lambda: 1.0, telemetry=telemetry)
+    out = server.feed(
+        b"trace aaaa 01\r\ntrace bbbb 02\r\nget missing\r\n"
+    )
+    assert out == b"END\r\n"
+    assert [s.trace_id for s in telemetry.live.spans] == ["bbbb"]
