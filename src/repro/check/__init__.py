@@ -15,11 +15,18 @@ from a seed.  This package *checks* them, from two sides:
   accounting, ring mapping, a brute-force FuseCache reference) that raise
   :class:`~repro.errors.InvariantViolation` with a structured diff;
 - :mod:`repro.check.strict` -- the ``strict_mode`` hook the
-  :class:`~repro.core.master.Master` calls after each migration phase.
+  :class:`~repro.core.master.Master` calls after each migration phase;
+- :mod:`repro.check.async_rules` -- the REP1xx concurrency-safety rule
+  pack for the asyncio/threading live tier (``repro check --async``);
+- :mod:`repro.check.protocol_conformance` -- the REP2xx static
+  wire-protocol drift checker (``repro check --protocol``);
+- :mod:`repro.check.loopcheck` -- the opt-in runtime loop sanitizer
+  behind ``--sanitize`` (asyncio debug mode + blocking-call trap).
 """
 
 from __future__ import annotations
 
+from repro.check.async_rules import ASYNC_RULES, async_rule_catalogue
 from repro.check.invariants import (
     check_lru,
     check_ring,
@@ -33,23 +40,34 @@ from repro.check.lint import (
     lint_paths,
     lint_source,
 )
+from repro.check.loopcheck import LoopSanitizer, create_sanitizer
 from repro.check.oracle import check_fusecache, fusecache_oracle
+from repro.check.protocol_conformance import (
+    check_conformance,
+    default_conformance,
+)
 from repro.check.rules import DEFAULT_RULES, rule_catalogue
 from repro.check.strict import StrictChecker
 from repro.errors import InvariantViolation
 
 __all__ = [
+    "ASYNC_RULES",
     "DEFAULT_RULES",
     "InvariantViolation",
     "LintRule",
     "Linter",
+    "LoopSanitizer",
     "StrictChecker",
     "Violation",
+    "async_rule_catalogue",
+    "check_conformance",
     "check_fusecache",
     "check_lru",
     "check_ring",
     "check_ring_remap",
     "check_slabs",
+    "create_sanitizer",
+    "default_conformance",
     "fusecache_oracle",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,762 @@
+"""Static wire-protocol conformance checker (the ``REP2xx`` pack).
+
+Three codebases speak the memcached text dialect: the server parser
+(:mod:`repro.memcached.protocol`), the asyncio client
+(:mod:`repro.net.client`), and the proxy tier
+(:mod:`repro.proxy.server` / :mod:`repro.proxy.router`).  Nothing at
+runtime forces them to agree -- a verb added server-side but framed
+wrong client-side only fails when that command is first exercised over a
+socket.  This module extracts each side's protocol model *statically*
+(pure AST, no imports of the checked code) and cross-checks them, so
+protocol drift becomes a lint failure:
+
+========  ==========================  =====================================
+code      name                        drift caught
+========  ==========================  =====================================
+REP201    client-verb-unhandled       client emits a verb the server parser
+                                      has no handler for
+REP202    framing-mismatch            client reads a response framing
+                                      (``VALUE``/``TS``/``ITEM``/``STAT``/
+                                      line) the server never produces for
+                                      that verb, or pairs a verb with an
+                                      undefined reader
+REP203    arity-mismatch              client emits an argument count outside
+                                      what the server accepts for the verb
+REP204    router-method-missing       proxy router calls a ``NodeClient``
+                                      method that does not exist
+REP205    proxy-verb-unhandled        proxy routes a verb to backends that
+                                      the backend server does not handle
+========  ==========================  =====================================
+
+The extraction leans on the repo's own conventions: server handlers are
+``_cmd_<verb>`` methods (plus the ``STORAGE_COMMANDS`` header/payload
+path), client emissions go through ``_command(...)`` paired with a
+``_read_*`` reader inside a ``_Request``, and the proxy's backend fan-out
+set is the ``ROUTED_COMMANDS`` literal.  Commands with multi-line
+*request* bodies (storage payloads, ``batch_import`` item blocks,
+``mig_export`` key lines) are modeled through their header line only --
+the continuation state machines are paired via
+:data:`SERVER_CONTINUATIONS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.lint import Violation
+
+#: Response-framing classes, keyed by the leading token of block lines.
+FRAMING_TOKENS = {
+    "VALUE": "values",
+    "TS": "ts",
+    "ITEM": "items",
+    "STAT": "stats",
+}
+
+#: Server methods that produce (part of) a verb's response *outside* its
+#: ``_cmd_`` handler: the continuation methods of multi-line request
+#: state machines.  One hand-maintained table beats guessing the state
+#: graph from the AST; a new stateful command must register here.
+SERVER_CONTINUATIONS: dict[str, tuple[str, ...]] = {
+    "batch_import": ("_import_header_line", "_finish_import"),
+    "mig_export": ("_export_key_line", "_finish_export"),
+}
+
+#: Continuations for the storage header/payload path (shared by every
+#: verb in ``STORAGE_COMMANDS``).
+STORAGE_CONTINUATIONS = ("_begin_storage", "_store", "_run_store")
+
+#: Reader functions that deliberately accept *any* framing (the raw
+#: escape hatch behind ``NodeClient.execute``).
+SNIFFING_READERS = frozenset({"_read_sniffed"})
+
+
+@dataclass
+class VerbSpec:
+    """What the server accepts and produces for one command verb."""
+
+    verb: str
+    #: Accepted argument count range, ``(min, max)``; ``max=None`` means
+    #: unbounded (multi-key commands).
+    arity: tuple[int, int | None]
+    #: Framing classes the verb can answer with (``values``/``ts``/
+    #: ``items``/``stats``/``line``); more than one for dispatching
+    #: verbs like ``stats``.
+    framings: set[str] = field(default_factory=set)
+    line: int = 0
+
+
+@dataclass
+class ServerModel:
+    """The protocol surface extracted from the server parser."""
+
+    path: str
+    verbs: dict[str, VerbSpec] = field(default_factory=dict)
+
+
+@dataclass
+class Emission:
+    """One client-side command emission paired with its reader."""
+
+    verb: str
+    #: Emitted argument count range (``max=None`` for joined multi-key).
+    arity: tuple[int, int | None]
+    #: The ``_read_*`` reader consuming the response, if resolvable.
+    reader: str | None
+    #: Framing class the reader expects, ``None`` when unknown.
+    framing: str | None
+    method: str
+    line: int
+
+
+@dataclass
+class ClientModel:
+    """The protocol surface extracted from the client."""
+
+    path: str
+    emissions: list[Emission] = field(default_factory=list)
+    #: Public + private method names of ``NodeClient`` (for REP204).
+    methods: set[str] = field(default_factory=set)
+    #: Framing class per defined ``_read_*`` function.
+    readers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ProxyModel:
+    """The protocol surface extracted from the proxy tier."""
+
+    server_path: str
+    router_path: str
+    #: Verbs the proxy fans into backends, with the defining line.
+    routed: dict[str, int] = field(default_factory=dict)
+    #: ``NodeClient`` methods the router invokes: ``(method, line)``.
+    client_calls: list[tuple[str, int]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        node.name: node
+        for node in ast.iter_child_nodes(cls)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _frozenset_literal(tree: ast.Module, target: str) -> set[str]:
+    """String members of ``TARGET = frozenset({...})`` at module level."""
+    for node in ast.iter_child_nodes(tree):
+        if not (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == target
+                for t in node.targets
+            )
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "frozenset"
+            and node.value.args
+            and isinstance(node.value.args[0], ast.Set)
+        ):
+            continue
+        return {
+            element.value
+            for element in node.value.args[0].elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        }
+    return set()
+
+
+def _string_tokens(func: ast.AST) -> set[str]:
+    """Leading tokens of every response literal inside ``func``.
+
+    Covers ``b"STORED" + CRLF`` style byte constants, ``f"VALUE {key}
+    ..."`` f-strings (leading constant segment), and plain str constants
+    later ``.encode()``-ed.
+    """
+    tokens: set[str] = set()
+    for node in ast.walk(func):
+        text: str | None = None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bytes):
+                text = node.value.decode("utf-8", "replace")
+            elif isinstance(node.value, str):
+                text = node.value
+        elif isinstance(node, ast.JoinedStr) and node.values:
+            first = node.values[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                text = first.value
+        if not text:
+            continue
+        head = text.split(None, 1)[0] if text.split() else ""
+        if head:
+            tokens.add(head)
+    return tokens
+
+
+def _framings_from_tokens(tokens: set[str]) -> set[str]:
+    framings = {
+        FRAMING_TOKENS[token] for token in tokens if token in FRAMING_TOKENS
+    }
+    return framings or {"line"}
+
+
+def _self_call_targets(func: ast.AST) -> set[str]:
+    """Names of methods called as ``self.<name>(...)`` inside ``func``."""
+    targets: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            targets.add(node.func.attr)
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Server model
+# ---------------------------------------------------------------------------
+
+
+def _arity_from_len_checks(
+    funcs: list[ast.AST], arg_names: tuple[str, ...] = ("args", "keys")
+) -> tuple[int, int | None] | None:
+    """Arity implied by ``len(args) != N`` / ``not in (...)`` guards."""
+    for func in funcs:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare):
+                continue
+            left, ops, comparators = node.left, node.ops, node.comparators
+            if not (
+                isinstance(left, ast.Call)
+                and isinstance(left.func, ast.Name)
+                and left.func.id == "len"
+                and left.args
+                and isinstance(left.args[0], ast.Name)
+                and left.args[0].id in arg_names
+            ):
+                continue
+            op, comparator = ops[0], comparators[0]
+            if isinstance(op, ast.NotEq) and isinstance(
+                comparator, ast.Constant
+            ):
+                n = comparator.value
+                return (n, n)
+            if isinstance(op, ast.NotIn) and isinstance(
+                comparator, ast.Tuple
+            ):
+                counts = [
+                    element.value
+                    for element in comparator.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, int)
+                ]
+                if counts:
+                    return (min(counts), max(counts))
+    # `if not keys: return ERROR` -> at least one, unbounded.
+    for func in funcs:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.If)
+                and isinstance(node.test, ast.UnaryOp)
+                and isinstance(node.test.op, ast.Not)
+                and isinstance(node.test.operand, ast.Name)
+                and node.test.operand.id in arg_names
+            ):
+                return (1, None)
+    return None
+
+
+def _storage_arity(
+    begin_storage: ast.AST, verb: str
+) -> tuple[int, int | None]:
+    """Arity for one storage verb, derived from ``_begin_storage``.
+
+    The method computes ``expected = <cas_parts> if command == "cas"
+    else <parts>`` and rejects header lines whose part count is outside
+    ``(expected, expected + 1)``; ``parts`` counts the verb itself, so
+    the *argument* arity is ``expected - 1 .. expected``.
+    """
+    for node in ast.walk(begin_storage):
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.IfExp)
+            and isinstance(node.value.body, ast.Constant)
+            and isinstance(node.value.orelse, ast.Constant)
+        ):
+            continue
+        expected = (
+            node.value.body.value if verb == "cas" else node.value.orelse.value
+        )
+        return (expected - 1, expected)
+    # Conservative fallback: the classic memcached storage header.
+    return (5, 6) if verb == "cas" else (4, 5)
+
+
+def extract_server_model(
+    source: str, path: str = "memcached/protocol.py"
+) -> ServerModel:
+    """Extract the verbs/arities/framings ``TextProtocolServer`` handles."""
+    tree = ast.parse(source)
+    model = ServerModel(path=path)
+    cls = _class_def(tree, "TextProtocolServer")
+    if cls is None:
+        return model
+    methods = _methods(cls)
+
+    def response_funcs(names: tuple[str, ...]) -> list[ast.AST]:
+        return [methods[name] for name in names if name in methods]
+
+    # 1. `_cmd_<verb>` handlers (+ one hop of self-calls for shared
+    #    bodies like `_arith` and the `stats` sub-dispatches).
+    for name, func in methods.items():
+        if not name.startswith("_cmd_"):
+            continue
+        verb = name[len("_cmd_") :]
+        hops = [
+            methods[target]
+            for target in _self_call_targets(func)
+            if target in methods and target != name
+        ]
+        chain: list[ast.AST] = [func, *hops]
+        chain.extend(
+            methods[cont]
+            for cont in SERVER_CONTINUATIONS.get(verb, ())
+            if cont in methods
+        )
+        arity = _arity_from_len_checks(chain) or (0, None)
+        tokens: set[str] = set()
+        for part in chain:
+            tokens |= _string_tokens(part)
+        model.verbs[verb] = VerbSpec(
+            verb=verb,
+            arity=arity,
+            framings=_framings_from_tokens(tokens),
+            line=func.lineno,
+        )
+
+    # 2. Storage verbs share the `_begin_storage` header/payload path.
+    storage = _frozenset_literal(tree, "STORAGE_COMMANDS")
+    storage_funcs = response_funcs(STORAGE_CONTINUATIONS)
+    storage_tokens: set[str] = set()
+    for func in storage_funcs:
+        storage_tokens |= _string_tokens(func)
+    storage_framings = _framings_from_tokens(storage_tokens)
+    begin = methods.get("_begin_storage")
+    for verb in storage:
+        arity = (
+            _storage_arity(begin, verb) if begin is not None else (4, 5)
+        )
+        model.verbs[verb] = VerbSpec(
+            verb=verb,
+            arity=arity,
+            framings=set(storage_framings),
+            line=begin.lineno if begin is not None else cls.lineno,
+        )
+
+    # 3. Verbs handled by literal comparison in `_dispatch` (the
+    #    `trace` framing line).
+    dispatch = methods.get("_dispatch")
+    if dispatch is not None:
+        for node in ast.walk(dispatch):
+            if not (
+                isinstance(node, ast.Compare)
+                and isinstance(node.left, ast.Name)
+                and node.left.id == "command"
+                and len(node.comparators) == 1
+                and isinstance(node.comparators[0], ast.Constant)
+                and isinstance(node.comparators[0].value, str)
+            ):
+                continue
+            verb = node.comparators[0].value
+            if verb not in model.verbs:
+                model.verbs[verb] = VerbSpec(
+                    verb=verb,
+                    arity=(0, None),
+                    framings={"line"},
+                    line=node.lineno,
+                )
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Client model
+# ---------------------------------------------------------------------------
+
+
+def _command_template(call: ast.Call) -> tuple[str, tuple[int, int | None]] | None:
+    """``(verb, arity)`` encoded by one ``_command(...)`` call.
+
+    Handles the three emission shapes the client uses: plain string
+    constants (``"flush_all"``), f-strings whose placeholders each stand
+    for one argument field (``f"set {key} {flags} {exptime} {size}"``),
+    and ``"get " + " ".join(...)`` joined multi-key commands.  Data
+    lines (f-strings *starting* with a placeholder) return ``None``.
+    """
+    if not call.args:
+        return None
+    template = call.args[0]
+    if isinstance(template, ast.Constant) and isinstance(template.value, str):
+        parts = template.value.split()
+        if not parts:
+            return None
+        count = len(parts) - 1
+        return parts[0], (count, count)
+    if isinstance(template, ast.JoinedStr):
+        first = template.values[0] if template.values else None
+        if not (
+            isinstance(first, ast.Constant) and isinstance(first.value, str)
+        ):
+            return None  # data line: starts with a placeholder
+        rendered = ""
+        for value in template.values:
+            if isinstance(value, ast.Constant):
+                rendered += str(value.value)
+            else:
+                rendered += "\x00"  # one field per placeholder
+        parts = rendered.split()
+        if not parts or parts[0] == "\x00":
+            return None
+        count = len(parts) - 1
+        return parts[0], (count, count)
+    if (
+        isinstance(template, ast.BinOp)
+        and isinstance(template.op, ast.Add)
+        and isinstance(template.left, ast.Constant)
+        and isinstance(template.left.value, str)
+    ):
+        parts = template.left.value.split()
+        if not parts:
+            return None
+        # `"get " + " ".join(keys)`: one verb, unbounded key list.
+        return parts[0], (1, None)
+    return None
+
+
+def extract_client_model(
+    source: str, path: str = "net/client.py"
+) -> ClientModel:
+    """Extract the verbs/arities/readers ``NodeClient`` emits."""
+    tree = ast.parse(source)
+    model = ClientModel(path=path)
+
+    # Reader framings from the module-level `_read_*` functions: the
+    # byte tokens a reader recognizes identify its framing class.
+    for node in ast.iter_child_nodes(tree):
+        if not (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name.startswith("_read_")
+        ):
+            continue
+        tokens = {
+            token
+            for token in _string_tokens(node)
+            if token in FRAMING_TOKENS
+        }
+        if node.name in SNIFFING_READERS or len(tokens) > 1:
+            continue  # framing-agnostic reader; conformance can't pin it
+        model.readers[node.name] = (
+            FRAMING_TOKENS[next(iter(tokens))] if tokens else "line"
+        )
+
+    cls = _class_def(tree, "NodeClient")
+    if cls is None:
+        return model
+    methods = _methods(cls)
+    model.methods = set(methods)
+
+    for name, func in methods.items():
+        emissions: list[tuple[str, tuple[int, int | None], int]] = []
+        readers: list[str] = []
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            called = node.func
+            if isinstance(called, ast.Name) and called.id == "_command":
+                encoded = _command_template(node)
+                if encoded is not None:
+                    verb, arity = encoded
+                    emissions.append((verb, arity, node.lineno))
+            elif (
+                isinstance(called, ast.Name)
+                and called.id == "_Request"
+                and len(node.args) >= 2
+            ):
+                reader = node.args[1]
+                if isinstance(reader, ast.Name):
+                    readers.append(reader.id)
+        # Reader pairing is per method scope: every emission in the
+        # method shares the method's single reader (the repo's idiom --
+        # one verb shape per client method).
+        reader_name = readers[0] if len(set(readers)) == 1 else None
+        if reader_name in SNIFFING_READERS:
+            continue  # raw escape hatch (`execute`): nothing to check
+        for verb, arity, lineno in emissions:
+            model.emissions.append(
+                Emission(
+                    verb=verb,
+                    arity=arity,
+                    reader=reader_name,
+                    framing=model.readers.get(reader_name or ""),
+                    method=name,
+                    line=lineno,
+                )
+            )
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Proxy model
+# ---------------------------------------------------------------------------
+
+
+def extract_proxy_model(
+    server_source: str,
+    router_source: str,
+    server_path: str = "proxy/server.py",
+    router_path: str = "proxy/router.py",
+) -> ProxyModel:
+    """Extract the verbs the proxy routes and the client calls it makes."""
+    server_tree = ast.parse(server_source)
+    router_tree = ast.parse(router_source)
+    model = ProxyModel(server_path=server_path, router_path=router_path)
+
+    routed_line = 0
+    for node in ast.iter_child_nodes(server_tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "ROUTED_COMMANDS"
+            for t in node.targets
+        ):
+            routed_line = node.lineno
+    for verb in _frozenset_literal(server_tree, "ROUTED_COMMANDS"):
+        model.routed[verb] = routed_line
+
+    # `await self.client(<backend>).<method>(...)` calls in the router.
+    for node in ast.walk(router_tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Attribute)
+            and node.func.value.func.attr == "client"
+        ):
+            continue
+        model.client_calls.append((node.func.attr, node.lineno))
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Cross-checks
+# ---------------------------------------------------------------------------
+
+
+def _violation(
+    code: str, rule: str, path: str, line: int, message: str
+) -> Violation:
+    return Violation(
+        code=code, rule=rule, path=path, line=line, col=0, message=message
+    )
+
+
+def _arity_within(
+    emitted: tuple[int, int | None], accepted: tuple[int, int | None]
+) -> bool:
+    emit_min, emit_max = emitted
+    ok_min, ok_max = accepted
+    if emit_min < ok_min:
+        return False
+    if ok_max is None:
+        return True
+    if emit_max is None:
+        return False
+    return emit_max <= ok_max
+
+
+def check_models(
+    server: ServerModel,
+    client: ClientModel,
+    proxy: ProxyModel | None = None,
+) -> list[Violation]:
+    """Cross-check the extracted models; one Violation per drift."""
+    violations: list[Violation] = []
+
+    for emission in client.emissions:
+        spec = server.verbs.get(emission.verb)
+        if spec is None:
+            violations.append(
+                _violation(
+                    "REP201",
+                    "client-verb-unhandled",
+                    client.path,
+                    emission.line,
+                    f"`{emission.method}` emits `{emission.verb}` but "
+                    f"the server parser ({server.path}) has no "
+                    f"`_cmd_{emission.verb}` handler",
+                )
+            )
+            continue
+        if emission.reader is not None and emission.framing is None:
+            violations.append(
+                _violation(
+                    "REP202",
+                    "framing-mismatch",
+                    client.path,
+                    emission.line,
+                    f"`{emission.method}` pairs `{emission.verb}` with "
+                    f"reader `{emission.reader}`, which is not defined "
+                    "as a framing reader in the client module",
+                )
+            )
+        elif (
+            emission.framing is not None
+            and emission.framing not in spec.framings
+        ):
+            produced = ", ".join(sorted(spec.framings))
+            violations.append(
+                _violation(
+                    "REP202",
+                    "framing-mismatch",
+                    client.path,
+                    emission.line,
+                    f"`{emission.method}` reads `{emission.verb}` with "
+                    f"`{emission.reader}` ({emission.framing} framing) "
+                    f"but the server produces: {produced}",
+                )
+            )
+        if not _arity_within(emission.arity, spec.arity):
+            accepted = (
+                f"{spec.arity[0]}..{spec.arity[1] if spec.arity[1] is not None else 'n'}"
+            )
+            emitted = (
+                f"{emission.arity[0]}..{emission.arity[1] if emission.arity[1] is not None else 'n'}"
+            )
+            violations.append(
+                _violation(
+                    "REP203",
+                    "arity-mismatch",
+                    client.path,
+                    emission.line,
+                    f"`{emission.method}` emits `{emission.verb}` with "
+                    f"{emitted} argument(s) but the server accepts "
+                    f"{accepted}",
+                )
+            )
+
+    if proxy is not None:
+        for method, line in proxy.client_calls:
+            if method not in client.methods:
+                violations.append(
+                    _violation(
+                        "REP204",
+                        "router-method-missing",
+                        proxy.router_path,
+                        line,
+                        f"router calls `NodeClient.{method}(...)` but "
+                        f"{client.path} defines no such method",
+                    )
+                )
+        for verb, line in sorted(proxy.routed.items()):
+            if verb not in server.verbs:
+                violations.append(
+                    _violation(
+                        "REP205",
+                        "proxy-verb-unhandled",
+                        proxy.server_path,
+                        line,
+                        f"proxy routes `{verb}` to backends but the "
+                        f"backend server parser ({server.path}) does "
+                        "not handle it",
+                    )
+                )
+
+    violations.sort(key=lambda v: (v.path, v.line, v.code))
+    return violations
+
+
+def check_conformance(
+    server_path: Path,
+    client_path: Path,
+    proxy_server_path: Path | None = None,
+    proxy_router_path: Path | None = None,
+) -> list[Violation]:
+    """Run the conformance cross-check over files on disk."""
+    server = extract_server_model(
+        server_path.read_text(), path=str(server_path)
+    )
+    client = extract_client_model(
+        client_path.read_text(), path=str(client_path)
+    )
+    proxy = None
+    if proxy_server_path is not None and proxy_router_path is not None:
+        proxy = extract_proxy_model(
+            proxy_server_path.read_text(),
+            proxy_router_path.read_text(),
+            server_path=str(proxy_server_path),
+            router_path=str(proxy_router_path),
+        )
+    return check_models(server, client, proxy)
+
+
+def conformance_catalogue() -> list[tuple[str, str, str]]:
+    """(code, name, description) rows for docs and ``--list-rules``."""
+    return [
+        (
+            "REP201",
+            "client-verb-unhandled",
+            "client emits a verb the server parser has no handler for",
+        ),
+        (
+            "REP202",
+            "framing-mismatch",
+            "client reads a response framing the server never produces",
+        ),
+        (
+            "REP203",
+            "arity-mismatch",
+            "client argument count outside what the server accepts",
+        ),
+        (
+            "REP204",
+            "router-method-missing",
+            "proxy router calls a NodeClient method that does not exist",
+        ),
+        (
+            "REP205",
+            "proxy-verb-unhandled",
+            "proxy routes a verb the backend server does not handle",
+        ),
+    ]
+
+
+def default_conformance(root: Path | None = None) -> list[Violation]:
+    """Conformance check over this repo's own protocol surfaces.
+
+    ``root`` is the directory containing the ``repro`` package (defaults
+    to the installed package's parent, so the check works from any CWD).
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[2]
+    package = root / "repro"
+    return check_conformance(
+        package / "memcached" / "protocol.py",
+        package / "net" / "client.py",
+        proxy_server_path=package / "proxy" / "server.py",
+        proxy_router_path=package / "proxy" / "router.py",
+    )

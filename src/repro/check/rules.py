@@ -248,12 +248,17 @@ class NoFloatEqSimTimeRule(LintRule):
 
     Sim timestamps are accumulated floats; exact equality silently
     depends on summation order.  Comparing against the literal sentinel
-    ``0``/``0.0`` ("never expires") or ``None`` stays legal.
+    ``0``/``0.0`` ("never expires") or ``None`` stays legal.  Scoped to
+    library code: tests assert exact equality against deterministic
+    literals on purpose.
     """
 
     code = "REP005"
     name = "no-float-eq-simtime"
     description = "float equality on a simulated-time value"
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_packages("repro")
 
     TIME_NAMES = frozenset(
         {"now", "time", "timestamp", "ts", "last_access", "created_at",
@@ -312,7 +317,9 @@ class NoPrivateCacheStateRule(LintRule):
 
     The hash table, MRU pointers, and remap table are load-bearing
     invariants; outside code must go through the public node/cluster
-    surface (``peek``, ``keys``, ``items_in_mru_order``, ...).
+    surface (``peek``, ``keys``, ``items_in_mru_order``, ...).  Scoped
+    to library code outside ``repro.memcached``: tests corrupt
+    internals deliberately to prove the invariant checkers notice.
     """
 
     code = "REP006"
@@ -325,7 +332,9 @@ class NoPrivateCacheStateRule(LintRule):
     )
 
     def applies_to(self, module: Module) -> bool:
-        return not module.in_packages("repro.memcached")
+        return module.in_packages("repro") and not module.in_packages(
+            "repro.memcached"
+        )
 
     def check(self, module: Module) -> Iterator[Violation]:
         for node in ast.walk(module.tree):

@@ -343,8 +343,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_rule_rows(args: argparse.Namespace) -> "list[tuple[str, str, str]]":
+    """The rule catalogue covering every pack this invocation runs."""
+    from repro.check import async_rule_catalogue, rule_catalogue
+    from repro.check.protocol_conformance import conformance_catalogue
+
+    rows = list(rule_catalogue())
+    if getattr(args, "async_rules", False) or getattr(args, "list_rules", False):
+        rows.extend(async_rule_catalogue())
+    if getattr(args, "protocol", False) or getattr(args, "list_rules", False):
+        rows.extend(conformance_catalogue())
+    return rows
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.check import lint_paths, rule_catalogue
+    from repro.check import DEFAULT_RULES, lint_paths
+    from repro.check.output import (
+        github_annotations,
+        violations_json,
+        write_sarif,
+    )
     from repro.check.strict import (
         strict_fault_sweep_report,
         strict_smoke_report,
@@ -352,33 +370,78 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     paths = args.paths or ["src/repro"]
     if args.list_rules:
-        for code, name, description in rule_catalogue():
+        for code, name, description in _check_rule_rows(args):
             print(f"  {code}  {name:24s} {description}")
         return 0
 
-    failed = False
-    print(f"lint: checking {', '.join(paths)}")
-    violations = lint_paths(paths)
-    for violation in violations:
-        print("  " + violation.render())
-    if violations:
-        print(f"lint: {len(violations)} violation(s)")
-        failed = True
-    else:
-        print("lint: clean")
+    machine = args.json_out
+    rules = list(DEFAULT_RULES)
+    if args.async_rules:
+        from repro.check import ASYNC_RULES
 
+        rules.extend(ASYNC_RULES)
+
+    if not machine:
+        print(f"lint: checking {', '.join(paths)}")
+    violations = lint_paths(paths, rules=rules)
+    conformance = []
+    if args.protocol:
+        from repro.check.protocol_conformance import default_conformance
+
+        conformance = default_conformance()
+    findings = violations + conformance
+    failed = bool(findings)
+
+    if not machine:
+        for violation in findings:
+            print("  " + violation.render())
+        if violations:
+            print(f"lint: {len(violations)} violation(s)")
+        else:
+            print("lint: clean")
+        if args.protocol:
+            if conformance:
+                print(f"protocol: {len(conformance)} drift finding(s)")
+            else:
+                print("protocol: client/server/proxy models agree")
+
+    sim_reports = []
     if not args.no_sim:
-        reports = [strict_smoke_report()]
+        sim_reports.append(strict_smoke_report())
         if args.strict_sim:
-            reports.append(strict_fault_sweep_report())
-        for report in reports:
-            print(
-                f"invariants: {report['label']}: "
-                f"{report['checks_run']} checks over "
-                f"{report['migrations']} migration(s), "
-                f"{report['violations']} violation(s) "
-                f"(hit rate {report['hit_rate']:.3f})"
+            sim_reports.append(strict_fault_sweep_report())
+        if not machine:
+            for report in sim_reports:
+                print(
+                    f"invariants: {report['label']}: "
+                    f"{report['checks_run']} checks over "
+                    f"{report['migrations']} migration(s), "
+                    f"{report['violations']} violation(s) "
+                    f"(hit rate {report['hit_rate']:.3f})"
+                )
+
+    if args.sarif:
+        write_sarif(args.sarif, findings, _check_rule_rows(args))
+        if not machine:
+            print(f"sarif: wrote {args.sarif}")
+    if args.annotate:
+        for line in github_annotations(findings):
+            print(line)
+    if machine:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "paths": paths,
+                    "lint": violations_json(violations),
+                    "conformance": violations_json(conformance),
+                    "invariants": sim_reports,
+                    "failed": failed,
+                },
+                indent=2,
             )
+        )
     return 1 if failed else 0
 
 
@@ -483,6 +546,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port_base=args.port,
         telemetry=telemetry,
         metrics=telemetry.metrics if telemetry is not None else None,
+        sanitize=args.sanitize,
     )
     harness.start()
     try:
@@ -500,8 +564,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         harness.stop()
     _export_live_jsonl(telemetry, args.obs_jsonl)
+    code = _report_sanitizer(harness.sanitizer)
     print("stopped.", flush=True)
-    return 0
+    return code
+
+
+def _report_sanitizer(*sanitizers: "object") -> int:
+    """Print each loop sanitizer's verdict; exit code 1 on findings."""
+    code = 0
+    for sanitizer in sanitizers:
+        if sanitizer is None:
+            continue
+        report = sanitizer.report()  # type: ignore[attr-defined]
+        if report["clean"]:
+            print("sanitizer: loop clean", flush=True)
+            continue
+        code = 1
+        for line in report["findings"]:
+            print(f"sanitizer: {line}", flush=True)
+    return code
 
 
 def _cmd_proxy(args: argparse.Namespace) -> int:
@@ -522,6 +603,7 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
         host=args.host,
         proxy_port=args.port,
         telemetry=telemetry,
+        sanitize=args.sanitize,
     )
     harness.start()
     try:
@@ -545,8 +627,9 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
     finally:
         harness.stop()
     _export_live_jsonl(telemetry, args.obs_jsonl)
+    code = _report_sanitizer(harness.sanitizer, harness.backends.sanitizer)
     print("stopped.", flush=True)
-    return 0
+    return code
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -686,6 +769,7 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         telemetry=telemetry,
         trace_jsonl=args.trace_jsonl,
+        sanitize=args.sanitize,
     )
     print(
         f"  outcome      {result.outcome} "
@@ -717,6 +801,10 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
             "  equivalence  MISMATCH on "
             f"{', '.join(result.mismatched_nodes)}"
         )
+    if args.sanitize:
+        # run_live_migration raises InvariantViolation before reaching
+        # here if either loop recorded a hazard.
+        print("  sanitizer    clean (asyncio debug + blocking-call trap)")
     if args.json:
         import json
 
@@ -887,6 +975,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the fault-sweep scenario under strict mode",
     )
+    check.add_argument(
+        "--async",
+        dest="async_rules",
+        action="store_true",
+        help="also run the REP1xx concurrency-safety rules (live tier)",
+    )
+    check.add_argument(
+        "--protocol",
+        action="store_true",
+        help="cross-check server/client/proxy wire-protocol models",
+    )
+    check.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="print a machine-readable JSON report instead of prose",
+    )
+    check.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write findings as a SARIF 2.1.0 document",
+    )
+    check.add_argument(
+        "--annotate",
+        action="store_true",
+        help="emit GitHub ::error workflow commands for findings",
+    )
     check.set_defaults(func=_cmd_check)
 
     serve = sub.add_parser(
@@ -911,6 +1027,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="serve for N seconds then exit (default: until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the loop under asyncio debug + blocking-call trap",
     )
     _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -955,6 +1076,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="serve for N seconds then exit (default: until a signal)",
+    )
+    proxy.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run both loops under asyncio debug + blocking-call trap",
     )
     _add_obs_flags(proxy)
     proxy.set_defaults(func=_cmd_proxy)
@@ -1071,6 +1197,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-jsonl",
         default=None,
         help="trace the migration and export its live spans",
+    )
+    live.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run both loops under asyncio debug + blocking-call trap "
+        "and fail on any recorded hazard",
     )
     live.set_defaults(func=_cmd_live_migrate)
 

@@ -25,7 +25,7 @@ baseline would have.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.agent import Agent
 from repro.core.fusecache import fuse_cache_detailed
@@ -44,6 +44,7 @@ from repro.obs import NULL_SPAN, NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
+    from repro.hashing.ketama import ConsistentHashRing
 
 
 @dataclass
@@ -621,7 +622,7 @@ class Master:
         return plan
 
     def _strict_plan_check(
-        self, plan: MigrationPlan, target_ring
+        self, plan: MigrationPlan, target_ring: "ConsistentHashRing"
     ) -> None:
         """Strict mode: validate planning left every structure intact."""
         checker = self.strict_checker
@@ -637,11 +638,11 @@ class Master:
         self,
         plan: MigrationPlan,
         now: float,
-        span,
-        plan_span,
-        scoring_span,
-        dump_span,
-        fusecache_span,
+        span: Any,
+        plan_span: Any,
+        scoring_span: Any,
+        dump_span: Any,
+        fusecache_span: Any,
     ) -> None:
         """Pin the plan-phase spans to the modeled sim timeline.
 
@@ -810,7 +811,9 @@ class Master:
             self.strict_checker.check_cluster_ring("switch")
         return report
 
-    def _trace_faults(self, span, fired, clock: float) -> None:
+    def _trace_faults(
+        self, span: Any, fired: Any, clock: float
+    ) -> None:
         """Record injector faults that landed mid-migration as span events."""
         for applied in fired:
             span.event(
@@ -821,7 +824,7 @@ class Master:
             )
 
     def _finish_migration_trace(
-        self, span, report: MigrationReport, clock: float
+        self, span: Any, report: MigrationReport, clock: float
     ) -> None:
         """Close the migration's root span and flush its metrics."""
         span.set(
@@ -957,7 +960,7 @@ class Master:
         keys: list[str],
         mode: str,
         clock: float,
-        parent_span=NULL_SPAN,
+        parent_span: Any = NULL_SPAN,
     ) -> float:
         """Move one (src, dst) pair under the fault model; returns the
         modeled clock after the attempt(s)."""

@@ -112,6 +112,18 @@ class WireProtocolError(ReproError):
     """
 
 
+class BlockingCallError(ReproError):
+    """A blocking call was trapped on an event-loop thread.
+
+    Raised by the :class:`~repro.check.loopcheck.LoopSanitizer` blocking
+    trap when sanitized code calls ``time.sleep`` (or another trapped
+    blocking primitive) on a thread that is running an asyncio event
+    loop.  Such a call would stall every connection sharing the loop;
+    the trap turns the latent stall into an immediate, attributable
+    failure.
+    """
+
+
 class FaultError(ReproError):
     """An injected fault made an operation fail (node crash, flow loss)."""
 

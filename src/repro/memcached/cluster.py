@@ -43,7 +43,7 @@ class MemcachedCluster:
         vnodes: int = DEFAULT_VNODES,
         min_chunk: int = 96,
         growth_factor: float = 1.25,
-        metrics=None,
+        metrics: Any | None = None,
     ) -> None:
         self.memory_per_node = memory_per_node
         self.vnodes = vnodes

@@ -84,7 +84,7 @@ class MemcachedNode:
         memory_bytes: int,
         min_chunk: int = 96,
         growth_factor: float = 1.25,
-        metrics=None,
+        metrics: Any | None = None,
     ) -> None:
         self.name = name
         self.memory_bytes = memory_bytes

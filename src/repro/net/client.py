@@ -361,7 +361,9 @@ class NodeClient:
             return []
         self._m_requests.inc()
         self._m_depth.observe(len(requests))
-        ctx = self.trace_context or current_context()
+        # Deliberate: trace_context IS the explicit bridge override REP106
+        # asks for; the ambient read only serves same-loop callers.
+        ctx = self.trace_context or current_context()  # repro: allow[REP106]
         span = None
         prefix = b""
         if ctx is not None:

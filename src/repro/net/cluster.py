@@ -29,6 +29,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from typing import Any, Coroutine
 
+from repro.check.loopcheck import create_sanitizer
 from repro.core.retry import RetryPolicy
 from repro.errors import ConfigurationError, MembershipError, TransportError
 from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
@@ -400,6 +401,7 @@ class LiveCluster:
         retry: RetryPolicy | None = None,
         backoff_scale: float = 1.0,
         telemetry: Telemetry | None = None,
+        sanitize: bool = False,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("LiveCluster needs at least one endpoint")
@@ -412,7 +414,10 @@ class LiveCluster:
         self._retry = retry
         self._backoff_scale = backoff_scale
         self._telemetry = telemetry or NULL_TELEMETRY
-        self.loop = EventLoopThread(name="live-cluster").start()
+        self.sanitizer = create_sanitizer(sanitize)
+        self.loop = EventLoopThread(
+            name="live-cluster", sanitizer=self.sanitizer
+        ).start()
         self.nodes: dict[str, RemoteNode] = {}
         self.ring = ConsistentHashRing(vnodes=vnodes)
         self._remap: dict[str, str] = {}

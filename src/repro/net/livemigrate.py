@@ -154,12 +154,13 @@ def run_live_migration(
     seed: int = 7,
     memory_per_node: int = 8 * PAGE_SIZE,
     verify: bool = True,
-    fault_schedule=None,
+    fault_schedule: Any | None = None,
     fault_base_delay_s: float = 0.05,
     timeout_s: float = 5.0,
     backoff_scale: float = 1.0,
     telemetry: Telemetry | None = None,
     trace_jsonl: str | None = None,
+    sanitize: bool = False,
 ) -> LiveMigrationResult:
     """Boot ``nodes`` asyncio servers, seed them, retire ``retire`` of
     them through a socket-backed three-phase migration.
@@ -170,6 +171,11 @@ def run_live_migration(
     combine it with a small ``timeout_s``/``backoff_scale`` to exercise
     the degrade-to-cold path over real sockets.  ``verify`` replays the
     workload on an in-process twin and compares final contents.
+    ``sanitize`` runs both event loops (server harness and client
+    cluster) under :class:`~repro.check.loopcheck.LoopSanitizer`
+    instances -- asyncio debug mode plus the blocking-call trap -- and
+    raises :class:`~repro.errors.InvariantViolation` after the migration
+    if either loop recorded a hazard.
 
     With a live-tracing ``telemetry`` the whole migration becomes one
     stitched trace -- a ``live_migration`` root with ``seed`` / ``plan``
@@ -200,6 +206,7 @@ def run_live_migration(
         fault_policy=fault_policy,
         telemetry=telemetry,
         metrics=telemetry.metrics if telemetry is not None else None,
+        sanitize=sanitize,
     )
     started = time.monotonic()
     root = (
@@ -219,6 +226,7 @@ def run_live_migration(
             timeout_s=timeout_s,
             backoff_scale=backoff_scale,
             telemetry=telemetry,
+            sanitize=sanitize,
         )
 
         def _join_clients(ctx: TraceContext | None) -> None:
@@ -277,6 +285,10 @@ def run_live_migration(
                 )
         finally:
             live.close()
+    if harness.sanitizer is not None:
+        harness.sanitizer.check("live-harness loop")
+    if live.sanitizer is not None:
+        live.sanitizer.check("live-cluster loop")
     if root is not None:
         root.set_attribute("outcome", result.outcome)
         root.set_attribute(

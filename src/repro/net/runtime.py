@@ -14,9 +14,12 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
-from typing import Any, Coroutine
+from typing import TYPE_CHECKING, Any, Coroutine
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.check.loopcheck import LoopSanitizer
 
 
 class EventLoopThread:
@@ -28,10 +31,19 @@ class EventLoopThread:
         loop.start()
         result = loop.call(some_coroutine())   # blocks the caller
         loop.stop()
+
+    An optional :class:`~repro.check.loopcheck.LoopSanitizer` is
+    installed on the loop at startup (asyncio debug mode, slow-callback
+    reporting, blocking-call trap) and detached when the loop stops.
     """
 
-    def __init__(self, name: str = "repro-net") -> None:
+    def __init__(
+        self,
+        name: str = "repro-net",
+        sanitizer: "LoopSanitizer | None" = None,
+    ) -> None:
         self.name = name
+        self.sanitizer = sanitizer
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -64,6 +76,8 @@ class EventLoopThread:
     def _run(self) -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
+        if self.sanitizer is not None:
+            self.sanitizer.install(loop)
         self._loop = loop
         self._started.set()
         try:
@@ -77,6 +91,8 @@ class EventLoopThread:
                 loop.run_until_complete(
                     asyncio.gather(*pending, return_exceptions=True)
                 )
+            if self.sanitizer is not None:
+                self.sanitizer.uninstall(loop)
             loop.close()
 
     def stop(self, timeout: float = 5.0) -> None:

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
+from repro.check.loopcheck import create_sanitizer
 from repro.errors import ConfigurationError
 from repro.faults.sockets import SocketFaultPolicy
 from repro.memcached.node import MemcachedNode
@@ -263,6 +264,11 @@ class LiveClusterHarness:
     port_base:
         When nonzero, node ``i`` listens on ``port_base + i`` (the
         ``repro serve`` mode); the default picks ephemeral ports.
+    sanitize:
+        Run the server loop under a
+        :class:`~repro.check.loopcheck.LoopSanitizer` (asyncio debug
+        mode, slow-callback findings, blocking-call trap); read the
+        verdict from :attr:`sanitizer` after :meth:`stop`.
     """
 
     def __init__(
@@ -276,7 +282,8 @@ class LiveClusterHarness:
         drain_grace_s: float = 2.0,
         port_base: int = 0,
         telemetry: Telemetry | None = None,
-        metrics=None,
+        metrics: Any | None = None,
+        sanitize: bool = False,
     ) -> None:
         names = list(node_names)
         if not names:
@@ -309,7 +316,10 @@ class LiveClusterHarness:
             )
             for index, (name, node) in enumerate(self.nodes.items())
         }
-        self.loop = EventLoopThread(name="live-harness")
+        self.sanitizer = create_sanitizer(sanitize)
+        self.loop = EventLoopThread(
+            name="live-harness", sanitizer=self.sanitizer
+        )
         self._started = False
 
     @property

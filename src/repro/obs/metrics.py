@@ -16,7 +16,7 @@ renders the registry in text exposition format.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -243,8 +243,8 @@ class MetricsRegistry:
         name: str,
         help_text: str,
         labels: dict[str, Any],
-        factory,
-    ):
+        factory: Callable[[LabelKey], Any],
+    ) -> Any:
         registered = self._kinds.get(name)
         if registered is not None and registered != kind:
             raise ConfigurationError(
@@ -331,14 +331,22 @@ class _NullRegistry:
 
     enabled = False
 
-    def counter(self, name: str, help: str = "", **labels) -> _NullMetric:
+    def counter(
+        self, name: str, help: str = "", **labels: Any
+    ) -> _NullMetric:
         return NULL_METRIC
 
-    def gauge(self, name: str, help: str = "", **labels) -> _NullMetric:
+    def gauge(
+        self, name: str, help: str = "", **labels: Any
+    ) -> _NullMetric:
         return NULL_METRIC
 
     def histogram(
-        self, name: str, help: str = "", buckets=(), **labels
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = (),
+        **labels: Any,
     ) -> _NullMetric:
         return NULL_METRIC
 

@@ -231,19 +231,23 @@ class _NullSpan:
     wall_s = 0.0
     ended = True
 
-    def child(self, name: str, sim_s=None, **attributes) -> "_NullSpan":
+    def child(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> "_NullSpan":
         return self
 
-    def event(self, name: str, sim_s=None, **attributes) -> None:
+    def event(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> None:
         return None
 
-    def set(self, **attributes) -> None:
+    def set(self, **attributes: Any) -> None:
         return None
 
     def sim_window(self, start: float, end: float) -> None:
         return None
 
-    def end(self, sim_s=None) -> None:
+    def end(self, sim_s: float | None = None) -> None:
         return None
 
     def walk(self):
@@ -306,10 +310,14 @@ class _NullTracer:
     roots: tuple = ()
     events: tuple = ()
 
-    def root(self, name: str, sim_s=None, **attributes) -> _NullSpan:
+    def root(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> _NullSpan:
         return NULL_SPAN
 
-    def event(self, name: str, sim_s=None, **attributes) -> None:
+    def event(
+        self, name: str, sim_s: float | None = None, **attributes: Any
+    ) -> None:
         return None
 
     def find_roots(self, name: str) -> list:

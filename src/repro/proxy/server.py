@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 from typing import Iterable
 
+from repro.check.loopcheck import create_sanitizer
 from repro.errors import ConfigurationError
 from repro.faults.sockets import SocketFaultPolicy
 from repro.net.runtime import EventLoopThread
@@ -393,6 +394,11 @@ class ProxyHarness:
         Optional socket fault schedule applied to the *backend* servers
         (the proxy's own listener is never faulted -- the point is that
         clients behind the proxy stay clean while backends misbehave).
+    sanitize:
+        Run both the proxy loop and the backend loop under
+        :class:`~repro.check.loopcheck.LoopSanitizer` instances (asyncio
+        debug mode + blocking-call trap); read verdicts from
+        :attr:`sanitizer` and ``backends.sanitizer`` after :meth:`stop`.
     """
 
     def __init__(
@@ -408,6 +414,7 @@ class ProxyHarness:
         telemetry: Telemetry | None = None,
         min_chunk: int = 96,
         growth_factor: float = 1.25,
+        sanitize: bool = False,
     ) -> None:
         self.telemetry = telemetry or create_telemetry()
         # Backends share the proxy's telemetry, so one `stats obs`
@@ -422,13 +429,17 @@ class ProxyHarness:
             drain_grace_s=drain_grace_s,
             telemetry=self.telemetry,
             metrics=self.telemetry.metrics,
+            sanitize=sanitize,
         )
         self._active = list(active) if active is not None else None
         self._config = config
         self._host = host
         self._proxy_port = proxy_port
         self._drain_grace_s = drain_grace_s
-        self.loop = EventLoopThread(name="proxy-harness")
+        self.sanitizer = create_sanitizer(sanitize)
+        self.loop = EventLoopThread(
+            name="proxy-harness", sanitizer=self.sanitizer
+        )
         self.router: ProxyRouter | None = None
         self.server: ProxyServer | None = None
         self._started = False

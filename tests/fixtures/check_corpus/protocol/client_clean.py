@@ -1,0 +1,53 @@
+"""Corpus: miniature client whose emissions match ``server.py``."""
+
+CRLF = b"\r\n"
+
+
+def _command(text, payload=None):
+    wire = text.encode() + CRLF
+    if payload is not None:
+        wire += payload + CRLF
+    return wire
+
+
+async def _read_simple(conn):
+    return await conn.readline()
+
+
+async def _read_values(conn):
+    line = await conn.readline()
+    while line.startswith(b"VALUE "):
+        line = await conn.readline()
+    return line
+
+
+async def _read_stats(conn):
+    line = await conn.readline()
+    while line.startswith(b"STAT "):
+        line = await conn.readline()
+    return line
+
+
+class _Request:
+    def __init__(self, wire, reader):
+        self.wire = wire
+        self.reader = reader
+
+
+class NodeClient:
+    async def get(self, keys):
+        return _Request(_command("get " + " ".join(keys)), _read_values)
+
+    async def delete(self, key):
+        return _Request(_command(f"delete {key}"), _read_simple)
+
+    async def stats(self):
+        return _Request(_command("stats"), _read_stats)
+
+    async def set(self, key, value):
+        return _Request(
+            _command(f"set {key} 0 0 {len(value)}", value), _read_simple
+        )
+
+    async def trace(self, span):
+        return _Request(_command(f"trace {span}"), _read_simple)

@@ -1,0 +1,23 @@
+"""Corpus: REP201 -- client emits a verb the server never handles."""
+
+CRLF = b"\r\n"
+
+
+def _command(text, payload=None):
+    return text.encode() + CRLF
+
+
+async def _read_simple(conn):
+    return await conn.readline()
+
+
+class _Request:
+    def __init__(self, wire, reader):
+        self.wire = wire
+        self.reader = reader
+
+
+class NodeClient:
+    async def frobnicate(self, key):
+        # expect: REP201 -- no `_cmd_frobnicate` on the server
+        return _Request(_command(f"frobnicate {key}"), _read_simple)

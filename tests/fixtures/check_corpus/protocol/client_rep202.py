@@ -1,0 +1,26 @@
+"""Corpus: REP202 -- client reads a framing the server never produces."""
+
+CRLF = b"\r\n"
+
+
+def _command(text, payload=None):
+    return text.encode() + CRLF
+
+
+async def _read_stats(conn):
+    line = await conn.readline()
+    while line.startswith(b"STAT "):
+        line = await conn.readline()
+    return line
+
+
+class _Request:
+    def __init__(self, wire, reader):
+        self.wire = wire
+        self.reader = reader
+
+
+class NodeClient:
+    async def get(self, keys):
+        # expect: REP202 -- `get` answers with VALUE blocks, not STAT
+        return _Request(_command("get " + " ".join(keys)), _read_stats)

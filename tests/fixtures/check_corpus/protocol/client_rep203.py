@@ -1,0 +1,23 @@
+"""Corpus: REP203 -- client emits an arity the server rejects."""
+
+CRLF = b"\r\n"
+
+
+def _command(text, payload=None):
+    return text.encode() + CRLF
+
+
+async def _read_simple(conn):
+    return await conn.readline()
+
+
+class _Request:
+    def __init__(self, wire, reader):
+        self.wire = wire
+        self.reader = reader
+
+
+class NodeClient:
+    async def delete(self, key, flag):
+        # expect: REP203 -- server's `_cmd_delete` insists on exactly one
+        return _Request(_command(f"delete {key} {flag}"), _read_simple)

@@ -1,0 +1,13 @@
+"""Corpus: miniature proxy front-end (baseline routed-verb set)."""
+
+ROUTED_COMMANDS = frozenset({"get", "delete"})
+
+
+class ProxyServer:
+    def __init__(self, router):
+        self.router = router
+
+    async def handle(self, command, args):
+        if command in ROUTED_COMMANDS:
+            return await self.router.route(command, args)
+        return b"ERROR\r\n"

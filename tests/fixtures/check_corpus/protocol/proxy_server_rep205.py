@@ -1,0 +1,14 @@
+"""Corpus: REP205 -- proxy routes a verb no backend server handles."""
+
+# expect: REP205 -- `purge` has no `_cmd_purge` on the backend server
+ROUTED_COMMANDS = frozenset({"get", "delete", "purge"})
+
+
+class ProxyServer:
+    def __init__(self, router):
+        self.router = router
+
+    async def handle(self, command, args):
+        if command in ROUTED_COMMANDS:
+            return await self.router.route(command, args)
+        return b"ERROR\r\n"

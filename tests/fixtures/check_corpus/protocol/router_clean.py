@@ -1,0 +1,14 @@
+"""Corpus: miniature router calling real ``NodeClient`` methods."""
+
+
+class ProxyRouter:
+    def __init__(self, clients):
+        self._clients = clients
+
+    def client(self, backend):
+        return self._clients[backend]
+
+    async def route(self, command, args, backend="b0"):
+        if command == "get":
+            return await self.client(backend).get(args)
+        return await self.client(backend).delete(args[0])

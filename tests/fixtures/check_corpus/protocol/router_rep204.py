@@ -1,0 +1,13 @@
+"""Corpus: REP204 -- router calls a ``NodeClient`` method that is gone."""
+
+
+class ProxyRouter:
+    def __init__(self, clients):
+        self._clients = clients
+
+    def client(self, backend):
+        return self._clients[backend]
+
+    async def route(self, command, args, backend="b0"):
+        # expect: REP204 -- `NodeClient` defines no `get_many`
+        return await self.client(backend).get_many(args)

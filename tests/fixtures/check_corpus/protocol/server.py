@@ -1,0 +1,38 @@
+"""Corpus: miniature server parser (baseline for conformance drift)."""
+
+CRLF = b"\r\n"
+
+STORAGE_COMMANDS = frozenset({"set"})
+
+
+class TextProtocolServer:
+    def _dispatch(self, command, args):
+        if command == "trace":
+            return b"OK" + CRLF
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return b"ERROR" + CRLF
+        return handler(args)
+
+    def _cmd_get(self, keys):
+        if not keys:
+            return b"ERROR" + CRLF
+        lines = [f"VALUE {key} 0 1".encode() for key in keys]
+        return CRLF.join(lines) + b"END" + CRLF
+
+    def _cmd_delete(self, args):
+        if len(args) != 1:
+            return b"ERROR" + CRLF
+        return b"DELETED" + CRLF
+
+    def _cmd_stats(self, args):
+        return b"STAT uptime 1" + CRLF + b"END" + CRLF
+
+    def _begin_storage(self, command, parts):
+        expected = 6 if command == "cas" else 5
+        if len(parts) not in (expected, expected + 1):
+            return b"CLIENT_ERROR bad header" + CRLF
+        return None
+
+    def _store(self, payload):
+        return b"STORED" + CRLF

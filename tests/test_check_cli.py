@@ -1,5 +1,6 @@
 """The ``repro check`` subcommand and the strict-mode smoke runs."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -18,6 +19,11 @@ def test_check_list_rules(capsys):
     out = capsys.readouterr().out
     for index in range(1, 9):
         assert f"REP00{index}" in out
+    # The full catalogue includes the async and conformance packs.
+    for index in range(1, 7):
+        assert f"REP10{index}" in out
+    for index in range(1, 6):
+        assert f"REP20{index}" in out
 
 
 def test_check_lint_only_passes_on_source_tree(capsys):
@@ -59,3 +65,73 @@ def test_strict_fault_sweep_completes_without_violations():
     assert report["violations"] == 0
     assert report["checks_run"] > 0
     assert report["migrations"] >= 1
+
+
+# ----------------------------------------------------------------------
+# --async / --protocol / machine output
+# ----------------------------------------------------------------------
+
+
+def test_check_async_and_protocol_pass_on_source_tree(capsys):
+    assert main(["check", "--async", "--protocol", "--no-sim", SRC]) == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+    assert "protocol: client/server/proxy models agree" in out
+
+
+def test_check_async_fails_on_a_blocking_coroutine(tmp_path, capsys):
+    bad = tmp_path / "blocky.py"
+    bad.write_text(
+        "import time\n"
+        "async def poll():\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert main(["check", "--async", "--no-sim", str(bad)]) == 1
+    assert "REP101" in capsys.readouterr().out
+
+
+def test_check_json_output_is_machine_readable(capsys):
+    assert (
+        main(
+            ["check", "--async", "--protocol", "--no-sim", "--json", SRC]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failed"] is False
+    assert payload["lint"] == []
+    assert payload["conformance"] == []
+
+
+def test_check_sarif_and_annotations(tmp_path, capsys):
+    bad = tmp_path / "blocky.py"
+    bad.write_text(
+        "import time\n"
+        "async def poll():\n"
+        "    time.sleep(0.1)\n"
+    )
+    sarif_path = tmp_path / "findings.sarif"
+    assert (
+        main(
+            [
+                "check",
+                "--async",
+                "--no-sim",
+                "--sarif",
+                str(sarif_path),
+                "--annotate",
+                str(bad),
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "::error file=" in out and "REP101" in out
+    document = json.loads(sarif_path.read_text())
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [result["ruleId"] for result in results] == ["REP101"]
+    rule_ids = {
+        rule["id"] for rule in document["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert "REP101" in rule_ids

@@ -1,0 +1,110 @@
+"""The runtime loop sanitizer: debug mode, blocking trap, reporting.
+
+The trap is process-wide but thread-registered, so these tests also pin
+the two properties that make it safe to ship: calls from *other*
+threads fall through to the real functions, and stopping the last
+sanitized loop restores the patched functions exactly.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.check.loopcheck import (
+    LoopSanitizer,
+    create_sanitizer,
+)
+from repro.errors import BlockingCallError, InvariantViolation
+from repro.net.runtime import EventLoopThread
+
+
+def test_create_sanitizer_gates_on_enabled():
+    assert create_sanitizer(False) is None
+    sanitizer = create_sanitizer(True, slow_callback_s=0.5)
+    assert isinstance(sanitizer, LoopSanitizer)
+    assert sanitizer.slow_callback_s == 0.5
+
+
+def test_blocking_call_on_sanitized_loop_is_trapped():
+    sanitizer = LoopSanitizer()
+    loop = EventLoopThread(name="sanitized", sanitizer=sanitizer)
+
+    async def blocks():
+        time.sleep(0.01)
+
+    with loop:
+        with pytest.raises(BlockingCallError):
+            loop.call(blocks(), timeout=5.0)
+        # The same call from the driving (non-loop) thread is untouched.
+        time.sleep(0.001)
+    report = sanitizer.report()
+    assert not report["clean"]
+    assert report["by_kind"] == {"blocking-call": 1}
+    with pytest.raises(InvariantViolation):
+        sanitizer.check("sanitized loop")
+
+
+def test_asyncio_sleep_passes_clean():
+    sanitizer = LoopSanitizer()
+    loop = EventLoopThread(name="clean-loop", sanitizer=sanitizer)
+
+    async def cooperative():
+        await asyncio.sleep(0)
+        return "ok"
+
+    with loop:
+        assert loop.call(cooperative(), timeout=5.0) == "ok"
+    assert sanitizer.report()["clean"]
+    sanitizer.check("clean loop")  # must not raise
+
+
+def test_traps_are_restored_after_the_last_loop_stops():
+    original_sleep = time.sleep
+    sanitizer = LoopSanitizer()
+    loop = EventLoopThread(name="restore", sanitizer=sanitizer)
+    with loop:
+        assert time.sleep is not original_sleep
+    assert time.sleep is original_sleep
+
+
+def test_audit_mode_records_without_raising():
+    sanitizer = LoopSanitizer(raise_on_block=False)
+    loop = EventLoopThread(name="audit", sanitizer=sanitizer)
+
+    async def blocks():
+        time.sleep(0.01)
+        return "survived"
+
+    with loop:
+        assert loop.call(blocks(), timeout=5.0) == "survived"
+    assert sanitizer.report()["by_kind"] == {"blocking-call": 1}
+
+
+def test_slow_callback_becomes_a_finding():
+    # Audit mode with a tiny threshold: the blocked callback is both
+    # recorded by the trap and reported slow by asyncio debug mode.
+    sanitizer = LoopSanitizer(slow_callback_s=0.005, raise_on_block=False)
+    loop = EventLoopThread(name="slow", sanitizer=sanitizer)
+
+    async def hog():
+        time.sleep(0.02)
+
+    with loop:
+        loop.call(hog(), timeout=5.0)
+    report = sanitizer.report()
+    assert report["by_kind"].get("slow-callback", 0) >= 1
+
+
+def test_sanitizer_installs_debug_mode():
+    sanitizer = LoopSanitizer(slow_callback_s=0.125)
+    loop = EventLoopThread(name="debug", sanitizer=sanitizer)
+
+    async def introspect():
+        running = asyncio.get_running_loop()
+        return running.get_debug(), running.slow_callback_duration
+
+    with loop:
+        debug, threshold = loop.call(introspect(), timeout=5.0)
+    assert debug is True
+    assert threshold == 0.125

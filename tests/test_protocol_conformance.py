@@ -1,0 +1,175 @@
+"""The REP2xx conformance checker against the *real* protocol surfaces.
+
+Model extraction must see the full verb set the server implements and
+every emission the client makes; the cross-check must be clean on the
+tree as shipped; and surgically removing a handler, swapping a reader,
+renaming a router call, or routing a bogus verb must each produce the
+matching drift violation (the acceptance bar for this checker).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import default_conformance
+from repro.check.protocol_conformance import (
+    check_models,
+    conformance_catalogue,
+    extract_client_model,
+    extract_proxy_model,
+    extract_server_model,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+SERVER = SRC / "memcached" / "protocol.py"
+CLIENT = SRC / "net" / "client.py"
+PROXY_SERVER = SRC / "proxy" / "server.py"
+PROXY_ROUTER = SRC / "proxy" / "router.py"
+
+
+def models():
+    return (
+        extract_server_model(SERVER.read_text()),
+        extract_client_model(CLIENT.read_text()),
+        extract_proxy_model(
+            PROXY_SERVER.read_text(), PROXY_ROUTER.read_text()
+        ),
+    )
+
+
+def codes(violations):
+    return [violation.code for violation in violations]
+
+
+# ----------------------------------------------------------------------
+# Extraction on the real tree
+# ----------------------------------------------------------------------
+
+
+def test_server_model_covers_the_wire_protocol():
+    server, _, _ = models()
+    expected = {
+        "get",
+        "gets",
+        "set",
+        "cas",
+        "delete",
+        "stats",
+        "ts_dump",
+        "batch_import",
+        "mig_export",
+        "trace",
+        "version",
+        "flush_all",
+    }
+    assert expected <= set(server.verbs)
+
+
+def test_server_model_storage_arity_from_begin_storage():
+    server, _, _ = models()
+    assert server.verbs["set"].arity == (4, 5)
+    assert server.verbs["cas"].arity == (5, 6)
+
+
+def test_server_model_framings():
+    server, _, _ = models()
+    assert server.verbs["get"].framings == {"values"}
+    assert server.verbs["ts_dump"].framings == {"ts"}
+    assert "stats" in server.verbs["stats"].framings
+
+
+def test_client_model_pairs_every_emission_with_a_known_verb():
+    server, client, _ = models()
+    assert client.emissions, "client model extracted no emissions"
+    for emission in client.emissions:
+        assert emission.verb in server.verbs, emission
+
+
+def test_client_model_reader_framings():
+    _, client, _ = models()
+    assert client.readers["_read_values"] == "values"
+    assert client.readers["_read_ts"] == "ts"
+    assert client.readers["_read_simple"] == "line"
+    # The raw escape hatch must never be pinned to a framing.
+    assert "_read_sniffed" not in client.readers
+
+
+def test_proxy_model_routes_and_client_calls():
+    _, client, proxy = models()
+    assert "get" in proxy.routed and "set" in proxy.routed
+    assert proxy.client_calls
+    for method, _ in proxy.client_calls:
+        assert method in client.methods
+
+
+def test_shipped_tree_is_drift_free():
+    assert default_conformance(SRC.parent) == []
+    # The packaged default (no explicit root) must agree.
+    assert default_conformance() == []
+
+
+# ----------------------------------------------------------------------
+# Seeded drift on the real sources (text surgery, no files written)
+# ----------------------------------------------------------------------
+
+
+def test_removing_a_handler_fails_conformance():
+    crippled = SERVER.read_text().replace(
+        "def _cmd_ts_dump", "def _zzz_ts_dump"
+    )
+    server = extract_server_model(crippled)
+    _, client, proxy = models()
+    assert "REP201" in codes(check_models(server, client, proxy))
+
+
+def test_swapping_a_client_reader_fails_conformance():
+    source = CLIENT.read_text()
+    swapped = source.replace(
+        '_Request(_command(f"ts_dump {class_id}"), _read_ts)',
+        '_Request(_command(f"ts_dump {class_id}"), _read_stats)',
+    )
+    assert swapped != source, "ts_dump emission shape changed; update test"
+    server = extract_server_model(SERVER.read_text())
+    client = extract_client_model(swapped)
+    assert "REP202" in codes(check_models(server, client))
+
+
+def test_widening_an_emission_arity_fails_conformance():
+    source = CLIENT.read_text()
+    widened = source.replace(
+        'f"delete {key}"', 'f"delete {key} noreply extra"'
+    )
+    assert widened != source, "delete emission shape changed; update test"
+    server = extract_server_model(SERVER.read_text())
+    client = extract_client_model(widened)
+    assert "REP203" in codes(check_models(server, client))
+
+
+def test_renaming_a_router_call_fails_conformance():
+    source = PROXY_ROUTER.read_text()
+    renamed = source.replace(".flush_all(", ".flush_everything(")
+    assert renamed != source, "router flush call changed; update test"
+    server, client, _ = models()
+    proxy = extract_proxy_model(PROXY_SERVER.read_text(), renamed)
+    assert "REP204" in codes(check_models(server, client, proxy))
+
+
+def test_routing_an_unknown_verb_fails_conformance():
+    source = PROXY_SERVER.read_text()
+    bogus = source.replace('"decr"', '"bump"')
+    assert bogus != source, "ROUTED_COMMANDS literal changed; update test"
+    server, client, _ = models()
+    proxy = extract_proxy_model(bogus, PROXY_ROUTER.read_text())
+    assert "REP205" in codes(check_models(server, client, proxy))
+
+
+def test_catalogue_lists_all_five_conformance_checks():
+    rows = conformance_catalogue()
+    assert [code for code, _, _ in rows] == [
+        f"REP20{index}" for index in range(1, 6)
+    ]
+
+
+@pytest.mark.parametrize("path", [SERVER, CLIENT, PROXY_SERVER, PROXY_ROUTER])
+def test_protocol_surfaces_exist(path):
+    assert path.is_file()
