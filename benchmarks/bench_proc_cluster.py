@@ -1,0 +1,39 @@
+"""Runnable wrapper for the process-cluster throughput benchmark.
+
+Measures the aggregate pipelined ``set`` rate of the shared-nothing
+multi-process harness against the single-loop harness at equal node
+count, exactly as the perf gate does:
+
+    PYTHONPATH=src python benchmarks/bench_proc_cluster.py [--quick]
+
+The gated ratio (``proc_cluster_speedup`` >= 2x, waived below 4 cores)
+lives in :mod:`repro.analysis.perfgate`; this wrapper just runs that
+benchmark standalone and prints the metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.perfgate import bench_proc_cluster, visible_cores
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    metrics = bench_proc_cluster(args.quick)
+    for name in sorted(metrics):
+        print(f"{name:26s} {metrics[name]:12.3f}")
+    cores = visible_cores()
+    if cores < 4:
+        print(
+            f"note: only {cores} core(s) visible; the >=2x speedup "
+            "gate is waived here (enforced on multi-core CI)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -770,6 +770,7 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         trace_jsonl=args.trace_jsonl,
         sanitize=args.sanitize,
+        process_cluster=args.procs,
     )
     print(
         f"  outcome      {result.outcome} "
@@ -814,6 +815,163 @@ def _cmd_live_migrate(args: argparse.Namespace) -> int:
     if args.trace_jsonl:
         print(f"  wrote {args.trace_jsonl}")
     ok = result.warm and result.verified is not False
+    return 0 if ok else 1
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.memcached.slab import PAGE_SIZE
+    from repro.net import ProcessClusterHarness
+
+    names = [f"proc-{index:02d}" for index in range(args.nodes)]
+    harness = ProcessClusterHarness(
+        names,
+        memory_per_node=args.memory_mb * PAGE_SIZE,
+        host=args.host,
+        port_base=args.port,
+        restart_crashed=args.restart_crashed,
+    )
+    harness.start()
+    try:
+        with _shutdown_signals() as wait_for_signal:
+            pids = harness.pids
+            print(
+                f"process cluster up ({args.nodes} nodes, one OS "
+                "process each):",
+                flush=True,
+            )
+            for name, (host, port) in sorted(harness.endpoints.items()):
+                print(
+                    f"  {name}  {host}:{port}  pid {pids[name]}",
+                    flush=True,
+                )
+            if args.duration is not None:
+                print(f"serving for {args.duration:.0f}s...", flush=True)
+            else:
+                print("serving; SIGINT/SIGTERM to stop", flush=True)
+            signal_name = wait_for_signal(args.duration)
+        if signal_name:
+            print(f"received {signal_name}; draining...", flush=True)
+    finally:
+        harness.stop()
+    for event in harness.crash_events:
+        print(
+            f"crash: {event.node} (pid {event.pid}) exited "
+            f"{event.exitcode}"
+            + (", restarted" if event.restarted else ""),
+            flush=True,
+        )
+    print("stopped.", flush=True)
+    return 0
+
+
+def _print_load_report(report: "object") -> None:
+    data = report.to_dict()  # type: ignore[attr-defined]
+    print(
+        f"  offered      {data['offered_rate']:.0f} ops/s for "
+        f"{data['duration_s']:.0f}s ({data['ops_total']} ops)"
+    )
+    print(
+        f"  achieved     {data['achieved_rate']:.0f} ops/s "
+        f"({data['ops_ok']} ok, {data['late_sends']} late, "
+        f"{data['transport_errors']} transport / "
+        f"{data['wire_errors']} wire errors)"
+    )
+    print(
+        f"  outcomes     {data['hits']} hits, {data['misses']} misses, "
+        f"{data['stored']} stored"
+    )
+    for label, title in (
+        ("response_ms", "response"),
+        ("service_ms", "service"),
+        ("lateness_ms", "lateness"),
+    ):
+        q = data[label]
+        print(
+            f"  {title:<12} p50 {q['p50']} ms, p95 {q['p95']} ms, "
+            f"p99 {q['p99']} ms"
+        )
+    migration = data.get("migration")
+    if migration:
+        print(
+            f"  migration    {migration['outcome']}: retired "
+            f"{', '.join(migration['retired'])}; window "
+            f"{migration['killed_at_s']}s -> "
+            f"{migration['recovered_at_s']}s "
+            f"({migration['window_s']}s, "
+            f"{migration['errors_in_window']} errors)"
+        )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import run_load, run_load_migration
+    from repro.memcached.slab import PAGE_SIZE
+
+    if args.migrate and args.target:
+        raise SystemExit(
+            "--migrate needs process control over its own cluster; "
+            "drop --target"
+        )
+    if args.migrate:
+        print(
+            f"open-loop load + scale-in: {args.nodes} node processes, "
+            f"retire {args.retire} at "
+            f"{args.migrate_at:.0%} of {args.duration:.0f}s..."
+        )
+        report = run_load_migration(
+            rate=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+            nodes=args.nodes,
+            retire=args.retire,
+            memory_per_node=args.memory_mb * PAGE_SIZE,
+            num_keys=args.keys,
+            set_fraction=args.set_fraction,
+            value_bytes=args.value_bytes,
+            trace=args.trace,
+            migrate_at_frac=args.migrate_at,
+            timeout_s=args.timeout,
+        )
+    else:
+        endpoints = None
+        if args.target:
+            endpoints = {}
+            for index, spec in enumerate(args.target):
+                name, eq, rest = spec.partition("=")
+                if not eq:
+                    name, rest = f"target-{index:02d}", spec
+                endpoints[name] = _parse_endpoint(rest)
+        where = (
+            f"{len(endpoints)} target endpoints"
+            if endpoints is not None
+            else f"{args.nodes} self-hosted node processes"
+        )
+        print(
+            f"open-loop load: {args.rate:.0f} ops/s for "
+            f"{args.duration:.0f}s against {where}..."
+        )
+        report = run_load(
+            rate=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+            endpoints=endpoints,
+            nodes=args.nodes,
+            memory_per_node=args.memory_mb * PAGE_SIZE,
+            num_keys=args.keys,
+            set_fraction=args.set_fraction,
+            value_bytes=args.value_bytes,
+            trace=args.trace,
+            timeout_s=args.timeout,
+        )
+    _print_load_report(report)
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"  wrote {args.json}")
+    ok = report.ops_ok > 0 and report.wire_errors == 0
+    if report.migration is not None:
+        ok = ok and report.migration.get("outcome") == "warm"
     return 0 if ok else 1
 
 
@@ -1204,7 +1362,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="run both loops under asyncio debug + blocking-call trap "
         "and fail on any recorded hazard",
     )
+    live.add_argument(
+        "--procs",
+        action="store_true",
+        help="boot each node in its own OS process (shared-nothing)",
+    )
     live.set_defaults(func=_cmd_live_migrate)
+
+    serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="boot a shared-nothing cluster: one OS process per node",
+    )
+    serve_cluster.add_argument(
+        "--nodes", type=int, default=4, help="node processes to spawn"
+    )
+    serve_cluster.add_argument(
+        "--memory-mb", type=int, default=8, help="cache MB per node"
+    )
+    serve_cluster.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_cluster.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="base port (node i listens on port+i); 0 picks free ports",
+    )
+    serve_cluster.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then exit (default: until Ctrl-C)",
+    )
+    serve_cluster.add_argument(
+        "--restart-crashed",
+        action="store_true",
+        help="respawn a crashed node process (cold) on the same port",
+    )
+    serve_cluster.set_defaults(func=_cmd_serve_cluster)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop socket load generator (fixed-rate, CO-free)",
+    )
+    loadgen.add_argument(
+        "--target",
+        action="append",
+        metavar="[NAME=]HOST:PORT",
+        help="node endpoint to drive (repeatable); omit to self-host",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=1000.0,
+        help="offered request rate (peak ops/s with --trace)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0, help="run seconds"
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="schedule seed"
+    )
+    loadgen.add_argument(
+        "--nodes",
+        type=int,
+        default=3,
+        help="node processes to self-host when no --target is given",
+    )
+    loadgen.add_argument(
+        "--memory-mb",
+        type=int,
+        default=8,
+        help="cache MB per self-hosted node",
+    )
+    loadgen.add_argument(
+        "--keys", type=int, default=5000, help="distinct keys in the tape"
+    )
+    loadgen.add_argument(
+        "--set-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of operations that are sets",
+    )
+    loadgen.add_argument(
+        "--value-bytes", type=int, default=64, help="payload size per set"
+    )
+    loadgen.add_argument(
+        "--trace",
+        default=None,
+        help="shape the rate by a demand trace (sys/etc/sap/...)",
+    )
+    loadgen.add_argument(
+        "--migrate",
+        action="store_true",
+        help="run a Master scale-in mid-load and report the window",
+    )
+    loadgen.add_argument(
+        "--retire",
+        type=int,
+        default=1,
+        help="nodes to scale in with --migrate",
+    )
+    loadgen.add_argument(
+        "--migrate-at",
+        type=float,
+        default=0.35,
+        help="when to start the scale-in, as a fraction of --duration",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=5.0, help="client timeout seconds"
+    )
+    loadgen.add_argument(
+        "--json", default=None, help="write the load report to a file"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     bench = sub.add_parser(
         "bench",

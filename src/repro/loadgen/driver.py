@@ -1,0 +1,286 @@
+"""The open-loop dispatcher: fixed deadlines, recorded lateness.
+
+:class:`LoadGenerator` replays a pre-built schedule (see
+:mod:`repro.loadgen.schedule`) against live node endpoints.  The run is
+**open loop**: deadlines were fixed when the tape was built and never
+move.  Operations due within one dispatch tick are routed on the ketama
+ring, grouped per node, and shipped as pipelined
+:class:`~repro.net.client.NodeClient` batches.
+
+Coordinated-omission discipline:
+
+- the in-flight semaphore is acquired *before* the actual send time is
+  stamped, so backpressure from a stalled backend shows up as recorded
+  lateness on the ops it delayed -- late sends are counted, never
+  rescheduled to a kinder deadline;
+- ``response`` latency is measured from the *scheduled* send time, so a
+  request that spent 2 s queued behind a stall is charged 2 s even
+  though its own wire round trip was fast;
+- ``service`` latency (actual send to completion) is recorded alongside,
+  so the two can be compared to see where time went.
+
+Membership is swappable mid-run (:meth:`LoadGenerator.set_membership`,
+safe to call from another thread): the Master's post-switch membership
+callback rebuilds the routing ring, which is how a scale-in under load
+redirects traffic the moment the switch commits.  Errors are kept on a
+timestamped timeline so the migration runner can compute the
+``killed_at -> recovered_at`` degradation window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Iterable
+
+from repro.errors import ConfigurationError, TransportError, WireProtocolError
+from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
+from repro.loadgen.report import LoadReport, quantiles_ms
+from repro.loadgen.schedule import ScheduledOp, payload_for, tape_sha256
+from repro.net.client import NodeClient
+from repro.obs.metrics import LATENCY_SECONDS_BUCKETS, Histogram
+
+DEFAULT_TICK_S = 0.01
+"""Dispatch quantum: ops due within one tick ship as one batch wave."""
+
+DEFAULT_LATE_THRESHOLD_S = 0.010
+"""A send this far past its deadline counts as late."""
+
+
+class LoadGenerator:
+    """Open-loop driver over pipelined node clients.
+
+    Build it with the target ``endpoints`` and the full ``schedule``,
+    then ``asyncio.run(generator.run())`` (typically on a worker thread
+    while a Master migrates on another).  Counters and histograms are
+    mutated only on the generator's loop thread; other threads may read
+    them after :meth:`run` returns, watch :attr:`started`, call
+    :meth:`now`, or swap membership.
+    """
+
+    def __init__(
+        self,
+        endpoints: dict[str, tuple[str, int]],
+        schedule: list[ScheduledOp],
+        tick_s: float = DEFAULT_TICK_S,
+        max_inflight: int = 32,
+        pool_size: int = 4,
+        timeout_s: float = 5.0,
+        vnodes: int = DEFAULT_VNODES,
+        late_threshold_s: float = DEFAULT_LATE_THRESHOLD_S,
+    ) -> None:
+        if not endpoints:
+            raise ConfigurationError("load generator needs endpoints")
+        if not schedule:
+            raise ConfigurationError("load generator needs a schedule")
+        if tick_s <= 0:
+            raise ConfigurationError("tick_s must be positive")
+        self.endpoints = dict(endpoints)
+        self.schedule = schedule
+        self.tick_s = tick_s
+        self.max_inflight = max(1, max_inflight)
+        self.pool_size = pool_size
+        self.timeout_s = timeout_s
+        self.vnodes = vnodes
+        self.late_threshold_s = late_threshold_s
+        self._ring = ConsistentHashRing(sorted(endpoints), vnodes=vnodes)
+        self._tasks: set[asyncio.Task[None]] = set()
+        self._clients: dict[str, NodeClient] = {}
+        self._anchor = 0.0
+        self.started = threading.Event()
+        # Outcome counters (loop-thread writes only).
+        self.ops_total = len(schedule)
+        self.ops_sent = 0
+        self.ops_ok = 0
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.transport_errors = 0
+        self.wire_errors = 0
+        self.late_sends = 0
+        self.wall_seconds = 0.0
+        # (run-time seconds, node) for every failed batch -- the
+        # migration runner's recovery detector.
+        self.error_timeline: list[tuple[float, str]] = []
+        self.response_hist = Histogram(
+            "loadgen_response_seconds", LATENCY_SECONDS_BUCKETS
+        )
+        self.service_hist = Histogram(
+            "loadgen_service_seconds", LATENCY_SECONDS_BUCKETS
+        )
+        self.lateness_hist = Histogram(
+            "loadgen_lateness_seconds", LATENCY_SECONDS_BUCKETS
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-thread surface
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the run started (valid from any thread)."""
+        return time.perf_counter() - self._anchor
+
+    def set_membership(self, members: Iterable[str]) -> None:
+        """Swap the routing ring (thread-safe: one atomic rebind).
+
+        Members must be a subset of the configured endpoints; the
+        Master's ``subscribe_membership`` hook calls this with the
+        post-switch member list so new traffic avoids retired nodes.
+        """
+        names = sorted(members)
+        unknown = [name for name in names if name not in self.endpoints]
+        if unknown:
+            raise ConfigurationError(f"unknown members: {unknown}")
+        self._ring = ConsistentHashRing(names, vnodes=self.vnodes)
+
+    @property
+    def members(self) -> frozenset[str]:
+        """Current routing membership."""
+        return self._ring.members
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+
+    def _ticks(self) -> list[tuple[float, list[ScheduledOp]]]:
+        """Group the tape into dispatch waves of one tick each."""
+        grouped: dict[int, list[ScheduledOp]] = {}
+        for op in self.schedule:
+            grouped.setdefault(int(op.send_at_s / self.tick_s), []).append(op)
+        return [
+            (index * self.tick_s, grouped[index])
+            for index in sorted(grouped)
+        ]
+
+    async def run(self) -> None:
+        """Replay the whole tape; returns when every batch resolved."""
+        self._clients = {
+            name: NodeClient(
+                name,
+                host,
+                port,
+                pool_size=self.pool_size,
+                timeout_s=self.timeout_s,
+            )
+            for name, (host, port) in self.endpoints.items()
+        }
+        inflight = asyncio.Semaphore(self.max_inflight)
+        ticks = self._ticks()
+        self._anchor = time.perf_counter()
+        self.started.set()
+        try:
+            for deadline, ops in ticks:
+                delay = deadline - self.now()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                ring = self._ring  # one consistent ring per wave
+                by_node: dict[str, list[ScheduledOp]] = {}
+                for op in ops:
+                    by_node.setdefault(
+                        ring.node_for_key(op.key), []
+                    ).append(op)
+                for node, node_ops in by_node.items():
+                    # Acquire BEFORE stamping the send: backpressure is
+                    # recorded as lateness on the ops it delayed.
+                    await inflight.acquire()
+                    sent_at = self.now()
+                    for op in node_ops:
+                        lateness = max(0.0, sent_at - op.send_at_s)
+                        self.lateness_hist.observe(lateness)
+                        if lateness > self.late_threshold_s:
+                            self.late_sends += 1
+                    task = asyncio.create_task(
+                        self._dispatch(inflight, node, node_ops, sent_at)
+                    )
+                    self._tasks.add(task)
+                    task.add_done_callback(self._tasks.discard)
+            while self._tasks:
+                await asyncio.gather(
+                    *list(self._tasks), return_exceptions=True
+                )
+        finally:
+            self.wall_seconds = self.now()
+            for client in self._clients.values():
+                await client.close()
+
+    async def _dispatch(
+        self,
+        inflight: asyncio.Semaphore,
+        node: str,
+        ops: list[ScheduledOp],
+        sent_at: float,
+    ) -> None:
+        """Ship one node's wave as pipelined batches; account outcomes."""
+        client = self._clients[node]
+        self.ops_sent += len(ops)
+        try:
+            sets = [op for op in ops if op.op == "set"]
+            gets = [op for op in ops if op.op == "get"]
+            if sets:
+                # Await first, then increment: ``x += await ...`` loads
+                # ``x`` before suspending, so concurrent dispatch tasks
+                # would overwrite each other's counts.
+                stored = await client.set_many(
+                    (op.key, 0, payload_for(op.key, op.value_bytes))
+                    for op in sets
+                )
+                self.stored += stored
+            if gets:
+                values = await client.get_many([op.key for op in gets])
+                found = sum(1 for value in values if value is not None)
+                self.hits += found
+                self.misses += len(gets) - found
+            done_at = self.now()
+            for op in ops:
+                self.response_hist.observe(max(0.0, done_at - op.send_at_s))
+                self.service_hist.observe(max(0.0, done_at - sent_at))
+            self.ops_ok += len(ops)
+        except TransportError:
+            self.transport_errors += len(ops)
+            self.error_timeline.append((self.now(), node))
+        except WireProtocolError:
+            self.wire_errors += len(ops)
+            self.error_timeline.append((self.now(), node))
+        finally:
+            inflight.release()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        mode: str,
+        offered_rate: float,
+        duration_s: float,
+        seed: int,
+        trace: str | None = None,
+    ) -> LoadReport:
+        """Summarise the finished run as a :class:`LoadReport`."""
+        wall = self.wall_seconds or self.now()
+        return LoadReport(
+            mode=mode,
+            offered_rate=offered_rate,
+            duration_s=duration_s,
+            seed=seed,
+            nodes=sorted(self.endpoints),
+            ops_total=self.ops_total,
+            ops_sent=self.ops_sent,
+            ops_ok=self.ops_ok,
+            hits=self.hits,
+            misses=self.misses,
+            stored=self.stored,
+            transport_errors=self.transport_errors,
+            wire_errors=self.wire_errors,
+            late_sends=self.late_sends,
+            achieved_rate=(
+                round(self.ops_ok / wall, 3) if wall > 0 else 0.0
+            ),
+            wall_seconds=round(wall, 3),
+            response_ms=quantiles_ms(self.response_hist),
+            service_ms=quantiles_ms(self.service_hist),
+            lateness_ms=quantiles_ms(self.lateness_hist),
+            tape_sha256=tape_sha256(self.schedule),
+            trace=trace,
+        )

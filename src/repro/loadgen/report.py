@@ -1,0 +1,135 @@
+"""The load generator's JSON report schema.
+
+One :class:`LoadReport` summarises one open-loop run: offered vs
+achieved rate, per-op outcome counters, and three latency distributions
+(all in milliseconds, quantiles estimated from
+:class:`~repro.obs.metrics.Histogram` buckets):
+
+- ``response_ms`` -- completion minus *scheduled* send time.  This is
+  the coordinated-omission-free number: a request that waited behind a
+  stalled backend is charged its whole wait.
+- ``service_ms`` -- completion minus *actual* send time: what the wire
+  round trip alone cost.
+- ``lateness_ms`` -- actual minus scheduled send time: how far behind
+  the dispatcher itself fell.
+
+``to_dict`` / ``from_dict`` round-trip exactly (tested), so CI
+artifacts can be re-read and gated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+QUANTILE_LABELS = ("p50", "p95", "p99")
+"""Quantiles reported for every latency distribution."""
+
+
+@dataclass
+class LoadReport:
+    """Everything one open-loop run measured, JSON-serialisable."""
+
+    mode: str  # "steady" | "migrate"
+    offered_rate: float
+    duration_s: float
+    seed: int
+    nodes: list[str]
+    ops_total: int
+    ops_sent: int
+    ops_ok: int
+    hits: int
+    misses: int
+    stored: int
+    transport_errors: int
+    wire_errors: int
+    late_sends: int
+    achieved_rate: float
+    wall_seconds: float
+    response_ms: dict[str, float | None]
+    service_ms: dict[str, float | None]
+    lateness_ms: dict[str, float | None]
+    tape_sha256: str
+    trace: str | None = None
+    migration: dict[str, Any] | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def achieved_fraction(self) -> float:
+        """Completed ops as a fraction of the offered tape."""
+        if self.ops_total <= 0:
+            return 0.0
+        return self.ops_ok / self.ops_total
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump; :meth:`from_dict` inverts it exactly."""
+        return {
+            "mode": self.mode,
+            "offered_rate": self.offered_rate,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "nodes": list(self.nodes),
+            "ops_total": self.ops_total,
+            "ops_sent": self.ops_sent,
+            "ops_ok": self.ops_ok,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "transport_errors": self.transport_errors,
+            "wire_errors": self.wire_errors,
+            "late_sends": self.late_sends,
+            "achieved_rate": self.achieved_rate,
+            "wall_seconds": self.wall_seconds,
+            "response_ms": dict(self.response_ms),
+            "service_ms": dict(self.service_ms),
+            "lateness_ms": dict(self.lateness_ms),
+            "tape_sha256": self.tape_sha256,
+            "trace": self.trace,
+            "migration": (
+                dict(self.migration) if self.migration is not None else None
+            ),
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LoadReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            mode=data["mode"],
+            offered_rate=data["offered_rate"],
+            duration_s=data["duration_s"],
+            seed=data["seed"],
+            nodes=list(data["nodes"]),
+            ops_total=data["ops_total"],
+            ops_sent=data["ops_sent"],
+            ops_ok=data["ops_ok"],
+            hits=data["hits"],
+            misses=data["misses"],
+            stored=data["stored"],
+            transport_errors=data["transport_errors"],
+            wire_errors=data["wire_errors"],
+            late_sends=data["late_sends"],
+            achieved_rate=data["achieved_rate"],
+            wall_seconds=data["wall_seconds"],
+            response_ms=dict(data["response_ms"]),
+            service_ms=dict(data["service_ms"]),
+            lateness_ms=dict(data["lateness_ms"]),
+            tape_sha256=data["tape_sha256"],
+            trace=data.get("trace"),
+            migration=(
+                dict(data["migration"])
+                if data.get("migration") is not None
+                else None
+            ),
+            extras=dict(data.get("extras", {})),
+        )
+
+
+def quantiles_ms(histogram: Any) -> dict[str, float | None]:
+    """``{p50, p95, p99}`` of a seconds histogram, in milliseconds."""
+    out: dict[str, float | None] = {}
+    for label in QUANTILE_LABELS:
+        q = int(label[1:]) / 100.0
+        value = histogram.quantile(q)
+        out[label] = None if value is None else round(value * 1000.0, 3)
+    return out

@@ -1,0 +1,262 @@
+"""End-to-end load runs: steady state, and scale-in under load.
+
+Two entry points back the CLI and CI:
+
+- :func:`run_load` -- boot (or target) a cluster, seed the keyspace,
+  replay an open-loop tape, return the :class:`~repro.loadgen.report.LoadReport`;
+- :func:`run_load_migration` -- the ElMem experiment: a
+  :class:`~repro.net.procs.ProcessClusterHarness` cluster absorbs load
+  on every core while the *unmodified*
+  :class:`~repro.core.master.Master` plans and executes a three-phase
+  scale-in mid-run.  The Master's post-switch membership callback swaps
+  the generator's routing ring, the retired node's process is then
+  drained away, and the report carries a ``killed_at -> recovered_at``
+  degradation window derived from the migration span and any trailing
+  transport errors on the load timeline.
+
+The load generator runs on a worker thread (its own asyncio loop); the
+Master runs on the calling thread against a
+:class:`~repro.net.cluster.LiveCluster` exactly as it would without any
+load -- nothing about migration code knows the generator exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any
+
+from repro.core.master import Master
+from repro.errors import ConfigurationError
+from repro.loadgen.driver import (
+    DEFAULT_LATE_THRESHOLD_S,
+    DEFAULT_TICK_S,
+    LoadGenerator,
+)
+from repro.loadgen.report import LoadReport
+from repro.loadgen.schedule import build_schedule, payload_for
+from repro.memcached.slab import PAGE_SIZE
+from repro.net.cluster import LiveCluster
+from repro.net.procs import ProcessClusterHarness
+from repro.workloads.traces import RateTrace, make_trace
+
+SEED_BATCH = 2000
+"""Keys per pipelined seeding batch."""
+
+DEFAULT_MEMORY_PER_NODE = 8 * PAGE_SIZE
+"""Node memory for self-hosted load runs (plenty for the default tape)."""
+
+
+def _resolve_trace(trace: str | None) -> RateTrace | None:
+    return None if trace is None else make_trace(trace)
+
+
+def _seed_keys(
+    live: LiveCluster, keys: list[str], value_bytes: int
+) -> int:
+    """Store every distinct key once so the load's gets can hit."""
+    distinct = sorted(set(keys))
+    stored = 0
+    for start in range(0, len(distinct), SEED_BATCH):
+        batch = distinct[start : start + SEED_BATCH]
+        stored += live.set_many(
+            [
+                (key, (0, payload_for(key, value_bytes)), value_bytes)
+                for key in batch
+            ]
+        )
+    return stored
+
+
+def _run_generator_thread(
+    generator: LoadGenerator,
+) -> tuple[threading.Thread, dict[str, BaseException]]:
+    """Start ``generator.run()`` on a worker thread; returns the thread
+    and a holder that carries any exception out of it."""
+    failure: dict[str, BaseException] = {}
+
+    def _worker() -> None:
+        try:
+            asyncio.run(generator.run())
+        except BaseException as exc:  # re-raised on the caller thread
+            failure["error"] = exc
+
+    thread = threading.Thread(
+        target=_worker, name="loadgen-driver", daemon=True
+    )
+    thread.start()
+    return thread, failure
+
+
+def _join_generator(
+    thread: threading.Thread,
+    failure: dict[str, BaseException],
+    duration_s: float,
+) -> None:
+    thread.join(timeout=duration_s + 120.0)
+    if thread.is_alive():
+        raise ConfigurationError("load generator did not finish in time")
+    if "error" in failure:
+        raise failure["error"]
+
+
+def run_load(
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    endpoints: dict[str, tuple[str, int]] | None = None,
+    nodes: int = 3,
+    memory_per_node: int = DEFAULT_MEMORY_PER_NODE,
+    num_keys: int = 5000,
+    set_fraction: float = 0.1,
+    value_bytes: int = 64,
+    trace: str | None = None,
+    tick_s: float = DEFAULT_TICK_S,
+    max_inflight: int = 32,
+    timeout_s: float = 5.0,
+    late_threshold_s: float = DEFAULT_LATE_THRESHOLD_S,
+    seed_data: bool = True,
+) -> LoadReport:
+    """One steady-state open-loop run; returns its report.
+
+    With ``endpoints`` the run targets an externally managed cluster;
+    otherwise it boots ``nodes`` node *processes* for the duration.
+    """
+    schedule = build_schedule(
+        rate,
+        duration_s,
+        seed=seed,
+        num_keys=num_keys,
+        set_fraction=set_fraction,
+        value_bytes=value_bytes,
+        trace=_resolve_trace(trace),
+    )
+
+    def _drive(targets: dict[str, tuple[str, int]]) -> LoadReport:
+        if seed_data:
+            with LiveCluster(targets, timeout_s=timeout_s) as live:
+                _seed_keys(
+                    live, [op.key for op in schedule], value_bytes
+                )
+        generator = LoadGenerator(
+            targets,
+            schedule,
+            tick_s=tick_s,
+            max_inflight=max_inflight,
+            timeout_s=timeout_s,
+            late_threshold_s=late_threshold_s,
+        )
+        asyncio.run(generator.run())
+        return generator.report(
+            "steady", rate, duration_s, seed, trace=trace
+        )
+
+    if endpoints is not None:
+        return _drive(dict(endpoints))
+    if nodes < 1:
+        raise ConfigurationError("need at least one node")
+    names = [f"proc-{index:02d}" for index in range(nodes)]
+    with ProcessClusterHarness(names, memory_per_node) as harness:
+        return _drive(harness.endpoints)
+
+
+def run_load_migration(
+    rate: float,
+    duration_s: float,
+    seed: int = 7,
+    nodes: int = 4,
+    retire: int = 1,
+    memory_per_node: int = DEFAULT_MEMORY_PER_NODE,
+    num_keys: int = 5000,
+    set_fraction: float = 0.1,
+    value_bytes: int = 64,
+    trace: str | None = None,
+    migrate_at_frac: float = 0.35,
+    tick_s: float = DEFAULT_TICK_S,
+    max_inflight: int = 32,
+    timeout_s: float = 5.0,
+    late_threshold_s: float = DEFAULT_LATE_THRESHOLD_S,
+) -> LoadReport:
+    """Scale in ``retire`` of ``nodes`` node processes mid-load.
+
+    The report's ``migration`` block records the plan outcome plus the
+    degradation window: ``killed_at_s`` is when the Master's execute
+    began on the load timeline, ``recovered_at_s`` is when both the
+    migration and the last load-side transport error after it were
+    behind us.
+    """
+    if nodes < 3:
+        raise ConfigurationError(
+            "a migration load run needs at least 3 nodes"
+        )
+    if not 0 < retire < nodes:
+        raise ConfigurationError(
+            f"retire must be in [1, {nodes - 1}], got {retire}"
+        )
+    if not 0.0 < migrate_at_frac < 1.0:
+        raise ConfigurationError("migrate_at_frac must be within (0, 1)")
+    schedule = build_schedule(
+        rate,
+        duration_s,
+        seed=seed,
+        num_keys=num_keys,
+        set_fraction=set_fraction,
+        value_bytes=value_bytes,
+        trace=_resolve_trace(trace),
+    )
+    names = [f"proc-{index:02d}" for index in range(nodes)]
+    with ProcessClusterHarness(names, memory_per_node) as harness:
+        live = LiveCluster(harness.endpoints, timeout_s=timeout_s)
+        try:
+            _seed_keys(live, [op.key for op in schedule], value_bytes)
+            generator = LoadGenerator(
+                harness.endpoints,
+                schedule,
+                tick_s=tick_s,
+                max_inflight=max_inflight,
+                timeout_s=timeout_s,
+                late_threshold_s=late_threshold_s,
+            )
+            master = Master(live)
+            master.subscribe_membership(generator.set_membership)
+            thread, failure = _run_generator_thread(generator)
+            if not generator.started.wait(timeout=30.0):
+                raise ConfigurationError("load generator failed to start")
+            time.sleep(duration_s * migrate_at_frac)
+
+            retiring = master.choose_retiring(retire)
+            plan = master.plan_scale_in(retiring)
+            killed_at = generator.now()
+            migration_report = master.execute(plan)
+            executed_at = generator.now()
+            # The retired processes drain away for real: scale-in means
+            # the OS process is gone, not just out of the ring.
+            for name in plan.retiring:
+                harness.stop_node(name)
+            _join_generator(thread, failure, duration_s)
+
+            window_errors = [
+                t for t, _ in generator.error_timeline if t >= killed_at
+            ]
+            recovered_at = max([executed_at, *window_errors])
+            migration: dict[str, Any] = {
+                "retired": list(plan.retiring),
+                "membership_after": list(
+                    migration_report.membership_after
+                ),
+                "outcome": migration_report.outcome,
+                "items_exported": migration_report.items_exported,
+                "items_imported": migration_report.items_imported,
+                "killed_at_s": round(killed_at, 3),
+                "recovered_at_s": round(recovered_at, 3),
+                "window_s": round(recovered_at - killed_at, 3),
+                "errors_in_window": len(window_errors),
+            }
+            report = generator.report(
+                "migrate", rate, duration_s, seed, trace=trace
+            )
+            report.migration = migration
+            return report
+        finally:
+            live.close()

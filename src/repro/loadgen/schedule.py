@@ -1,0 +1,155 @@
+"""Deterministic open-loop request schedules.
+
+A schedule is the full request tape decided *before* the run starts:
+every operation gets an absolute send deadline on the run timeline, a
+key drawn from a seeded Zipf popularity, and an op type drawn from a
+seeded coin.  Fixing the tape up front is what makes the run open loop
+(deadlines never move, however slow the backend is) and what makes two
+runs with the same seed byte-comparable (the determinism tests hash the
+tape with :func:`tape_sha256`).
+
+Rates are either constant (``trace=None``: operation ``i`` is due at
+``i / rate``) or shaped by a :class:`~repro.workloads.traces.RateTrace`,
+in which case ``rate_rps`` is the *peak* rate and each second's offered
+count follows the normalised trace, spread evenly within the second.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.keyspace import KeySpace
+from repro.workloads.popularity import ZipfPopularity
+from repro.workloads.traces import RateTrace
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One planned request: what to send and exactly when."""
+
+    index: int
+    send_at_s: float
+    op: str  # "get" | "set"
+    key: str
+    value_bytes: int  # payload size for sets; 0 for gets
+
+
+def payload_for(key: str, value_bytes: int) -> bytes:
+    """The deterministic payload every run stores under ``key``.
+
+    Derived from the key alone so that seeding, load-time sets, and
+    verification all agree on the bytes without sharing state.
+    """
+    if value_bytes <= 0:
+        return b""
+    stamp = (key + "#").encode("ascii")
+    repeats = value_bytes // len(stamp) + 1
+    return (stamp * repeats)[:value_bytes]
+
+
+def _per_second_counts(
+    rate_rps: float, duration_s: float, trace: RateTrace | None
+) -> list[int]:
+    """Offered request count for each whole second of the run."""
+    seconds = int(np.ceil(duration_s))
+    if trace is None:
+        levels = np.ones(seconds)
+    else:
+        levels = trace.normalised().resampled(max(seconds, 1)).values
+    counts: list[int] = []
+    for second in range(seconds):
+        # The last (partial) second offers proportionally fewer requests.
+        width = min(1.0, duration_s - second)
+        counts.append(int(round(rate_rps * levels[second] * width)))
+    return counts
+
+
+def build_schedule(
+    rate_rps: float,
+    duration_s: float,
+    seed: int = 0,
+    num_keys: int = 10_000,
+    set_fraction: float = 0.1,
+    value_bytes: int = 64,
+    trace: RateTrace | None = None,
+    zipf_alpha: float = 0.95,
+) -> list[ScheduledOp]:
+    """Plan the full request tape for one open-loop run.
+
+    Deadlines are strictly non-decreasing; keys follow a seeded
+    ``Zipf(zipf_alpha)`` over ``num_keys`` keys; a seeded coin marks
+    ``set_fraction`` of operations as ``set`` (payload
+    :func:`payload_for`), the rest as ``get``.  Identical arguments
+    produce an identical tape -- no wall-clock input anywhere.
+    """
+    if rate_rps <= 0:
+        raise ConfigurationError("rate_rps must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    if not 0.0 <= set_fraction <= 1.0:
+        raise ConfigurationError("set_fraction must be within [0, 1]")
+    counts = _per_second_counts(rate_rps, duration_s, trace)
+    total = sum(counts)
+    if total == 0:
+        raise ConfigurationError(
+            f"rate {rate_rps}/s over {duration_s}s offers zero requests"
+        )
+    popularity = ZipfPopularity(num_keys, alpha=zipf_alpha, seed=seed)
+    keys = KeySpace(num_keys).keys_for(popularity.sample(total))
+    set_coin = np.random.default_rng(seed + 1).random(total) < set_fraction
+
+    schedule: list[ScheduledOp] = []
+    index = 0
+    for second, count in enumerate(counts):
+        if count <= 0:
+            continue
+        width = min(1.0, duration_s - second)
+        gap = width / count
+        for slot in range(count):
+            is_set = bool(set_coin[index])
+            schedule.append(
+                ScheduledOp(
+                    index=index,
+                    send_at_s=round(second + slot * gap, 9),
+                    op="set" if is_set else "get",
+                    key=keys[index],
+                    value_bytes=value_bytes if is_set else 0,
+                )
+            )
+            index += 1
+    return schedule
+
+
+def tape_rows(schedule: list[ScheduledOp]) -> list[dict[str, Any]]:
+    """The schedule as JSON rows -- deterministic fields only.
+
+    This is the tape the determinism tests compare across runs, so it
+    must never grow a wall-clock or pid-dependent field.
+    """
+    return [
+        {
+            "i": op.index,
+            "t": op.send_at_s,
+            "op": op.op,
+            "key": op.key,
+            "size": op.value_bytes,
+        }
+        for op in schedule
+    ]
+
+
+def tape_sha256(schedule: list[ScheduledOp]) -> str:
+    """Canonical digest of the tape (sorted keys, no whitespace drift)."""
+    digest = hashlib.sha256()
+    for row in tape_rows(schedule):
+        digest.update(
+            json.dumps(row, sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()

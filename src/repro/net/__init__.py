@@ -18,7 +18,12 @@ this package runs it over real sockets:
   migration over TCP;
 - :mod:`repro.net.livemigrate` -- a scripted live scale-in used by the
   CLI (``repro live-migrate``) and CI, which optionally verifies the
-  socket path against the in-process path byte for byte.
+  socket path against the in-process path byte for byte;
+- :mod:`repro.net.procs` -- :class:`~repro.net.procs.ProcessClusterHarness`,
+  a process supervisor that runs one :class:`~repro.net.server.NodeServer`
+  per OS process (spawn-safe entrypoint, pipe readiness handshake,
+  SIGTERM drain, crash detection + restart hooks), so the cluster is
+  shared-nothing and actually scales across cores.
 
 Unlike ``repro.sim``, nothing here is simulated: durations are wall
 clock, transfers move real bytes, and failures are real socket errors
@@ -31,16 +36,19 @@ from __future__ import annotations
 from repro.net.client import NodeClient
 from repro.net.cluster import LiveCluster, RemoteNode
 from repro.net.livemigrate import LiveMigrationResult, run_live_migration
+from repro.net.procs import CrashEvent, ProcessClusterHarness
 from repro.net.runtime import EventLoopThread
 from repro.net.server import LiveClusterHarness, NodeServer
 
 __all__ = [
+    "CrashEvent",
     "EventLoopThread",
     "LiveCluster",
     "LiveClusterHarness",
     "LiveMigrationResult",
     "NodeClient",
     "NodeServer",
+    "ProcessClusterHarness",
     "RemoteNode",
     "run_live_migration",
 ]

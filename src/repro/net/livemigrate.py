@@ -161,6 +161,7 @@ def run_live_migration(
     telemetry: Telemetry | None = None,
     trace_jsonl: str | None = None,
     sanitize: bool = False,
+    process_cluster: bool = False,
 ) -> LiveMigrationResult:
     """Boot ``nodes`` asyncio servers, seed them, retire ``retire`` of
     them through a socket-backed three-phase migration.
@@ -183,6 +184,15 @@ def run_live_migration(
     / ``mig_export`` / ``batch_import`` round trips and the servers'
     execute spans) joined through the ``trace`` wire frame.
     ``trace_jsonl`` exports this process's spans for ``repro obs``.
+
+    ``process_cluster`` boots every node in its own OS process
+    (:class:`~repro.net.procs.ProcessClusterHarness`) instead of on one
+    shared asyncio loop -- the Master and the verification twin are
+    untouched, which is exactly the point: the three-phase migration
+    must land byte-identical contents whether the bytes crossed a
+    thread boundary or a process boundary.  Socket fault injection and
+    the loop sanitizer instrument in-process servers, so neither
+    composes with ``process_cluster``.
     """
     if nodes < 2:
         raise ConfigurationError("a live migration needs at least 2 nodes")
@@ -200,14 +210,26 @@ def run_live_migration(
         )
     tracer: Any = getattr(telemetry, "live", None)
     tracing = bool(getattr(tracer, "enabled", False))
-    harness = LiveClusterHarness(
-        names,
-        memory_per_node,
-        fault_policy=fault_policy,
-        telemetry=telemetry,
-        metrics=telemetry.metrics if telemetry is not None else None,
-        sanitize=sanitize,
-    )
+    harness: Any
+    if process_cluster:
+        if fault_policy is not None or sanitize:
+            raise ConfigurationError(
+                "process_cluster does not compose with socket fault "
+                "injection or the loop sanitizer (both instrument "
+                "in-process servers)"
+            )
+        from repro.net.procs import ProcessClusterHarness
+
+        harness = ProcessClusterHarness(names, memory_per_node)
+    else:
+        harness = LiveClusterHarness(
+            names,
+            memory_per_node,
+            fault_policy=fault_policy,
+            telemetry=telemetry,
+            metrics=telemetry.metrics if telemetry is not None else None,
+            sanitize=sanitize,
+        )
     started = time.monotonic()
     root = (
         tracer.start_trace("live_migration", nodes=nodes, retire=retire)
@@ -285,8 +307,9 @@ def run_live_migration(
                 )
         finally:
             live.close()
-    if harness.sanitizer is not None:
-        harness.sanitizer.check("live-harness loop")
+    harness_sanitizer = getattr(harness, "sanitizer", None)
+    if harness_sanitizer is not None:
+        harness_sanitizer.check("live-harness loop")
     if live.sanitizer is not None:
         live.sanitizer.check("live-cluster loop")
     if root is not None:

@@ -475,7 +475,16 @@ class ProxyHarness:
         return self
 
     def stop(self) -> None:
-        """Stop the proxy, then the backends; idempotent."""
+        """Stop the proxy, then the backends; idempotent.
+
+        Teardown order matters: the listener stops taking new
+        connections, then the router settles its background tasks and
+        closes every pooled backend client *while the loop is still
+        running* -- stopping the loop first would strand those pooled
+        sockets open until garbage collection, which leaks fds across
+        repeated setup/teardown cycles in one process (the regression
+        ``tests/test_harness_teardown.py`` guards).
+        """
         if not self._started:
             return
         if self.server is not None:

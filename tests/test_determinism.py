@@ -9,12 +9,26 @@ machine and are the only sanctioned nondeterminism.
 
 import json
 
+from repro.loadgen import build_schedule, run_load, tape_rows
+from repro.memcached.slab import PAGE_SIZE
+from repro.net.server import LiveClusterHarness
 from repro.obs import create_telemetry
 from repro.obs.export import write_jsonl
 from repro.sim.experiment import ExperimentConfig, run_experiment
 from repro.workloads.traces import make_trace
 
 WALL_FIELDS = {"start_wall_s", "end_wall_s", "wall_s"}
+
+# Load-report fields that measure the host machine rather than the
+# tape: everything else must be bit-identical across same-seed runs.
+LOADGEN_WALL_FIELDS = {
+    "wall_seconds",
+    "achieved_rate",
+    "late_sends",
+    "response_ms",
+    "service_ms",
+    "lateness_ms",
+}
 
 
 def scrub(value):
@@ -74,6 +88,50 @@ def test_same_seed_reproduces_everything(tmp_path):
     assert len(first_lines) == len(second_lines)
     for left, right in zip(first_lines, second_lines):
         assert scrub(json.loads(left)) == scrub(json.loads(right))
+
+
+def test_loadgen_same_seed_same_tape_across_runs():
+    """Two same-seed load runs replay the identical request tape.
+
+    Everything the tape determines -- op mix, keys, deadlines, outcome
+    counters against a seeded cluster -- must match bit for bit; only
+    the wall-clock measurements (latency quantiles, achieved rate,
+    lateness) are allowed to differ between runs.
+    """
+    reports = []
+    for _ in range(2):
+        with LiveClusterHarness(["d0", "d1"], 8 * PAGE_SIZE) as harness:
+            reports.append(
+                run_load(
+                    150.0,
+                    0.4,
+                    seed=21,
+                    endpoints=harness.endpoints,
+                    num_keys=100,
+                    set_fraction=0.2,
+                )
+            )
+    first, second = (report.to_dict() for report in reports)
+    scrubbed = [
+        {
+            key: value
+            for key, value in report.items()
+            if key not in LOADGEN_WALL_FIELDS
+        }
+        for report in (first, second)
+    ]
+    assert scrubbed[0] == scrubbed[1]
+    assert first["tape_sha256"] == second["tape_sha256"]
+    # Sanity: the scrub left the load-bearing fields in place.
+    assert scrubbed[0]["ops_total"] > 0
+    assert scrubbed[0]["ops_ok"] == scrubbed[0]["ops_total"]
+    assert scrubbed[0]["misses"] == 0  # seeded cluster: every get hits
+
+
+def test_loadgen_different_seeds_diverge():
+    first = tape_rows(build_schedule(150.0, 0.4, seed=21, num_keys=100))
+    second = tape_rows(build_schedule(150.0, 0.4, seed=22, num_keys=100))
+    assert first != second
 
 
 def test_different_seeds_actually_diverge(tmp_path):
