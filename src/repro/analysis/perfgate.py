@@ -674,7 +674,15 @@ def run_benchmarks(quick: bool = False) -> dict[str, float]:
 
 @dataclass
 class GateRow:
-    """Verdict for one metric."""
+    """Verdict for one metric.
+
+    ``waived``/``waived_by``/``probe_value``/``waive_below`` record a
+    conditional pass: the probed companion metric (for example
+    ``proc_bench_cores``) fell below the spec's threshold, so the floor
+    was not enforced.  The probe value travels into
+    ``BENCH_latest.json`` and the gate summary line so a waived pass is
+    auditable, not silent.
+    """
 
     name: str
     value: float
@@ -682,6 +690,10 @@ class GateRow:
     gated: bool
     passed: bool
     detail: str
+    waived: bool = False
+    waived_by: str | None = None
+    probe_value: float | None = None
+    waive_below: float | None = None
 
 
 def evaluate_gate(
@@ -707,6 +719,10 @@ def evaluate_gate(
                         spec.name, value, base, spec.gated, True,
                         f"waived: {spec.waived_by}={companion:g} < "
                         f"{spec.waive_below:g}",
+                        waived=True,
+                        waived_by=spec.waived_by,
+                        probe_value=companion,
+                        waive_below=spec.waive_below,
                     )
                 )
                 continue
@@ -769,6 +785,13 @@ def write_results(
                 for r in rows
                 if r.gated and not r.passed
             ],
+            "waivers": [
+                {"name": r.name, "value": round(r.value, 4),
+                 "waived_by": r.waived_by, "probe_value": r.probe_value,
+                 "waive_below": r.waive_below}
+                for r in rows
+                if r.waived
+            ],
         },
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -824,9 +847,16 @@ def run_gate(
         )
     ok = all(row.passed for row in rows if row.gated) or not gate
     if gate:
-        lines.append(
-            "gate: PASS" if ok else "gate: FAIL (see failures above)"
-        )
+        summary = "gate: PASS" if ok else "gate: FAIL (see failures above)"
+        waived = [row for row in rows if row.waived]
+        if waived:
+            notes = ", ".join(
+                f"{row.name} [{row.waived_by}={row.probe_value:g} < "
+                f"{row.waive_below:g}]"
+                for row in waived
+            )
+            summary += f" (waived: {notes})"
+        lines.append(summary)
         if baseline is None:
             lines.append(
                 f"note: no baseline at {baseline_path}; only hard floors "

@@ -740,6 +740,186 @@ def _cmd_proxy_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_controlplane(args: argparse.Namespace) -> int:
+    from repro.controlplane import ControlPlane, ControlPlaneConfig
+    from repro.core.autoscaler import (
+        AutoScaler,
+        AutoScalerConfig,
+        ScalingEngine,
+        ScalingEngineConfig,
+    )
+    from repro.memcached.slab import PAGE_SIZE
+    from repro.net.cluster import LiveCluster
+    from repro.obs import create_telemetry
+
+    endpoints: dict[str, tuple[str, int]] = {}
+    for index, spec in enumerate(args.target):
+        name, eq, rest = spec.partition("=")
+        if not eq:
+            name, rest = f"target-{index:02d}", spec
+        endpoints[name] = _parse_endpoint(rest)
+    telemetry = create_telemetry("controlplane")
+    engine = ScalingEngine(
+        AutoScaler(
+            AutoScalerConfig(
+                db_capacity_rps=args.db_capacity,
+                node_memory_bytes=args.memory_mb * PAGE_SIZE,
+                bytes_per_item=args.bytes_per_item,
+                min_nodes=args.min_nodes,
+                max_nodes=args.max_nodes or len(endpoints),
+            ),
+            telemetry=telemetry,
+        ),
+        ScalingEngineConfig(
+            evaluate_interval_s=args.interval,
+            min_window=args.min_window,
+            confirm_rounds=args.confirm_rounds,
+            cooldown_s=args.cooldown,
+        ),
+    )
+    live = LiveCluster(endpoints, timeout_s=args.timeout)
+    control = ControlPlane(
+        live,
+        engine,
+        config=ControlPlaneConfig(
+            poll_interval_s=args.poll_interval,
+            admin_host=args.admin_host,
+            admin_port=args.admin_port,
+        ),
+        telemetry=telemetry,
+    )
+    control.start()
+    try:
+        with _shutdown_signals() as wait_for_signal:
+            host, port = control.admin_endpoint
+            print(
+                f"control plane up over {len(endpoints)} nodes; "
+                f"admin http://{host}:{port}",
+                flush=True,
+            )
+            print(
+                "  GET /status   GET /metrics   "
+                'POST /scale {"target": N}   POST /drain/<node>',
+                flush=True,
+            )
+            print(
+                "  note: automatic decisions need a key feed "
+                "(engine window); admin commands always work",
+                flush=True,
+            )
+            if args.duration is not None:
+                print(f"supervising for {args.duration:.0f}s...", flush=True)
+            else:
+                print("supervising; SIGINT/SIGTERM to stop", flush=True)
+            signal_name = wait_for_signal(args.duration)
+        if signal_name:
+            print(f"received {signal_name}; stopping...", flush=True)
+    finally:
+        control.stop()
+        live.close()
+    print(
+        f"  polls {control.status()['polls']}  "
+        f"migrations {len(control.migrations)}  "
+        f"events {len(control.events)}"
+    )
+    for migration in control.migrations:
+        print(
+            f"    {migration['action']} {migration['changed']} "
+            f"({migration['source']}, {migration['outcome']})"
+        )
+    print("stopped.", flush=True)
+    return 0
+
+
+def _cmd_controlplane_scenario(args: argparse.Namespace) -> int:
+    from repro.controlplane import run_controlplane_scenario
+    from repro.memcached.slab import PAGE_SIZE
+
+    print(
+        f"control-plane scenario: {args.nodes} node processes, "
+        f"{args.rate:.0f} ops/s for {args.duration:.0f}s; the engine "
+        f"must decide a scale-in to {args.nodes - args.retire} "
+        f"(seed {args.seed})..."
+    )
+    result = run_controlplane_scenario(
+        nodes=args.nodes,
+        retire=args.retire,
+        rate=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        num_keys=args.keys,
+        memory_per_node=args.memory_mb * PAGE_SIZE,
+        poll_interval_s=args.poll_interval,
+        evaluate_interval_s=args.interval,
+        confirm_rounds=args.confirm_rounds,
+        min_window=args.min_window,
+        timeout_s=args.timeout,
+        trace_jsonl=args.trace_jsonl,
+    )
+    decision = result.decision or {}
+    print(
+        f"  decision          {decision.get('current_nodes')} -> "
+        f"{decision.get('target_nodes')} nodes "
+        f"(p_min {decision.get('p_min')}, "
+        f"rate {decision.get('request_rate')} rps, "
+        f"confirmed x{decision.get('confirm_rounds')})"
+    )
+    migration = result.migration or {}
+    print(
+        f"  migration         {migration.get('changed')} retired, "
+        f"outcome {migration.get('outcome')} "
+        f"({migration.get('items_exported')} items exported)"
+    )
+    window = result.degradation.get("window_s")
+    window_text = f"{window:.3f}s" if window is not None else "unmeasured"
+    print(
+        f"  degradation       window {window_text} "
+        f"(killed at {result.degradation.get('killed_at_s')}s, "
+        f"recovered at {result.degradation.get('recovered_at_s')}s, "
+        f"{result.degradation.get('errors_in_window')} errors inside)"
+    )
+    admin = result.admin
+    print(
+        f"  admin API         {admin.get('endpoint')} "
+        f"status={admin.get('status_ok')} "
+        f"metrics={admin.get('metrics_ok')} "
+        f"rejects-malformed={admin.get('rejects_malformed')}"
+    )
+    print(
+        f"  load              {result.load.get('ops_ok')} ops ok, "
+        f"{result.load.get('wire_errors')} wire errors, "
+        f"p99 {result.load.get('response_ms', {}).get('p99')}ms"
+    )
+    print(f"  trace spans       {result.trace_spans}")
+    print(f"  wall clock        {result.elapsed_s:.2f}s")
+    print(f"  verdict           {'OK' if result.ok else 'FAILED'}")
+    for failure in result.failures:
+        print(f"    FAIL: {failure}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"  wrote {args.json}")
+    if args.window_json:
+        import json
+
+        with open(args.window_json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "decision": result.decision,
+                    "degradation": result.degradation,
+                    "admin": result.admin,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"  wrote {args.window_json}")
+    if args.trace_jsonl:
+        print(f"  wrote {args.trace_jsonl}")
+    return 0 if result.ok else 1
+
+
 def _cmd_live_migrate(args: argparse.Namespace) -> int:
     from repro.memcached.slab import PAGE_SIZE
     from repro.net import run_live_migration
@@ -1319,6 +1499,171 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the degradation window + scrape verdict to a file",
     )
     chaos.set_defaults(func=_cmd_proxy_chaos)
+
+    cplane = sub.add_parser(
+        "controlplane",
+        help="autoscaling daemon over a live tier, with a JSON admin API",
+    )
+    cplane.add_argument(
+        "--target",
+        action="append",
+        required=True,
+        metavar="NAME=HOST:PORT",
+        help="node endpoint to supervise (repeatable)",
+    )
+    cplane.add_argument(
+        "--admin-host", default="127.0.0.1", help="admin API bind host"
+    )
+    cplane.add_argument(
+        "--admin-port",
+        type=int,
+        default=0,
+        help="admin API port (0 = ephemeral)",
+    )
+    cplane.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between stat polls",
+    )
+    cplane.add_argument(
+        "--db-capacity",
+        type=float,
+        default=10_000.0,
+        help="r_DB: requests/s the backing database absorbs",
+    )
+    cplane.add_argument(
+        "--memory-mb",
+        type=int,
+        default=64,
+        help="per-node memory in MiB-sized pages (node_memory_bytes)",
+    )
+    cplane.add_argument(
+        "--bytes-per-item",
+        type=float,
+        default=128.0,
+        help="average cached-item footprint",
+    )
+    cplane.add_argument(
+        "--min-nodes", type=int, default=1, help="scale-in floor"
+    )
+    cplane.add_argument(
+        "--max-nodes",
+        type=int,
+        default=0,
+        help="scale-out ceiling (0 = number of targets)",
+    )
+    cplane.add_argument(
+        "--interval",
+        type=float,
+        default=60.0,
+        help="seconds between AutoScaler evaluations",
+    )
+    cplane.add_argument(
+        "--min-window",
+        type=int,
+        default=50_000,
+        help="key samples required before the engine evaluates",
+    )
+    cplane.add_argument(
+        "--confirm-rounds",
+        type=int,
+        default=2,
+        help="consecutive same-direction decisions before acting",
+    )
+    cplane.add_argument(
+        "--cooldown",
+        type=float,
+        default=300.0,
+        help="seconds after an action before the next may fire",
+    )
+    cplane.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="supervise for N seconds then exit (default: until signal)",
+    )
+    cplane.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-socket-operation timeout in seconds",
+    )
+    cplane.set_defaults(func=_cmd_controlplane)
+
+    cpscenario = sub.add_parser(
+        "controlplane-scenario",
+        help="autoscaler-decided live scale-in under open-loop load",
+    )
+    cpscenario.add_argument(
+        "--nodes", type=int, default=4, help="node processes to boot"
+    )
+    cpscenario.add_argument(
+        "--retire",
+        type=int,
+        default=1,
+        help="nodes the engine should decide to retire",
+    )
+    cpscenario.add_argument(
+        "--rate", type=float, default=600.0, help="offered ops/s"
+    )
+    cpscenario.add_argument(
+        "--duration", type=float, default=15.0, help="run length in seconds"
+    )
+    cpscenario.add_argument("--seed", type=int, default=7, help="tape seed")
+    cpscenario.add_argument(
+        "--keys", type=int, default=3000, help="distinct keys in the tape"
+    )
+    cpscenario.add_argument(
+        "--memory-mb",
+        type=int,
+        default=8,
+        help="per-node memory in MiB-sized pages",
+    )
+    cpscenario.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="daemon stat-poll interval in seconds",
+    )
+    cpscenario.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between AutoScaler evaluations",
+    )
+    cpscenario.add_argument(
+        "--confirm-rounds",
+        type=int,
+        default=2,
+        help="consecutive same-direction decisions before acting",
+    )
+    cpscenario.add_argument(
+        "--min-window",
+        type=int,
+        default=1500,
+        help="key samples required before the engine evaluates",
+    )
+    cpscenario.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-socket-operation timeout in seconds",
+    )
+    cpscenario.add_argument(
+        "--json", default=None, help="write the scenario report to a file"
+    )
+    cpscenario.add_argument(
+        "--window-json",
+        default=None,
+        help="write decision + degradation window + admin verdict to a file",
+    )
+    cpscenario.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="export the run's spans + metrics as JSON lines",
+    )
+    cpscenario.set_defaults(func=_cmd_controlplane_scenario)
 
     live = sub.add_parser(
         "live-migrate",

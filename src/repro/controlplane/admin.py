@@ -1,0 +1,251 @@
+"""The control plane's JSON/REST admin API, on plain asyncio.
+
+A deliberately tiny HTTP/1.1 server -- request line, headers, optional
+``Content-Length`` body, one response, close -- so the daemon exposes an
+operable surface without any web framework:
+
+- ``GET /status``   -- membership, engine state, migration history;
+- ``GET /metrics``  -- the daemon's Prometheus families (same format as
+  the node servers' ``stats obs`` scrape surface);
+- ``POST /scale``   -- ``{"target": N}``; 202 when queued, 400 on a
+  malformed body, 409 while another scale command is in flight;
+- ``POST /drain/<node>`` -- retire one named node; 404 when unknown.
+
+Commands never execute on the admin loop: they are validated, enqueued
+on the :class:`~repro.controlplane.daemon.ControlPlane`, and picked up
+by its control thread, so a slow migration cannot stall the API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.controlplane.errors import ScaleInProgressError
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controlplane.daemon import ControlPlane
+
+MAX_REQUEST_BYTES = 64 * 1024
+"""Upper bound on one admin request (line + headers + body)."""
+
+REQUEST_TIMEOUT_S = 10.0
+"""Budget for reading one full request off the socket."""
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class AdminServer:
+    """One asyncio TCP listener serving the admin routes."""
+
+    def __init__(
+        self,
+        control: "ControlPlane",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.control = control
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._endpoint: tuple[str, int] | None = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid once started."""
+        if self._endpoint is None:
+            raise ConfigurationError("admin server is not running")
+        return self._endpoint
+
+    async def start(self) -> None:
+        """Bind and start serving; idempotent."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if not sockets:  # pragma: no cover - asyncio always binds one
+            raise ConfigurationError("admin server bound no sockets")
+        name = sockets[0].getsockname()
+        self._endpoint = (name[0], name[1])
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listener; idempotent."""
+        server, self._server = self._server, None
+        self._endpoint = None
+        if server is None:
+            return
+        server.close()
+        await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # One request
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=REQUEST_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                await self._respond(writer, 408, {"error": "timed out"})
+                return
+            except _RequestError as exc:
+                await self._respond(writer, exc.status, {"error": str(exc)})
+                return
+            status, payload, content_type = self._route(method, path, body)
+            await self._respond(
+                writer, status, payload, content_type=content_type
+            )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # peer already gone; nothing left to flush
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) != 3:
+            raise _RequestError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        read = len(request_line)
+        while True:
+            line = await reader.readline()
+            read += len(line)
+            if read > MAX_REQUEST_BYTES:
+                raise _RequestError(413, "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _RequestError(400, "bad content-length") from None
+        if length > MAX_REQUEST_BYTES:
+            raise _RequestError(413, "body too large")
+        body = b""
+        if length > 0:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _RequestError(400, "truncated body") from None
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any] | str,
+        content_type: str = "application/json",
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any] | str, str]:
+        path = path.split("?", 1)[0]
+        if path == "/status":
+            if method != "GET":
+                return 405, {"error": "use GET"}, "application/json"
+            return 200, self.control.status(), "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}, "application/json"
+            return 200, self.control.metrics_text(), "text/plain"
+        if path == "/scale":
+            if method != "POST":
+                return 405, {"error": "use POST"}, "application/json"
+            return self._scale(body)
+        if path.startswith("/drain/"):
+            if method != "POST":
+                return 405, {"error": "use POST"}, "application/json"
+            return self._drain(path[len("/drain/"):])
+        return 404, {"error": f"no route {path}"}, "application/json"
+
+    def _scale(
+        self, body: bytes
+    ) -> tuple[int, dict[str, Any], str]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, {"error": "body must be JSON"}, "application/json"
+        if not isinstance(payload, dict) or "target" not in payload:
+            return (
+                400,
+                {"error": 'body must be {"target": <nodes>}'},
+                "application/json",
+            )
+        target = payload["target"]
+        if isinstance(target, bool) or not isinstance(target, int):
+            return (
+                400,
+                {"error": "target must be an integer node count"},
+                "application/json",
+            )
+        try:
+            accepted = self.control.request_scale(target)
+        except ScaleInProgressError as exc:
+            return 409, {"error": str(exc)}, "application/json"
+        except ConfigurationError as exc:
+            return 400, {"error": str(exc)}, "application/json"
+        return 202, accepted, "application/json"
+
+    def _drain(self, node: str) -> tuple[int, dict[str, Any], str]:
+        try:
+            accepted = self.control.request_drain(node)
+        except KeyError:
+            return 404, {"error": f"unknown node {node!r}"}, "application/json"
+        except ScaleInProgressError as exc:
+            return 409, {"error": str(exc)}, "application/json"
+        except ConfigurationError as exc:
+            return 400, {"error": str(exc)}, "application/json"
+        return 202, accepted, "application/json"
+
+
+class _RequestError(Exception):
+    """A request that failed to parse; carries its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,12 @@
+"""Control-plane specific error types."""
+
+from __future__ import annotations
+
+
+class ScaleInProgressError(RuntimeError):
+    """A scale command is already pending or executing.
+
+    The admin API maps this to ``409 Conflict``: the control plane
+    serialises migrations (one at a time, like the paper's Master), so a
+    second scale request must be retried after the first completes.
+    """

@@ -19,6 +19,7 @@ scaling actions the paper's figures annotate (e.g. "10 -> 7 nodes at the
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -301,3 +302,202 @@ class ScheduledScalingPolicy:
                 reason=f"scheduled action at t={action.at_time:.0f}s",
             )
         return None
+
+
+@dataclass
+class ScalingEngineConfig:
+    """Decision-loop policy shared by the simulator and the live daemon.
+
+    Attributes
+    ----------
+    evaluate_interval_s:
+        Minimum spacing between AutoScaler evaluations (the paper
+        re-runs the computation every monitoring period).
+    min_window:
+        Do not evaluate before the profiling window has seen this many
+        requests; a cold-dominated window makes every hit-rate target
+        look unreachable and the working set look tiny.
+    confirm_rounds:
+        Consecutive same-direction decisions required before acting.
+        ``1`` reproduces the simulator's historical behaviour (act on
+        the first non-hold decision); live deployments use ``>= 2`` so
+        measurement noise cannot flap the tier.
+    cooldown_s:
+        Quiet time after an action during which further decisions are
+        recorded but never acted on, letting the tier settle and the
+        window re-fill with post-migration traffic.
+    """
+
+    evaluate_interval_s: float = 60.0
+    min_window: int = 50_000
+    confirm_rounds: int = 1
+    cooldown_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.evaluate_interval_s <= 0:
+            raise ConfigurationError("evaluate_interval_s must be positive")
+        if self.min_window < 0:
+            raise ConfigurationError("min_window must be non-negative")
+        if self.confirm_rounds < 1:
+            raise ConfigurationError("confirm_rounds must be >= 1")
+        if self.cooldown_s < 0:
+            raise ConfigurationError("cooldown_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class EngineTick:
+    """One evaluated decision plus the engine's act/hold verdict."""
+
+    decision: ScalingDecision
+    act: bool
+    held_reason: str = ""
+
+
+class ScalingEngine:
+    """The AutoScaler's decision loop, shared by sim and live paths.
+
+    Wraps an :class:`AutoScaler` with the gating that used to live
+    inline in the simulator (evaluation interval, minimum window fill,
+    no decisions while a migration is in flight) plus live-tier
+    stabilisers: ``confirm_rounds`` hysteresis and a post-action
+    cooldown.  The profiling window keeps accumulating across
+    evaluations: MIMIR's aging buckets already discount stale accesses,
+    and a short window would be cold-miss-dominated, starving Eq. (1)
+    of reuse signal.
+
+    Thread-safe: the live tier feeds :meth:`observe_many` from the load
+    generator's loop thread while the control thread calls
+    :meth:`evaluate`.  Time is always supplied by the caller (sim
+    seconds or the live run clock); the engine never reads a clock.
+    """
+
+    def __init__(
+        self,
+        autoscaler: AutoScaler,
+        config: ScalingEngineConfig | None = None,
+    ) -> None:
+        self.autoscaler = autoscaler
+        self.config = config or ScalingEngineConfig()
+        self._lock = threading.Lock()
+        self._last_evaluation = float("-inf")
+        self._last_action = float("-inf")
+        self._streak_sign = 0
+        self._streak = 0
+        self.history: list[EngineTick] = []
+        self.actions = 0
+
+    # ------------------------------------------------------------------
+    # Key-sample feed (any thread)
+    # ------------------------------------------------------------------
+
+    def observe(self, key: str) -> None:
+        """Feed one requested key into the profiling window."""
+        with self._lock:
+            self.autoscaler.observe(key)
+
+    def observe_many(self, keys: Iterable[str]) -> None:
+        """Feed a batch of requested keys (one lock hold per batch)."""
+        with self._lock:
+            self.autoscaler.observe_many(keys)
+
+    @property
+    def window_fill(self) -> int:
+        """Requests accumulated in the profiling window."""
+        with self._lock:
+            return self.autoscaler.window_fill
+
+    # ------------------------------------------------------------------
+    # The decision loop
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        request_rate: float,
+        current_nodes: int,
+        now: float,
+        busy: bool = False,
+    ) -> EngineTick | None:
+        """One loop iteration: maybe decide, maybe act.
+
+        Returns ``None`` when no evaluation happened (interval not
+        elapsed, window not filled, or a migration in flight); otherwise
+        an :class:`EngineTick` whose ``act`` flag says whether the
+        caller should execute the decision now.
+        """
+        with self._lock:
+            config = self.config
+            if busy:
+                return None
+            if now - self._last_evaluation < config.evaluate_interval_s:
+                return None
+            if self.autoscaler.window_fill < config.min_window:
+                return None
+            self._last_evaluation = now
+            decision = self.autoscaler.decide(
+                request_rate, current_nodes, now=now
+            )
+            if decision.delta == 0:
+                self._streak = 0
+                self._streak_sign = 0
+                tick = EngineTick(decision, act=False, held_reason="hold")
+            else:
+                sign = 1 if decision.delta > 0 else -1
+                if sign == self._streak_sign:
+                    self._streak += 1
+                else:
+                    self._streak_sign = sign
+                    self._streak = 1
+                if now - self._last_action < config.cooldown_s:
+                    tick = EngineTick(
+                        decision,
+                        act=False,
+                        held_reason=(
+                            f"cooldown until t="
+                            f"{self._last_action + config.cooldown_s:.0f}s"
+                        ),
+                    )
+                elif self._streak < config.confirm_rounds:
+                    tick = EngineTick(
+                        decision,
+                        act=False,
+                        held_reason=(
+                            f"confirming {self._streak}/"
+                            f"{config.confirm_rounds}"
+                        ),
+                    )
+                else:
+                    tick = EngineTick(decision, act=True)
+                    self._last_action = now
+                    self._streak = 0
+                    self._streak_sign = 0
+                    self.actions += 1
+            self.history.append(tick)
+            return tick
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly engine state for status surfaces."""
+        with self._lock:
+            last = self.history[-1] if self.history else None
+            return {
+                "window_fill": self.autoscaler.window_fill,
+                "evaluations": len(self.history),
+                "actions": self.actions,
+                "streak": self._streak,
+                "confirm_rounds": self.config.confirm_rounds,
+                "cooldown_s": self.config.cooldown_s,
+                "last_decision": (
+                    None
+                    if last is None
+                    else {
+                        "target_nodes": last.decision.target_nodes,
+                        "current_nodes": last.decision.current_nodes,
+                        "p_min": round(last.decision.p_min, 4),
+                        "request_rate": round(
+                            last.decision.request_rate, 1
+                        ),
+                        "act": last.act,
+                        "held_reason": last.held_reason,
+                        "reason": last.decision.reason,
+                    }
+                ),
+            }

@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import ConfigurationError, TransportError, WireProtocolError
 from repro.hashing.ketama import DEFAULT_VNODES, ConsistentHashRing
@@ -69,6 +69,7 @@ class LoadGenerator:
         timeout_s: float = 5.0,
         vnodes: int = DEFAULT_VNODES,
         late_threshold_s: float = DEFAULT_LATE_THRESHOLD_S,
+        key_observer: Callable[[list[str]], None] | None = None,
     ) -> None:
         if not endpoints:
             raise ConfigurationError("load generator needs endpoints")
@@ -84,6 +85,10 @@ class LoadGenerator:
         self.timeout_s = timeout_s
         self.vnodes = vnodes
         self.late_threshold_s = late_threshold_s
+        # Control-plane key feed: called on the loop thread with each
+        # dispatch wave's keys, in schedule order (the AutoScaler's
+        # profiling window samples the live request stream through it).
+        self.key_observer = key_observer
         self._ring = ConsistentHashRing(sorted(endpoints), vnodes=vnodes)
         self._tasks: set[asyncio.Task[None]] = set()
         self._clients: dict[str, NodeClient] = {}
@@ -103,6 +108,10 @@ class LoadGenerator:
         # (run-time seconds, node) for every failed batch -- the
         # migration runner's recovery detector.
         self.error_timeline: list[tuple[float, str]] = []
+        # Per-second accounting for soak curves (loop-thread writes).
+        self._second_ok: dict[int, int] = {}
+        self._second_errors: dict[int, int] = {}
+        self._second_response: dict[int, Histogram] = {}
         self.response_hist = Histogram(
             "loadgen_response_seconds", LATENCY_SECONDS_BUCKETS
         )
@@ -174,6 +183,8 @@ class LoadGenerator:
                 delay = deadline - self.now()
                 if delay > 0:
                     await asyncio.sleep(delay)
+                if self.key_observer is not None:
+                    self.key_observer([op.key for op in ops])
                 ring = self._ring  # one consistent ring per wave
                 by_node: dict[str, list[ScheduledOp]] = {}
                 for op in ops:
@@ -233,21 +244,77 @@ class LoadGenerator:
                 self.misses += len(gets) - found
             done_at = self.now()
             for op in ops:
-                self.response_hist.observe(max(0.0, done_at - op.send_at_s))
+                # Charge each op to its *scheduled* second: the curve
+                # then follows the tape deterministically, and only the
+                # latency values inside a bucket measure the host.
+                second = int(op.send_at_s)
+                second_hist = self._second_response.get(second)
+                if second_hist is None:
+                    second_hist = Histogram(
+                        f"loadgen_response_seconds_t{second}",
+                        LATENCY_SECONDS_BUCKETS,
+                    )
+                    self._second_response[second] = second_hist
+                response = max(0.0, done_at - op.send_at_s)
+                self.response_hist.observe(response)
+                second_hist.observe(response)
                 self.service_hist.observe(max(0.0, done_at - sent_at))
+                self._second_ok[second] = (
+                    self._second_ok.get(second, 0) + 1
+                )
             self.ops_ok += len(ops)
         except TransportError:
             self.transport_errors += len(ops)
-            self.error_timeline.append((self.now(), node))
+            failed_at = self.now()
+            self.error_timeline.append((failed_at, node))
+            second = int(failed_at)
+            self._second_errors[second] = (
+                self._second_errors.get(second, 0) + len(ops)
+            )
         except WireProtocolError:
             self.wire_errors += len(ops)
-            self.error_timeline.append((self.now(), node))
+            failed_at = self.now()
+            self.error_timeline.append((failed_at, node))
+            second = int(failed_at)
+            self._second_errors[second] = (
+                self._second_errors.get(second, 0) + len(ops)
+            )
         finally:
             inflight.release()
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+
+    def per_second_series(self) -> list[dict[str, float | int | None]]:
+        """Ops/s + latency quantiles for every whole second of the run.
+
+        The soak workflow's curve source: one row per second with the
+        completed-op count, failed-op count, and p50/p99 response
+        latency (ms) of the ops that completed in that second.  Seconds
+        with no completions still appear (zeros), so a stall shows as a
+        hole in the curve rather than a skipped row.
+        """
+        seconds = set(self._second_ok) | set(self._second_errors)
+        if not seconds:
+            return []
+        rows: list[dict[str, float | int | None]] = []
+        for second in range(min(seconds), max(seconds) + 1):
+            hist = self._second_response.get(second)
+            rows.append(
+                {
+                    "t": second,
+                    "ops_ok": self._second_ok.get(second, 0),
+                    "errors": self._second_errors.get(second, 0),
+                    "p50_ms": (
+                        quantiles_ms(hist)["p50"] if hist else None
+                    ),
+                    "p99_ms": (
+                        quantiles_ms(hist)["p99"] if hist else None
+                    ),
+                }
+            )
+        return rows
 
     def report(
         self,
@@ -283,4 +350,5 @@ class LoadGenerator:
             lateness_ms=quantiles_ms(self.lateness_hist),
             tape_sha256=tape_sha256(self.schedule),
             trace=trace,
+            extras={"per_second": self.per_second_series()},
         )

@@ -52,7 +52,7 @@ def _resolve_trace(trace: str | None) -> RateTrace | None:
     return None if trace is None else make_trace(trace)
 
 
-def _seed_keys(
+def seed_keys(
     live: LiveCluster, keys: list[str], value_bytes: int
 ) -> int:
     """Store every distinct key once so the load's gets can hit."""
@@ -69,7 +69,7 @@ def _seed_keys(
     return stored
 
 
-def _run_generator_thread(
+def run_generator_thread(
     generator: LoadGenerator,
 ) -> tuple[threading.Thread, dict[str, BaseException]]:
     """Start ``generator.run()`` on a worker thread; returns the thread
@@ -89,7 +89,7 @@ def _run_generator_thread(
     return thread, failure
 
 
-def _join_generator(
+def join_generator(
     thread: threading.Thread,
     failure: dict[str, BaseException],
     duration_s: float,
@@ -136,7 +136,7 @@ def run_load(
     def _drive(targets: dict[str, tuple[str, int]]) -> LoadReport:
         if seed_data:
             with LiveCluster(targets, timeout_s=timeout_s) as live:
-                _seed_keys(
+                seed_keys(
                     live, [op.key for op in schedule], value_bytes
                 )
         generator = LoadGenerator(
@@ -209,7 +209,7 @@ def run_load_migration(
     with ProcessClusterHarness(names, memory_per_node) as harness:
         live = LiveCluster(harness.endpoints, timeout_s=timeout_s)
         try:
-            _seed_keys(live, [op.key for op in schedule], value_bytes)
+            seed_keys(live, [op.key for op in schedule], value_bytes)
             generator = LoadGenerator(
                 harness.endpoints,
                 schedule,
@@ -220,7 +220,7 @@ def run_load_migration(
             )
             master = Master(live)
             master.subscribe_membership(generator.set_membership)
-            thread, failure = _run_generator_thread(generator)
+            thread, failure = run_generator_thread(generator)
             if not generator.started.wait(timeout=30.0):
                 raise ConfigurationError("load generator failed to start")
             time.sleep(duration_s * migrate_at_frac)
@@ -234,7 +234,7 @@ def run_load_migration(
             # the OS process is gone, not just out of the ring.
             for name in plan.retiring:
                 harness.stop_node(name)
-            _join_generator(thread, failure, duration_s)
+            join_generator(thread, failure, duration_s)
 
             window_errors = [
                 t for t, _ in generator.error_timeline if t >= killed_at

@@ -16,6 +16,8 @@ from repro.core.autoscaler import (
     AutoScaler,
     AutoScalerConfig,
     ScalingDecision,
+    ScalingEngine,
+    ScalingEngineConfig,
     ScheduledScalingPolicy,
 )
 from repro.core.master import Master, MigrationReport
@@ -268,7 +270,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         end_time=-(config.warmup_seconds + 1.0),
     )
 
-    autoscaler: AutoScaler | None = None
+    engine: ScalingEngine | None = None
     observer = None
     if config.autoscale:
         # Slab-aware footprint plus ~40% headroom: page quantisation,
@@ -280,20 +282,23 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         chunk_bytes = dataset.average_chunk_bytes(
             config.min_chunk, config.growth_factor
         )
-        autoscaler = AutoScaler(
-            AutoScalerConfig(
-                db_capacity_rps=config.db_capacity_rps,
-                node_memory_bytes=config.memory_per_node,
-                bytes_per_item=1.4 * chunk_bytes,
-                hit_rate_margin=0.02,
-                max_nodes=max(4, config.initial_nodes * 2),
+        engine = ScalingEngine(
+            AutoScaler(
+                AutoScalerConfig(
+                    db_capacity_rps=config.db_capacity_rps,
+                    node_memory_bytes=config.memory_per_node,
+                    bytes_per_item=1.4 * chunk_bytes,
+                    hit_rate_margin=0.02,
+                    max_nodes=max(4, config.initial_nodes * 2),
+                ),
+                telemetry=config.telemetry,
             ),
-            telemetry=config.telemetry,
+            ScalingEngineConfig(
+                evaluate_interval_s=config.autoscale_interval_s,
+                min_window=config.autoscale_min_window,
+            ),
         )
-
-        def observer(keys: list[str]) -> None:
-            for key in keys:
-                autoscaler.observe(key)
+        observer = engine.observe_many
 
     app = WebApplication(
         generator,
@@ -324,7 +329,6 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     database.reset()
 
     rates = trace.normalised().values * config.peak_request_rate
-    last_evaluation = float("-inf")
     recent_kv_rate = initial_rate * config.items_per_request
     for tick in range(duration):
         now = float(tick)
@@ -340,23 +344,20 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             decisions.append(pending_action)
             policy.on_scale_decision(pending_action.target_nodes, now)
 
-        if (
-            autoscaler is not None
-            and now - last_evaluation >= config.autoscale_interval_s
-            and autoscaler.window_fill >= config.autoscale_min_window
-            and not policy.pending
-        ):
-            last_evaluation = now
-            decision = autoscaler.decide(
-                recent_kv_rate, len(cluster.active_members), now=now
+        if engine is not None:
+            engine_tick = engine.evaluate(
+                recent_kv_rate,
+                len(cluster.active_members),
+                now=now,
+                busy=policy.pending,
             )
-            decisions.append(decision)
-            if decision.delta != 0:
-                scaling_times.append(now)
-                policy.on_scale_decision(decision.target_nodes, now)
-            # The MIMIR window keeps accumulating: its aging buckets
-            # already discount stale accesses, and a short window would
-            # be cold-miss-dominated, starving Eq. (1) of reuse signal.
+            if engine_tick is not None:
+                decisions.append(engine_tick.decision)
+                if engine_tick.act:
+                    scaling_times.append(now)
+                    policy.on_scale_decision(
+                        engine_tick.decision.target_nodes, now
+                    )
 
         rate = float(rates[min(tick, len(rates) - 1)])
         record = app.run_second(now, rate)
